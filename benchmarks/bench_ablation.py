@@ -1,0 +1,264 @@
+"""Ablation benches for the design choices called out in DESIGN.md §6.
+
+Each ablation refits part of the stack with one knob changed and
+reports how the end metric moves; the emitted report doubles as the
+EXPERIMENTS.md ablation appendix.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.core import AttackPredictor
+from repro.core.spatiotemporal import SpatiotemporalConfig
+from repro.evaluation import run_figure34
+from repro.evaluation.metrics import rmse
+from repro.evaluation.reporting import format_table
+from repro.features import FeatureExtractor
+from repro.features.source_dist import as_histogram, intra_as_score
+from repro.neural.gridsearch import grid_search_nar
+from repro.neural.nar import NARModel
+from repro.timeseries.arima import ARIMA
+from repro.timeseries.selection import select_order
+
+
+@pytest.fixture(scope="module")
+def ablation_predictor(ablation_trace_env):
+    trace, env = ablation_trace_env
+    return AttackPredictor(trace, env).fit()
+
+
+def test_arima_order_selection_ablation(benchmark, ablation_trace_env,
+                                        ablation_predictor):
+    """AIC order selection vs a fixed ARIMA(1,0,0) on the magnitude
+    series of the most active families."""
+    trace, env = ablation_trace_env
+    fx = ablation_predictor.fx
+    rows = []
+    for family in fx.families()[:3]:
+        series = fx.daily_magnitude_series(family)
+        if series.size < 30:
+            continue
+        cut = int(0.8 * series.size)
+        train, test = series[:cut], series[cut:]
+        z_mean, z_std = train.mean(), max(train.std(), 1e-9)
+        z_train, z_test = (train - z_mean) / z_std, (test - z_mean) / z_std
+
+        def fit_selected(zt=z_train):
+            return select_order(zt, max_p=3, max_q=2, max_d=1)
+
+        selected = benchmark.pedantic(fit_selected, rounds=1, iterations=1) \
+            if not rows else fit_selected()
+        fixed = ARIMA((1, 0, 0)).fit(z_train)
+        rows.append([
+            family,
+            str((selected.order.p, selected.order.d, selected.order.q)),
+            f"{rmse(z_test, selected.predict_continuation(z_test)):.3f}",
+            f"{rmse(z_test, fixed.predict_continuation(z_test)):.3f}",
+        ])
+    report = format_table(
+        ["Family", "SelectedOrder", "Selected RMSE (z)", "Fixed(1,0,0) RMSE (z)"],
+        rows, title="ABLATION -- ARIMA order selection vs fixed order",
+    )
+    emit_report("ablation_arima_order", report)
+    assert rows
+
+
+def test_nar_grid_search_ablation(benchmark, ablation_predictor):
+    """Grid-searched NAR vs the default (3 delays, 6 hidden) on the
+    busiest network's duration series."""
+    fx = ablation_predictor.fx
+    asn = fx.target_ases()[0]
+    durations = np.log1p(
+        np.array([o.duration for o in fx.observations_for_asn(asn)])
+    )[:1500]
+    cut = int(0.8 * durations.size)
+    train, test = durations[:cut], durations[cut:]
+
+    searched = benchmark.pedantic(
+        lambda: grid_search_nar(train, seed=0), rounds=1, iterations=1
+    )
+    default = NARModel(n_delays=3, n_hidden=6, seed=0).fit(train)
+    rows = [[
+        f"AS{asn}",
+        f"(q={searched.n_delays}, h={searched.n_hidden})",
+        f"{rmse(test, searched.model.predict_continuation(test)):.4f}",
+        f"{rmse(test, default.predict_continuation(test)):.4f}",
+    ]]
+    report = format_table(
+        ["Network", "Searched config", "Searched RMSE", "Default RMSE"],
+        rows, title="ABLATION -- NAR grid search vs default hyperparameters",
+    )
+    emit_report("ablation_nar_grid", report)
+    searched_rmse = rmse(test, searched.model.predict_continuation(test))
+    default_rmse = rmse(test, default.predict_continuation(test))
+    assert searched_rmse <= default_rmse * 1.3
+
+
+def test_model_tree_pruning_ablation(benchmark, ablation_trace_env):
+    """The paper's keep-88%-SD pruning vs unpruned vs aggressive."""
+    trace, env = ablation_trace_env
+    rows = []
+    for keep_sd in (0.5, 0.88, 1.0):
+        predictor = AttackPredictor(
+            trace, env, config=SpatiotemporalConfig(keep_sd=keep_sd)
+        )
+        if keep_sd == 0.88:
+            benchmark.pedantic(predictor.fit, rounds=1, iterations=1)
+        else:
+            predictor.fit()
+        result = run_figure34(predictor)
+        rows.append([
+            f"{keep_sd:.2f}",
+            f"{result.hour_rmse['spatiotemporal']:.2f}",
+            f"{result.day_rmse['spatiotemporal']:.2f}",
+        ])
+    report = format_table(
+        ["keep_sd", "Hour RMSE", "Day RMSE"], rows,
+        title="ABLATION -- model-tree SD pruning (paper keeps 88%)",
+    )
+    emit_report("ablation_pruning", report)
+    assert len(rows) == 3
+
+
+def test_history_window_ablation(benchmark, ablation_trace_env):
+    """The §VI-B protocol uses 10 same-AS + 10 recent attacks; vary it."""
+    trace, env = ablation_trace_env
+    rows = []
+    for n in (5, 10, 20):
+        predictor = AttackPredictor(
+            trace, env, config=SpatiotemporalConfig(n_same_as=n, n_recent=n)
+        )
+        if n == 10:
+            benchmark.pedantic(predictor.fit, rounds=1, iterations=1)
+        else:
+            predictor.fit()
+        result = run_figure34(predictor)
+        rows.append([
+            str(n),
+            f"{result.hour_rmse['spatiotemporal']:.2f}",
+            f"{result.day_rmse['spatiotemporal']:.2f}",
+        ])
+    report = format_table(
+        ["History n", "Hour RMSE", "Day RMSE"], rows,
+        title="ABLATION -- per-target history window (paper: 10 + 10)",
+    )
+    emit_report("ablation_history", report)
+    assert len(rows) == 3
+
+
+def test_topology_distance_ablation(benchmark, ablation_trace_env):
+    """Does the inter-AS hop-distance term of Eq. 4 earn its keep?
+
+    Within one family the term is nearly constant (a botnet's home-AS
+    footprint is static), so the interesting effect is *cross-family*:
+    pooled over families, the full A^s and the intra-only variant must
+    decorrelate, and the per-family mean DT values must actually
+    differ -- families with tight footprints sit closer in the AS graph
+    than sprawling ones."""
+    from repro.features.source_dist import inter_as_distance
+
+    trace, env = ablation_trace_env
+    fx = FeatureExtractor(trace, env)
+    families = fx.families()[:5]
+    attacks = [a for family in families for a in fx.family_attacks(family)[:80]]
+    with_topology = np.array(
+        benchmark.pedantic(
+            lambda: [fx.source_coefficient(a) for a in attacks],
+            rounds=1, iterations=1,
+        )
+    )
+    without = np.array([
+        intra_as_score(as_histogram(a.bot_ips, env.allocator), env.allocator)
+        for a in attacks
+    ])
+    correlation = float(np.corrcoef(with_topology, without)[0, 1])
+    mean_dt = {
+        family: float(np.mean([
+            inter_as_distance(as_histogram(a.bot_ips, env.allocator),
+                              env.oracle)
+            for a in fx.family_attacks(family)[:40]
+        ]))
+        for family in families
+    }
+    rows = [[family, f"{dt:.3f}"] for family, dt in mean_dt.items()]
+    rows.append(["pooled corr(with, without)", f"{correlation:.4f}"])
+    report = format_table(
+        ["Family / statistic", "mean inter-AS DT (hops) / value"], rows,
+        title="ABLATION -- Eq. 4 inter-AS distance term vs constant DT",
+    )
+    emit_report("ablation_topology", report)
+    # Cross-family, the distance term must add information ...
+    assert correlation < 0.999
+    # ... because family footprints genuinely differ in AS-graph spread.
+    dts = list(mean_dt.values())
+    assert max(dts) > 1.02 * min(dts)
+
+
+def test_seasonal_decomposition_ablation(benchmark, ablation_predictor):
+    """Does the §III-B2 daily/hourly aggregation intuition pay off?
+    Seasonal-means + ARIMA vs plain ARIMA on the hourly attack-count
+    series of the most active family (period 24)."""
+    from repro.features.magnitude import hourly_attacking_magnitude
+    from repro.timeseries.seasonal import SeasonalARIMA
+    from repro.timeseries.selection import select_order
+
+    fx = ablation_predictor.fx
+    family = fx.families()[0]
+    series = hourly_attacking_magnitude(
+        fx.trace.attacks, family, fx.trace.n_hours
+    )
+    # Standardize for conditioning, as the temporal model does.
+    mean, std = series.mean(), max(series.std(), 1e-9)
+    z = (series - mean) / std
+    cut = int(0.8 * z.size)
+    train, test = z[:cut], z[cut:]
+
+    seasonal = benchmark.pedantic(
+        lambda: SeasonalARIMA(period=24).fit(train), rounds=1, iterations=1
+    )
+    plain = select_order(train, max_p=3, max_q=2, max_d=1)
+    seasonal_rmse = rmse(test, seasonal.predict_continuation(test))
+    plain_rmse = rmse(test, plain.predict_continuation(test))
+    emit_report("ablation_seasonal", format_table(
+        ["Family", "Seasonal+ARIMA RMSE (z)", "Plain ARIMA RMSE (z)"],
+        [[family, f"{seasonal_rmse:.3f}", f"{plain_rmse:.3f}"]],
+        title="ABLATION -- diurnal seasonal decomposition (period 24 h)",
+    ))
+    assert np.isfinite(seasonal_rmse)
+
+
+def test_cv_order_selection_ablation(benchmark, ablation_predictor):
+    """Follow-up to the AIC ablation: order selection by blocked
+    one-step cross-validation vs AIC vs fixed (1,0,0) on the magnitude
+    series -- CV should close the gap AIC leaves."""
+    from repro.timeseries.crossval import select_order_cv
+
+    fx = ablation_predictor.fx
+    rows = []
+    for family in fx.families()[:3]:
+        series = fx.daily_magnitude_series(family)
+        if series.size < 40:
+            continue
+        cut = int(0.8 * series.size)
+        train, test = series[:cut], series[cut:]
+        z_mean, z_std = train.mean(), max(train.std(), 1e-9)
+        z_train, z_test = (train - z_mean) / z_std, (test - z_mean) / z_std
+
+        cv_model = benchmark.pedantic(
+            lambda zt=z_train: select_order_cv(zt), rounds=1, iterations=1
+        ) if not rows else select_order_cv(z_train)
+        aic_model = select_order(z_train, max_p=3, max_q=2, max_d=1)
+        fixed = ARIMA((1, 0, 0)).fit(z_train)
+        rows.append([
+            family,
+            str((cv_model.order.p, cv_model.order.d, cv_model.order.q)),
+            f"{rmse(z_test, cv_model.predict_continuation(z_test)):.3f}",
+            f"{rmse(z_test, aic_model.predict_continuation(z_test)):.3f}",
+            f"{rmse(z_test, fixed.predict_continuation(z_test)):.3f}",
+        ])
+    emit_report("ablation_cv_order", format_table(
+        ["Family", "CV order", "CV RMSE", "AIC RMSE", "Fixed(1,0,0) RMSE"],
+        rows, title="ABLATION -- CV order selection vs AIC vs fixed",
+    ))
+    assert rows

@@ -1,0 +1,16 @@
+"""Benchmark C1: the §VII-A comparison against naive baselines."""
+
+from benchmarks.conftest import emit_report
+from repro.evaluation import format_comparison, run_comparison
+
+
+def test_comparison(benchmark, full_predictor):
+    """At full scale the proposed models must win the plurality of
+    (family, feature) cells against Always Same / Always Mean."""
+    result = benchmark.pedantic(run_comparison, args=(full_predictor,),
+                                rounds=1, iterations=1)
+    emit_report("comparison", format_comparison(result))
+    wins = result.wins()
+    model_wins = wins.get("temporal", 0) + wins.get("spatial", 0)
+    naive_wins = wins.get("always_same", 0) + wins.get("always_mean", 0)
+    assert model_wins > naive_wins, wins

@@ -1,0 +1,20 @@
+"""Benchmark F1: Fig. 1 -- temporal prediction of attacking magnitudes."""
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.evaluation import format_figure1, run_figure1
+
+
+def test_figure1(benchmark, full_predictor):
+    """One-step ARIMA magnitude predictions for the 3 most active
+    families; the predictions must track the ground-truth series."""
+    result = benchmark.pedantic(run_figure1, args=(full_predictor,),
+                                rounds=1, iterations=1)
+    emit_report("figure1", format_figure1(result))
+    assert len(result.families) == 3
+    for fam in result.families:
+        # Prediction must carry signal: clearly better than predicting
+        # the constant mean of the test window.
+        mean_rmse = float(np.sqrt(np.mean((fam.actual - fam.actual.mean()) ** 2)))
+        assert fam.rmse < 1.25 * mean_rmse, fam.family

@@ -1,0 +1,18 @@
+"""Benchmark F2: Fig. 2 -- spatial prediction of source distributions."""
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.evaluation import format_figure2, run_figure2
+
+
+def test_figure2(benchmark, full_predictor):
+    """NAR share-vector predictions; the paper reports distributions
+    'almost 100% accurate' for DirtJumper/Pandora."""
+    result = benchmark.pedantic(run_figure2, args=(full_predictor,),
+                                rounds=1, iterations=1)
+    emit_report("figure2", format_figure2(result))
+    assert result.families
+    for fam in result.families:
+        assert fam.mean_tv_distance < 0.25, fam.family
+        assert np.argmax(fam.actual_mean) == np.argmax(fam.predicted_mean)

@@ -1,0 +1,49 @@
+"""Benchmark F3: Fig. 3 -- spatiotemporal timestamp predictions.
+
+Fig. 3 shows the distributions of predicted attack dates and hours per
+model against the ground truth; this bench regenerates those
+distributions and reports how much probability mass each model places
+correctly (histogram overlap with the truth)."""
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.evaluation import run_figure34
+from repro.evaluation.reporting import format_table, sparkline
+
+
+def _overlap(actual: np.ndarray, predicted: np.ndarray, bins: int, lo: float,
+             hi: float) -> float:
+    h_a, _ = np.histogram(actual, bins=bins, range=(lo, hi), density=False)
+    h_p, _ = np.histogram(predicted, bins=bins, range=(lo, hi), density=False)
+    h_a = h_a / max(1, h_a.sum())
+    h_p = h_p / max(1, h_p.sum())
+    return float(np.minimum(h_a, h_p).sum())
+
+
+def test_figure3(benchmark, full_predictor):
+    result = benchmark.pedantic(run_figure34, args=(full_predictor,),
+                                rounds=1, iterations=1)
+    lines = ["FIGURE 3 -- DISTRIBUTIONS OF PREDICTED ATTACK TIMESTAMPS"]
+    lines.append("hour-of-day distributions (24 bins):")
+    h_truth, _ = np.histogram(result.actual_hours, bins=24, range=(0, 24))
+    lines.append(f"  truth          : {sparkline(h_truth.astype(float), width=24)}")
+    rows = []
+    day_lo = result.actual_days.min()
+    day_hi = result.actual_days.max() + 1e-9
+    for model, hours in result.hours.items():
+        h, _ = np.histogram(hours, bins=24, range=(0, 24))
+        lines.append(f"  {model:<15s}: {sparkline(h.astype(float), width=24)}")
+        rows.append([
+            model,
+            f"{_overlap(result.actual_hours, hours, 24, 0.0, 24.0):.2f}",
+            f"{_overlap(result.actual_days, result.days[model], 30, day_lo, day_hi):.2f}"
+            if model in result.days else "-",
+        ])
+    lines.append(format_table(["Model", "HourDistOverlap", "DayDistOverlap"], rows))
+    emit_report("figure3", "\n".join(lines))
+    # Spatiotemporal must reproduce the timestamp distributions best
+    # (its output "is closer to the ground truth data").
+    st = _overlap(result.actual_hours, result.hours["spatiotemporal"], 24, 0, 24)
+    spa = _overlap(result.actual_hours, result.hours["spatial"], 24, 0, 24)
+    assert st >= spa - 0.05

@@ -1,0 +1,23 @@
+"""Benchmark F5: Fig. 5 -- prediction-guided defense use cases."""
+
+from benchmarks.conftest import emit_report
+from repro.evaluation import format_usecases, run_usecases
+
+
+def test_figure5(benchmark, full_predictor):
+    result = benchmark.pedantic(run_usecases, args=(full_predictor,),
+                                rounds=1, iterations=1)
+    emit_report("figure5", format_usecases(result))
+    # (a) proactive AS filtering scrubs more attack traffic than
+    # reactive filtering at low collateral.
+    assert result.filtering["proactive_attack_filtered"] > \
+        result.filtering["reactive_attack_filtered"]
+    assert result.filtering["proactive_collateral"] < 0.15
+    # (b) predicted-time middlebox reordering leaves fewer unprotected
+    # attack minutes than reacting after detection.
+    assert result.middlebox["predictive_unprotected_fraction"] <= \
+        result.middlebox["reactive_unprotected_fraction"] * 1.05
+    # (c) prediction-guided provisioning absorbs more attack volume
+    # than static mean provisioning.
+    assert result.provisioning["guided_unmet"] < \
+        result.provisioning["static_mean_unmet"]

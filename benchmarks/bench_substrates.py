@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not a paper artifact -- these keep the building blocks honest (and
+regression-guard the vectorized ARIMA recursion, the routing cache,
+and the trace generation rate)."""
+
+import numpy as np
+
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.neural.nar import NARModel
+from repro.timeseries.arima import ARIMA
+from repro.topology import DistanceOracle, TopologyConfig, generate_topology
+from repro.topology.routing import valley_free_distances
+from repro.tree.model_tree import ModelTree
+
+
+def test_bench_arima_fit(benchmark):
+    rng = np.random.default_rng(0)
+    y = np.zeros(2000)
+    e = rng.normal(0, 1, 2000)
+    for t in range(2, 2000):
+        y[t] = 0.5 * y[t - 1] - 0.2 * y[t - 2] + e[t] + 0.3 * e[t - 1]
+    model = benchmark(lambda: ARIMA((2, 0, 1)).fit(y))
+    assert np.isfinite(model.sigma2)
+
+
+def test_bench_nar_fit(benchmark):
+    rng = np.random.default_rng(1)
+    s = np.zeros(1000)
+    for t in range(1, 1000):
+        s[t] = np.sin(2.5 * s[t - 1]) + rng.normal(0, 0.1)
+    model = benchmark(lambda: NARModel(n_delays=3, n_hidden=6, seed=0).fit(s))
+    assert model.residual_std() < 0.5
+
+
+def test_bench_model_tree_fit(benchmark):
+    rng = np.random.default_rng(2)
+    x = rng.normal(0, 1, (5000, 10))
+    y = np.where(x[:, 0] > 0, x[:, 1], -x[:, 2]) + rng.normal(0, 0.1, 5000)
+    tree = benchmark(lambda: ModelTree(max_depth=6).fit(x, y))
+    assert tree.n_leaves >= 1
+
+
+def test_bench_valley_free_routing(benchmark):
+    topo = generate_topology(TopologyConfig(seed=3))
+    dst = topo.asns[-1]
+    distances = benchmark(lambda: valley_free_distances(topo, dst))
+    assert len(distances) == len(topo.asns)
+
+
+def test_bench_distance_oracle_cached(benchmark):
+    topo = generate_topology(TopologyConfig(seed=4))
+    oracle = DistanceOracle(topo)
+    asns = topo.asns[:30]
+    oracle.mean_pairwise_distance(asns)  # warm the cache
+
+    result = benchmark(lambda: oracle.mean_pairwise_distance(asns))
+    assert result > 0
+
+
+def test_bench_trace_generation(benchmark):
+    config = DatasetConfig(n_days=7, n_targets=30, scale=1.0, seed=5)
+    trace, _ = benchmark.pedantic(
+        lambda: TraceGenerator(config).generate(), rounds=1, iterations=1
+    )
+    assert len(trace) > 100

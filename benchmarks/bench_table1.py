@@ -1,0 +1,12 @@
+"""Benchmark T1: reproduce Table I (activity level of bots)."""
+
+from benchmarks.conftest import emit_report
+from repro.evaluation import format_table1, run_table1
+
+
+def test_table1(benchmark, full_trace):
+    """Regenerates Table I and checks the activity ordering."""
+    result = benchmark.pedantic(run_table1, args=(full_trace,), rounds=3, iterations=1)
+    emit_report("table1", format_table1(result))
+    assert result.ordering_matches(), "DirtJumper/AldiBot ordering lost"
+    assert len(result.rows) == 10

@@ -1,0 +1,57 @@
+"""Benchmark fixtures.
+
+The full-scale artifacts (the paper-sized 243-day trace and the fitted
+predictor) are session-scoped: every bench shares them, so the suite
+pays the ~1 minute setup once.  Each bench times only its own
+experiment via ``benchmark.pedantic`` and writes the rendered
+table/figure to ``benchmarks/reports/`` (and stdout) so the harness
+"prints the same rows/series the paper reports" even under pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import AttackPredictor
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.dataset.families import OBSERVATION_DAYS
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+FULL_CONFIG = DatasetConfig(n_days=OBSERVATION_DAYS, seed=42)
+ABLATION_CONFIG = DatasetConfig(n_days=90, seed=11)
+
+
+@pytest.fixture(scope="session")
+def full_trace_env():
+    """The paper-scale trace (243 days, ~40-50k attacks)."""
+    return TraceGenerator(FULL_CONFIG).generate()
+
+
+@pytest.fixture(scope="session")
+def full_trace(full_trace_env):
+    return full_trace_env[0]
+
+
+@pytest.fixture(scope="session")
+def full_predictor(full_trace_env):
+    """All three models fitted on the paper-scale trace."""
+    trace, env = full_trace_env
+    return AttackPredictor(trace, env).fit()
+
+
+@pytest.fixture(scope="session")
+def ablation_trace_env():
+    """A mid-size trace for the (many-refit) ablation benches."""
+    return TraceGenerator(ABLATION_CONFIG).generate()
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under reports/."""
+    print()
+    print(text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

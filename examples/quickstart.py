@@ -1,0 +1,56 @@
+"""Quickstart: generate a trace, fit all three models, predict attacks.
+
+Runs in about a minute on a laptop::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AttackPredictor, DatasetConfig, TraceGenerator
+
+
+def main() -> None:
+    # 1. Generate a synthetic attack trace (60 days, 10 botnet families
+    #    calibrated to the paper's Table I) and the synthetic Internet
+    #    (AS topology + IP allocation) it runs on.
+    config = DatasetConfig(n_days=60, seed=7)
+    trace, env = TraceGenerator(config).generate()
+    print(f"generated {len(trace)} verified attacks over {config.n_days} days")
+    print(f"families: {', '.join(trace.families())}")
+
+    # 2. Fit the temporal (ARIMA), spatial (NAR neural nets) and
+    #    spatiotemporal (model tree) models with the paper's 80/20
+    #    chronological protocol.
+    predictor = AttackPredictor(trace, env).fit()
+    print(f"temporal models : {len(predictor.temporal.families())} families")
+    print(f"spatial models  : {len(predictor.spatial.ases())} target networks")
+
+    # 3. Predict the held-out test attacks and score the headline
+    #    metric (Fig. 4): the hour of the next attack on each target.
+    pairs = predictor.predict_test_set()
+    actual = np.array([a.start_time % 86400.0 / 3600.0 for a, _ in pairs])
+    predicted = np.array([p.hour for _, p in pairs])
+    wrapped = np.minimum(np.abs(actual - predicted) % 24,
+                         24 - np.abs(actual - predicted) % 24)
+    print(f"predicted {len(pairs)} test attacks; "
+          f"hour RMSE = {np.sqrt((wrapped ** 2).mean()):.2f} h "
+          f"(paper: 1.85 h)")
+
+    # 4. Forecast the *next* attack on a specific network, as a
+    #    mitigation provider would.
+    asn = predictor.spatial.ases()[0]
+    family = trace.families()[0]  # the most active family
+    forecast = predictor.predict_next_for_network(asn, family)
+    if forecast is not None:
+        print(
+            f"next {family} attack on AS{asn}: "
+            f"day {forecast.day:.1f}, {forecast.hour:04.1f}h, "
+            f"~{forecast.duration / 60:.0f} min, ~{forecast.magnitude:.0f} bots"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: lets `setup.py develop` work where the `wheel` package is unavailable."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` -- synthesize a trace and write it to disk.
+* ``table1`` -- print the Table I activity statistics of a trace.
+* ``evaluate`` -- fit the models and print the paper's tables/figures.
+* ``predict`` -- forecast the next attack on a network.
+
+Every command accepts either ``--trace path`` (a persisted trace; the
+environment is rebuilt from its metadata) or generation parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import AttackPredictor
+from repro.dataset import (
+    DatasetConfig,
+    SimulationEnvironment,
+    TraceGenerator,
+    load_trace,
+    save_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adversary-centric DDoS behavior modeling (ICDCS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_generation_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--days", type=int, default=60, help="observation window")
+        p.add_argument("--seed", type=int, default=0, help="world seed")
+        p.add_argument("--scale", type=float, default=1.0, help="rate multiplier")
+        p.add_argument("--targets", type=int, default=80, help="victim count")
+
+    gen = sub.add_parser("generate", help="synthesize and persist a trace")
+    add_generation_args(gen)
+    gen.add_argument("--out", required=True, help="output path (.jsonl.gz)")
+
+    table = sub.add_parser("table1", help="print Table I statistics")
+    table.add_argument("--trace", help="persisted trace path")
+    add_generation_args(table)
+
+    evaluate = sub.add_parser("evaluate", help="fit models, print experiments")
+    evaluate.add_argument("--trace", help="persisted trace path")
+    add_generation_args(evaluate)
+    evaluate.add_argument(
+        "--experiments",
+        default="table1,fig1,fig2,fig34,comparison",
+        help=("comma list: table1, fig1, fig2, fig34, comparison, fig5, "
+              "goodness, signaling, detection"),
+    )
+
+    predict = sub.add_parser("predict", help="forecast the next attack")
+    predict.add_argument("--trace", help="persisted trace path")
+    add_generation_args(predict)
+    predict.add_argument("--asn", type=int, help="target network (default: busiest)")
+    predict.add_argument("--family", help="botnet family (default: most active)")
+    return parser
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if getattr(args, "trace", None):
+        trace = load_trace(args.trace)
+        env = SimulationEnvironment.from_metadata(trace.metadata)
+        return trace, env
+    config = DatasetConfig(
+        n_days=args.days, seed=args.seed, scale=args.scale, n_targets=args.targets
+    )
+    return TraceGenerator(config).generate()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    t0 = time.time()
+    trace, _ = _load_or_generate(args)
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} attacks ({args.days} days, seed {args.seed}) "
+          f"to {args.out} in {time.time() - t0:.0f}s")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.evaluation import format_table1, run_table1
+
+    trace, _ = _load_or_generate(args)
+    print(format_table1(run_table1(trace)))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation import (
+        format_comparison,
+        format_figure1,
+        format_goodness,
+        format_figure2,
+        format_figure34,
+        format_table1,
+        format_usecases,
+        run_comparison,
+        run_figure1,
+        run_figure2,
+        run_figure34,
+        run_table1,
+        run_usecases,
+        temporal_goodness_report,
+    )
+
+    trace, env = _load_or_generate(args)
+    wanted = {name.strip() for name in args.experiments.split(",") if name.strip()}
+    known = {"table1", "fig1", "fig2", "fig34", "comparison", "fig5",
+             "goodness", "signaling", "detection"}
+    unknown = wanted - known
+    if unknown:
+        print(f"unknown experiments: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    if "table1" in wanted:
+        print(format_table1(run_table1(trace)))
+        print()
+    needs_models = wanted - {"table1"}
+    if needs_models:
+        print("fitting models ...", file=sys.stderr)
+        predictor = AttackPredictor(trace, env).fit()
+        if "fig1" in wanted:
+            print(format_figure1(run_figure1(predictor)))
+            print()
+        if "fig2" in wanted:
+            print(format_figure2(run_figure2(predictor)))
+            print()
+        if "fig34" in wanted:
+            print(format_figure34(run_figure34(predictor)))
+            print()
+        if "comparison" in wanted:
+            print(format_comparison(run_comparison(predictor)))
+            print()
+        if "fig5" in wanted:
+            print(format_usecases(run_usecases(predictor)))
+            print()
+        if "goodness" in wanted:
+            print(format_goodness(temporal_goodness_report(predictor)))
+            print()
+        if "signaling" in wanted:
+            from repro.defense.signaling import run_signaling_usecase
+
+            print("DOTS-STYLE THREAT SIGNALING (§VI-B)")
+            for key, value in run_signaling_usecase(predictor).items():
+                print(f"    {key:<28s} {value:.4g}")
+            print()
+        if "detection" in wanted:
+            from repro.defense.detection import run_detection_usecase
+
+            print("ENTROPY-BASED EARLY DETECTION (§V-B)")
+            for key, value in run_detection_usecase(predictor, n_attacks=40).items():
+                print(f"    {key:<28s} {value:.4g}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    trace, env = _load_or_generate(args)
+    predictor = AttackPredictor(trace, env).fit()
+    asn = args.asn if args.asn is not None else (
+        predictor.spatial.ases()[0] if predictor.spatial.ases() else None
+    )
+    family = args.family or trace.families()[0]
+    if asn is None:
+        print("no network has enough history to predict", file=sys.stderr)
+        return 1
+    prediction = predictor.predict_next_for_network(asn, family)
+    if prediction is None:
+        print(f"AS{asn} has too little history for the §VI-B protocol",
+              file=sys.stderr)
+        return 1
+    print(f"next {family} attack on AS{asn}:")
+    print(f"  date      : day {prediction.day:.2f} of the trace")
+    print(f"  hour      : {prediction.hour:.1f}")
+    print(f"  duration  : {prediction.duration:.0f} s")
+    print(f"  magnitude : {prediction.magnitude:.0f} bots")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "table1": _cmd_table1,
+    "evaluate": _cmd_evaluate,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: temporal, spatial and spatiotemporal models.
+
+* :mod:`repro.core.temporal` -- §IV: per-family ARIMA models over the
+  attacker-side series (activity ``A^f``, magnitude ``A^b``, source
+  distribution ``A^s``), plus launch-hour and inter-launch interval
+  models used downstream.
+* :mod:`repro.core.spatial` -- §V: per-target-network NAR neural models
+  over durations, launch hours and attacker source distributions.
+* :mod:`repro.core.spatiotemporal` -- §VI: a model tree (CART + MLR)
+  that combines temporal and spatial outputs into per-target
+  predictions of the next attack's hour, date, duration and magnitude.
+* :mod:`repro.core.baselines` -- §VII-A: the *Always Same* and *Always
+  Mean* naive predictors.
+* :mod:`repro.core.pipeline` -- end-to-end ``AttackPredictor`` facade.
+"""
+
+from repro.core.baselines import AlwaysMean, AlwaysSame, NaivePredictor
+from repro.core.markov_baseline import AlertCorrelationModel, AlertPrediction, AlertState
+from repro.core.online import OnlinePredictor, WindowResult
+from repro.core.temporal import FamilyTemporalModel, TemporalModel
+from repro.core.spatial import AsSpatialModel, SpatialModel
+from repro.core.spatiotemporal import (
+    AttackPrediction,
+    SpatiotemporalConfig,
+    SpatiotemporalModel,
+)
+from repro.core.pipeline import AttackPredictor
+
+__all__ = [
+    "AlwaysMean",
+    "AlwaysSame",
+    "NaivePredictor",
+    "AlertCorrelationModel",
+    "AlertPrediction",
+    "AlertState",
+    "OnlinePredictor",
+    "WindowResult",
+    "FamilyTemporalModel",
+    "TemporalModel",
+    "AsSpatialModel",
+    "SpatialModel",
+    "AttackPrediction",
+    "SpatiotemporalConfig",
+    "SpatiotemporalModel",
+    "AttackPredictor",
+]

@@ -1,0 +1,72 @@
+"""Naive baselines of §VII-A.
+
+"One may advocate a simpler approach in which prediction outcomes are
+the same as (or the mean of) previous observations" -- the *Always
+Same* and *Always Mean* predictors our models are compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["NaivePredictor", "AlwaysSame", "AlwaysMean"]
+
+
+class NaivePredictor(Protocol):
+    """Common interface of the naive predictors."""
+
+    def predict_next(self, window: np.ndarray) -> float:
+        """Predict the value following ``window``."""
+        ...
+
+    def predict_continuation(self, history: np.ndarray,
+                             future: np.ndarray) -> np.ndarray:
+        """One-step-ahead predictions over ``future`` given ``history``."""
+        ...
+
+
+class AlwaysSame:
+    """Persistence: the next value equals the last observed value."""
+
+    def predict_next(self, window: np.ndarray) -> float:
+        """Last observation."""
+        window = np.asarray(window, dtype=float).ravel()
+        if window.size == 0:
+            raise ValueError("empty window")
+        return float(window[-1])
+
+    def predict_continuation(self, history: np.ndarray,
+                             future: np.ndarray) -> np.ndarray:
+        """Each future value is predicted by its predecessor."""
+        history = np.asarray(history, dtype=float).ravel()
+        future = np.asarray(future, dtype=float).ravel()
+        if history.size == 0:
+            raise ValueError("empty history")
+        full = np.concatenate([history[-1:], future])
+        return full[:-1].copy()
+
+
+class AlwaysMean:
+    """The next value equals the mean of all observations so far."""
+
+    def predict_next(self, window: np.ndarray) -> float:
+        """Mean of the window."""
+        window = np.asarray(window, dtype=float).ravel()
+        if window.size == 0:
+            raise ValueError("empty window")
+        return float(window.mean())
+
+    def predict_continuation(self, history: np.ndarray,
+                             future: np.ndarray) -> np.ndarray:
+        """Each future value is predicted by the running mean before it."""
+        history = np.asarray(history, dtype=float).ravel()
+        future = np.asarray(future, dtype=float).ravel()
+        if history.size == 0:
+            raise ValueError("empty history")
+        full = np.concatenate([history, future])
+        cumulative = np.cumsum(full)
+        counts = np.arange(1, full.size + 1, dtype=float)
+        running_mean = cumulative / counts
+        return running_mean[history.size - 1 : -1].copy()

@@ -1,0 +1,109 @@
+"""Online (rolling-origin) evaluation with periodic refits.
+
+§III-B3 frames the model outputs as "both output results and feedback
+to our model"; operationally that means refitting as new verified
+attacks arrive.  :class:`OnlinePredictor` runs the rolling-origin
+protocol: fit on everything seen so far, predict the next window of
+attacks, slide, refit, repeat -- and reports how accuracy evolves as
+history accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import AttackPredictor
+from repro.core.spatiotemporal import SpatiotemporalConfig
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.records import DAY, AttackTrace
+from repro.evaluation.metrics import circular_hour_error
+
+__all__ = ["WindowResult", "OnlinePredictor"]
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Accuracy over one rolling evaluation window."""
+
+    window_start_day: float
+    window_end_day: float
+    n_predicted: int
+    hour_rmse: float
+    day_rmse: float
+
+
+class OnlinePredictor:
+    """Rolling-origin refit-and-predict loop."""
+
+    def __init__(self, trace: AttackTrace, env: SimulationEnvironment,
+                 initial_days: int = 30, window_days: int = 10,
+                 config: SpatiotemporalConfig | None = None) -> None:
+        if initial_days < 5 or window_days < 1:
+            raise ValueError("need initial_days >= 5 and window_days >= 1")
+        self.trace = trace
+        self.env = env
+        self.initial_days = initial_days
+        self.window_days = window_days
+        self.config = config
+
+    def run(self, max_windows: int | None = None) -> list[WindowResult]:
+        """Execute the loop; one :class:`WindowResult` per window."""
+        trace_end = self.trace.metadata.n_days
+        results: list[WindowResult] = []
+        origin = self.initial_days
+        while origin + self.window_days <= trace_end:
+            if max_windows is not None and len(results) >= max_windows:
+                break
+            split_time = origin * DAY
+            window_end = (origin + self.window_days) * DAY
+            fraction = self._fraction_before(split_time)
+            if not 0.0 < fraction < 1.0:
+                origin += self.window_days
+                continue
+            predictor = AttackPredictor(
+                self.trace, self.env, train_fraction=fraction, config=self.config
+            )
+            try:
+                predictor.fit()
+            except ValueError:
+                origin += self.window_days
+                continue
+            window_attacks = [
+                a for a in predictor.test_attacks
+                if split_time <= a.start_time < window_end
+            ]
+            hour_errors = []
+            day_errors = []
+            for attack in window_attacks:
+                prediction = predictor.predict_attack(attack)
+                if prediction is None:
+                    continue
+                actual_hour = attack.start_time % DAY / 3600.0
+                hour_errors.append(
+                    float(circular_hour_error(
+                        np.array([actual_hour]), np.array([prediction.hour])
+                    )[0])
+                )
+                day_errors.append(attack.start_time / DAY - prediction.day)
+            if hour_errors:
+                results.append(
+                    WindowResult(
+                        window_start_day=origin,
+                        window_end_day=origin + self.window_days,
+                        n_predicted=len(hour_errors),
+                        hour_rmse=float(np.sqrt(np.mean(np.square(hour_errors)))),
+                        day_rmse=float(np.sqrt(np.mean(np.square(day_errors)))),
+                    )
+                )
+            origin += self.window_days
+        return results
+
+    def _fraction_before(self, split_time: float) -> float:
+        """Fraction of attacks strictly before ``split_time``."""
+        attacks = self.trace.attacks
+        if not attacks:
+            return 0.0
+        before = sum(1 for a in attacks if a.start_time < split_time)
+        return before / len(attacks)

@@ -1,0 +1,114 @@
+"""End-to-end prediction pipeline.
+
+:class:`AttackPredictor` is the public facade a downstream user (e.g. a
+mitigation provider) would use: feed it a trace and its environment,
+and it trains the temporal, spatial and spatiotemporal models with the
+paper's 80/20 chronological protocol, then answers per-target
+predictions of the next attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spatial import SpatialModel
+from repro.core.spatiotemporal import (
+    AttackContext,
+    AttackPrediction,
+    HistoryIndex,
+    SpatiotemporalConfig,
+    SpatiotemporalModel,
+)
+from repro.core.temporal import TemporalModel
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.loader import train_test_split
+from repro.dataset.records import AttackRecord, AttackTrace
+from repro.features.variables import FeatureExtractor
+
+__all__ = ["AttackPredictor"]
+
+
+class AttackPredictor:
+    """Trains all three models and serves predictions."""
+
+    def __init__(self, trace: AttackTrace, env: SimulationEnvironment,
+                 train_fraction: float = 0.8,
+                 config: SpatiotemporalConfig | None = None,
+                 use_grid_search: bool = False) -> None:
+        self.fx = FeatureExtractor(trace, env)
+        self.train_attacks, self.test_attacks = train_test_split(
+            trace.attacks, train_fraction
+        )
+        self.split_time = (
+            self.test_attacks[0].start_time if self.test_attacks else float("inf")
+        )
+        self.temporal = TemporalModel()
+        self.spatial = SpatialModel(use_grid_search=use_grid_search)
+        self.spatiotemporal = SpatiotemporalModel(
+            self.temporal, self.spatial, config=config
+        )
+        self.index: HistoryIndex | None = None
+        self._fitted = False
+
+    def fit(self) -> "AttackPredictor":
+        """Fit temporal -> spatial -> spatiotemporal on the train split."""
+        self.temporal.fit(self.fx, self.split_time)
+        self.spatial.fit(self.fx, self.split_time)
+        self.index = HistoryIndex(self.fx)
+        self.spatiotemporal.fit(self.fx, self.train_attacks, index=self.index)
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> HistoryIndex:
+        if not self._fitted or self.index is None:
+            raise RuntimeError("fit() first")
+        return self.index
+
+    def predict_attack(self, attack: AttackRecord) -> AttackPrediction | None:
+        """Predict one attack from the history observable before it."""
+        index = self._require_fitted()
+        return self.spatiotemporal.predict_attack(attack, index)
+
+    def predict_next_for_network(self, asn: int, family: str,
+                                 now: float | None = None) -> AttackPrediction | None:
+        """Forecast the next ``family`` attack on network ``asn``.
+
+        ``now`` defaults to the end of the trace; the context is
+        whatever the target could have observed up to then.  Returns
+        ``None`` when the network has too little history.
+        """
+        index = self._require_fitted()
+        cfg = self.spatiotemporal.config
+        if now is None:
+            now = self.fx.trace.n_hours * 3600.0
+        context = AttackContext(
+            family=family,
+            target_asn=asn,
+            timestamp=now,
+            same_as=index.recent_same_as(asn, now, cfg.n_same_as),
+            recent=index.recent_global(now, cfg.n_recent),
+            family_recent=index.recent_family(family, now, cfg.n_recent),
+        )
+        if len(context.same_as) < cfg.min_same_as:
+            return None
+        return self.spatiotemporal.predict_context(context)
+
+    def predict_test_set(self) -> list[tuple[AttackRecord, AttackPrediction]]:
+        """Predict every predictable attack in the held-out test split."""
+        index = self._require_fitted()
+        out = []
+        for attack in self.test_attacks:
+            prediction = self.spatiotemporal.predict_attack(attack, index)
+            if prediction is not None:
+                out.append((attack, prediction))
+        return out
+
+    def coverage(self) -> float:
+        """Fraction of test attacks with enough history to predict."""
+        if not self.test_attacks:
+            return 0.0
+        predicted = sum(
+            1 for a in self.test_attacks
+            if self.predict_attack(a) is not None
+        )
+        return predicted / len(self.test_attacks)

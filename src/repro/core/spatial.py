@@ -1,0 +1,240 @@
+"""Spatial modeling (§V).
+
+Target-related variables characterize attacks within the same network
+region (AS level), so the spatial model trains one nonlinear
+autoregressive (NAR) network per target AS over the chronologically
+ordered attacks that hit it: durations (Eq. 6), launch hours and
+inter-launch intervals.  A companion
+:class:`SourceDistributionModel` predicts the attacker source (ASN)
+share vectors, the quantity Fig. 2 evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.variables import FeatureExtractor
+from repro.neural.gridsearch import grid_search_nar
+from repro.neural.nar import NARModel
+
+__all__ = ["AsSpatialModel", "SpatialModel", "SourceDistributionModel"]
+
+_MIN_HISTORY = 25
+# Busy networks accumulate tens of thousands of observations; the tail
+# suffices for a one-step model and keeps Levenberg-Marquardt cheap.
+_MAX_SERIES = 2000
+
+
+def _fit_nar(series: np.ndarray, n_delays: int, n_hidden: int, seed: int,
+             use_grid_search: bool) -> NARModel | None:
+    """Fit one NAR; ``None`` when the series carries no signal."""
+    series = np.asarray(series, dtype=float).ravel()[-_MAX_SERIES:]
+    if series.size < max(_MIN_HISTORY // 2, n_delays + 6) or np.allclose(series, series[0]):
+        return None
+    try:
+        if use_grid_search:
+            return grid_search_nar(series, seed=seed).model
+        return NARModel(n_delays=n_delays, n_hidden=n_hidden, seed=seed).fit(series)
+    except (ValueError, np.linalg.LinAlgError):
+        return None
+
+
+def _lognormal_correction(log_residual_std: float) -> float:
+    """Mean correction for predictions made on the log scale.
+
+    ``exp`` of a log-scale point prediction estimates the conditional
+    *median*; multiplying by ``exp(s^2 / 2)`` recovers the conditional
+    mean, which is what RMSE rewards.  Capped to avoid amplifying a
+    badly fit residual variance.
+    """
+    return float(min(np.exp(0.5 * log_residual_std**2), 3.0))
+
+
+@dataclass
+class AsSpatialModel:
+    """Fitted spatial models of one target network (AS)."""
+
+    asn: int
+    duration: NARModel | None  # on log(duration)
+    hour: NARModel | None
+    log_interval: NARModel | None
+    duration_mean: float
+    hour_mean: float
+    interval_mean: float
+    duration_log_std: float = 0.0
+    interval_log_std: float = 0.0
+
+    def predict_next_duration(self, duration_window: np.ndarray) -> float:
+        """Duration (seconds) of the next attack on this network."""
+        duration_window = np.asarray(duration_window, dtype=float).ravel()
+        model = self.duration
+        if model is None or duration_window.size < model.n_delays:
+            return self.duration_mean
+        prediction = model.predict_next(np.log1p(duration_window))
+        mean_estimate = np.expm1(prediction) * _lognormal_correction(self.duration_log_std)
+        return float(np.clip(mean_estimate, 1.0, 7 * 86400.0))
+
+    def predict_next_hour(self, hour_window: np.ndarray) -> float:
+        """Launch hour of the next attack on this network."""
+        hour_window = np.asarray(hour_window, dtype=float).ravel()
+        model = self.hour
+        if model is None or hour_window.size < model.n_delays:
+            return self.hour_mean if hour_window.size == 0 else float(
+                np.clip(hour_window[-1], 0.0, 23.999)
+            )
+        return float(np.clip(model.predict_next(hour_window), 0.0, 23.999))
+
+    def predict_next_interval(self, interval_window: np.ndarray) -> float:
+        """Seconds until the next attack on this network."""
+        interval_window = np.asarray(interval_window, dtype=float).ravel()
+        interval_window = interval_window[interval_window > 0]
+        model = self.log_interval
+        if model is None or interval_window.size < model.n_delays:
+            return self.interval_mean
+        prediction = model.predict_next(np.log1p(interval_window))
+        mean_estimate = np.expm1(prediction) * _lognormal_correction(self.interval_log_std)
+        return float(np.clip(mean_estimate, 1.0, 7 * 86400.0))
+
+
+class SpatialModel:
+    """Collection of per-target-AS spatial models."""
+
+    def __init__(self, n_delays: int = 3, n_hidden: int = 6,
+                 use_grid_search: bool = False, seed: int = 0) -> None:
+        self.n_delays = n_delays
+        self.n_hidden = n_hidden
+        self.use_grid_search = use_grid_search
+        self.seed = seed
+        self._models: dict[int, AsSpatialModel] = {}
+        self._global_duration_mean = 1800.0
+        self._global_hour_mean = 12.0
+        self._global_interval_mean = 3600.0
+
+    def fit(self, fx: FeatureExtractor, split_time: float) -> "SpatialModel":
+        """Fit every network with enough pre-``split_time`` history."""
+        all_durations: list[float] = []
+        all_hours: list[float] = []
+        for asn in fx.target_ases():
+            observations = [
+                o for o in fx.observations_for_asn(asn) if o.start_time < split_time
+            ]
+            if len(observations) < _MIN_HISTORY:
+                continue
+            durations = np.array([o.duration for o in observations])
+            hours = np.array([float(o.hour) for o in observations])
+            intervals = np.array(
+                [o.inter_launch for o in observations if o.inter_launch], dtype=float
+            )
+            intervals = intervals[intervals > 0]
+            all_durations.extend(durations)
+            all_hours.extend(hours)
+            duration_model = _fit_nar(np.log1p(durations), self.n_delays,
+                                      self.n_hidden, self.seed, self.use_grid_search)
+            interval_model = _fit_nar(np.log1p(intervals), self.n_delays,
+                                      self.n_hidden, self.seed, self.use_grid_search)
+            self._models[asn] = AsSpatialModel(
+                asn=asn,
+                duration=duration_model,
+                hour=_fit_nar(hours, self.n_delays, self.n_hidden, self.seed,
+                              self.use_grid_search),
+                log_interval=interval_model,
+                duration_mean=float(durations.mean()),
+                hour_mean=float(hours.mean()),
+                interval_mean=float(intervals.mean()) if intervals.size else 3600.0,
+                duration_log_std=(duration_model.residual_std()
+                                  if duration_model is not None else 0.0),
+                interval_log_std=(interval_model.residual_std()
+                                  if interval_model is not None else 0.0),
+            )
+        if all_durations:
+            self._global_duration_mean = float(np.mean(all_durations))
+        if all_hours:
+            self._global_hour_mean = float(np.mean(all_hours))
+        return self
+
+    def ases(self) -> list[int]:
+        """Networks with a fitted model."""
+        return sorted(self._models)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._models
+
+    def get(self, asn: int) -> AsSpatialModel | None:
+        """Fitted model for ``asn`` or ``None``."""
+        return self._models.get(asn)
+
+    def predict_next_duration(self, asn: int, duration_window: np.ndarray) -> float:
+        """Next duration in ``asn`` (global mean when AS unseen)."""
+        model = self._models.get(asn)
+        if model is None:
+            return self._global_duration_mean
+        return model.predict_next_duration(duration_window)
+
+    def predict_next_hour(self, asn: int, hour_window: np.ndarray) -> float:
+        """Next launch hour in ``asn`` (global mean when AS unseen)."""
+        model = self._models.get(asn)
+        if model is None:
+            return self._global_hour_mean
+        return model.predict_next_hour(hour_window)
+
+    def predict_next_interval(self, asn: int, interval_window: np.ndarray) -> float:
+        """Next inter-launch gap in ``asn``."""
+        model = self._models.get(asn)
+        if model is None:
+            return self._global_interval_mean
+        return model.predict_next_interval(interval_window)
+
+
+class SourceDistributionModel:
+    """Predicts attacker source-AS share vectors (Fig. 2).
+
+    One NAR per top-K source AS models that AS's share of the bots
+    across the family's chronological attacks; per-attack predictions
+    are clipped to [0, 1] and renormalized into a distribution.
+    """
+
+    def __init__(self, n_delays: int = 2, n_hidden: int = 4, seed: int = 0) -> None:
+        self.n_delays = n_delays
+        self.n_hidden = n_hidden
+        self.seed = seed
+        self._models: list[NARModel | None] = []
+        self._train_means: np.ndarray | None = None
+
+    def fit(self, shares_train: np.ndarray) -> "SourceDistributionModel":
+        """Fit on the training share matrix ``(n_attacks, k)``."""
+        shares_train = np.atleast_2d(np.asarray(shares_train, dtype=float))
+        if shares_train.shape[0] < self.n_delays + 6:
+            raise ValueError("not enough training attacks for the share model")
+        self._models = [
+            _fit_nar(shares_train[:, j], self.n_delays, self.n_hidden,
+                     self.seed + j, use_grid_search=False)
+            for j in range(shares_train.shape[1])
+        ]
+        self._train_means = shares_train.mean(axis=0)
+        return self
+
+    def predict_continuation(self, shares_train: np.ndarray,
+                             shares_test: np.ndarray) -> np.ndarray:
+        """One-step-ahead share predictions over the test attacks."""
+        if self._train_means is None:
+            raise RuntimeError("fit() first")
+        shares_train = np.atleast_2d(np.asarray(shares_train, dtype=float))
+        shares_test = np.atleast_2d(np.asarray(shares_test, dtype=float))
+        n_test, k = shares_test.shape
+        out = np.empty((n_test, k))
+        for j in range(k):
+            model = self._models[j]
+            if model is None:
+                out[:, j] = self._train_means[j]
+            else:
+                out[:, j] = model.predict_continuation(shares_test[:, j])
+        out = np.clip(out, 0.0, 1.0)
+        totals = out.sum(axis=1, keepdims=True)
+        # Rows that sum to ~0 fall back to the training distribution.
+        fallback = self._train_means / max(self._train_means.sum(), 1e-12)
+        low = totals.ravel() < 1e-9
+        out[low] = fallback
+        totals = out.sum(axis=1, keepdims=True)
+        return out / totals

@@ -1,0 +1,51 @@
+"""Synthetic DDoS attack-trace substrate.
+
+The paper's dataset -- 50,704 verified DDoS attacks collected over
+seven months of hourly botnet snapshots by a mitigation operator -- is
+proprietary.  This package generates a synthetic trace with the same
+record schema and, crucially, the same statistical structure the
+paper's models exploit:
+
+* per-family activity calibrated to **Table I** (average attacks/day,
+  number of active days, coefficient of variation),
+* autocorrelated latent botnet intensity (so ARIMA has signal),
+* diurnal launch-hour preferences and dormancy regimes,
+* AS-concentrated bot populations with churn/rotation,
+* target affinity and multistage campaigns (follow-up attacks on the
+  same target within 30 s .. 24 h),
+* durations coupled to the active-bot count and the target.
+
+See ``DESIGN.md`` section 2 for the substitution argument.
+"""
+
+from repro.dataset.records import AttackRecord, AttackTrace, HourlySnapshot, TraceMetadata
+from repro.dataset.families import FamilyProfile, TABLE1_FAMILIES, family_by_name
+from repro.dataset.botnet import BotnetPopulation
+from repro.dataset.targets import Target, TargetPopulation
+from repro.dataset.attacks import AttackScheduler
+from repro.dataset.generator import DatasetConfig, SimulationEnvironment, TraceGenerator
+from repro.dataset.loader import load_trace, save_trace, train_test_split
+from repro.dataset.monitoring import FamilyReport, build_reports, report_series
+
+__all__ = [
+    "AttackRecord",
+    "AttackTrace",
+    "HourlySnapshot",
+    "TraceMetadata",
+    "FamilyProfile",
+    "TABLE1_FAMILIES",
+    "family_by_name",
+    "BotnetPopulation",
+    "Target",
+    "TargetPopulation",
+    "AttackScheduler",
+    "DatasetConfig",
+    "SimulationEnvironment",
+    "TraceGenerator",
+    "load_trace",
+    "save_trace",
+    "train_test_split",
+    "FamilyReport",
+    "build_reports",
+    "report_series",
+]

@@ -1,0 +1,199 @@
+"""Attack event generation.
+
+One :class:`AttackScheduler` per family turns the botnet population's
+hourly launch rate into concrete :class:`~repro.dataset.records.AttackRecord`
+events:
+
+* campaign initiations are Poisson within each hour, at the rate the
+  population exposes (diurnal x latent x regime);
+* each campaign picks a victim -- with probability ``target_affinity``
+  one recently hit by the same family, otherwise fresh by preference
+  weight -- and may schedule multistage follow-ups 30 s .. 24 h later,
+  biased toward the (family, target) preferred hour so that launch
+  times carry learnable day/hour structure (§VI);
+* magnitudes track the currently active bot count (the temporal
+  models' signal) and durations couple the target's duration scale to
+  the active-bot level (the dependence §III-B2 describes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.dataset.botnet import BotnetPopulation
+from repro.dataset.records import DAY, HOUR, AttackRecord
+from repro.dataset.targets import Target, TargetPopulation
+
+__all__ = ["AttackScheduler"]
+
+_MIN_FOLLOWUP_GAP = 30.0  # seconds; the paper's multistage lower bound
+_MAX_FOLLOWUP_GAP = DAY  # and its upper bound
+_MIN_DURATION = 60.0
+_MAX_DURATION = 2 * DAY
+_MAGNITUDE_FRACTION = 0.30  # median share of active bots conscripted per attack
+
+
+class AttackScheduler:
+    """Generates the attack stream of one botnet family."""
+
+    def __init__(self, population: BotnetPopulation, targets: TargetPopulation,
+                 rng: np.random.Generator, scale: float = 1.0,
+                 recent_targets: int = 20) -> None:
+        """``scale`` multiplies the launch rate (for small test traces)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self._population = population
+        self._targets = targets
+        self._rng = rng
+        self._scale = scale
+        self._recent: deque[Target] = deque(maxlen=recent_targets)
+        self._followups: list[tuple[float, int, int, Target]] = []
+        self._tiebreak = 0
+        self._campaign_residual: dict[int, float] = {}
+
+    @property
+    def profile(self):
+        """The family profile driving this scheduler."""
+        return self._population.profile
+
+    def step_hour(self, hour_index: int, next_ddos_id: int,
+                  next_campaign_id: int) -> tuple[list[AttackRecord], int, int]:
+        """Generate this hour's attacks.
+
+        The population must already be stepped to ``hour_index``.
+        Returns ``(records, next_ddos_id, next_campaign_id)`` with the
+        counters advanced past the ids consumed.
+        """
+        rng = self._rng
+        hour_start = hour_index * HOUR
+        hour_end = hour_start + HOUR
+        records: list[AttackRecord] = []
+
+        # Due multistage follow-ups.
+        while self._followups and self._followups[0][0] < hour_end:
+            when, _, campaign_id, target = heapq.heappop(self._followups)
+            records.append(self._launch(when, target, campaign_id, next_ddos_id))
+            next_ddos_id += 1
+
+        # Fresh campaign initiations.
+        rate = self._population.launch_rate() * self._scale
+        n_new = int(rng.poisson(rate)) if rate > 0 else 0
+        for _ in range(n_new):
+            when = float(hour_start + rng.uniform(0.0, HOUR))
+            target = self._pick_target()
+            campaign_id = next_campaign_id
+            next_campaign_id += 1
+            self._campaign_residual[campaign_id] = float(rng.normal(0.0, 0.3))
+            records.append(self._launch(when, target, campaign_id, next_ddos_id))
+            next_ddos_id += 1
+            self._schedule_followups(when, target, campaign_id)
+
+        records.sort(key=lambda r: r.start_time)
+        return records, next_ddos_id, next_campaign_id
+
+    def _pick_target(self) -> Target:
+        rng = self._rng
+        if self._recent and rng.random() < self.profile.target_affinity:
+            target = self._recent[int(rng.integers(0, len(self._recent)))]
+        else:
+            target = self._targets.sample_target(self.profile.name, rng)
+        self._recent.append(target)
+        return target
+
+    def _schedule_followups(self, when: float, target: Target, campaign_id: int) -> None:
+        rng = self._rng
+        mean = self.profile.multistage_mean_followups
+        if mean <= 0:
+            return
+        # Geometric number of follow-up stages with the given mean.
+        p = 1.0 / (1.0 + mean)
+        n_followups = int(rng.geometric(p)) - 1
+        t = when
+        for _ in range(n_followups):
+            if rng.random() < 0.5:
+                # Short re-strike a few hours later.
+                gap = float(rng.lognormal(math.log(2.0 * HOUR), 0.7))
+            else:
+                # Re-strike around the (family, target) preferred hour of
+                # the next day -- the periodic structure §VI predicts.
+                preferred = self._targets.preferred_hour(self.profile.name, target)
+                now_hour = (t % DAY) / HOUR
+                ahead = (preferred - now_hour) % 24.0
+                if ahead * HOUR < _MIN_FOLLOWUP_GAP + HOUR:
+                    ahead += 24.0
+                gap = ahead * HOUR + float(rng.normal(0.0, 1.5 * HOUR))
+            gap = float(np.clip(gap, _MIN_FOLLOWUP_GAP, _MAX_FOLLOWUP_GAP - 1.0))
+            t = t + gap
+            self._tiebreak += 1
+            heapq.heappush(self._followups, (t, self._tiebreak, campaign_id, target))
+
+    def _launch(self, when: float, target: Target, campaign_id: int,
+                ddos_id: int) -> AttackRecord:
+        rng = self._rng
+        profile = self.profile
+        population = self._population
+
+        active = max(1, population.active_bots.size)
+        pool = max(1, population.pool_size)
+        # Magnitude: lognormal around the family's characteristic size,
+        # scaled by how hot the botnet currently runs (active share of
+        # the long-run expectation) and capped by what is conscriptable.
+        # The lognormal dispersion gives the heavy per-attack tail seen
+        # in real magnitude distributions; the activity coupling is the
+        # §III-B3 dependence of magnitude on the active-bot count.
+        heat = active / max(1.0, 0.35 * pool)
+        magnitude = int(
+            np.clip(
+                round(profile.magnitude_mean * heat
+                      * rng.lognormal(0.0, profile.magnitude_sigma)),
+                1,
+                active,
+            )
+        )
+        bots = population.sample_attack_bots(magnitude, rng)
+
+        # Duration: family scale x target scale x active-bot coupling x
+        # campaign-persistent residual x noise.
+        activity_term = 0.5 * math.log(max(active / (0.35 * pool), 1e-3))
+        residual = self._campaign_residual.get(campaign_id, 0.0)
+        log_duration = (
+            profile.duration_log_mean
+            + math.log(self._targets.duration_scale(profile.name, target))
+            + activity_term
+            + residual
+            + float(rng.normal(0.0, profile.duration_log_sigma * 0.5))
+        )
+        duration = float(np.clip(math.exp(log_duration), _MIN_DURATION, _MAX_DURATION))
+
+        hourly = self._hourly_profile(bots.size, duration)
+        return AttackRecord(
+            ddos_id=ddos_id,
+            family=profile.name,
+            target_ip=target.ip,
+            target_asn=target.asn,
+            start_time=when,
+            duration=duration,
+            bot_ips=bots,
+            hourly_magnitude=hourly,
+            campaign_id=campaign_id,
+        )
+
+    def _hourly_profile(self, magnitude: int, duration: float) -> np.ndarray:
+        """Per-hour active-bot counts: fast ramp-up then slow decay."""
+        n_hours = max(1, int(math.ceil(duration / HOUR)))
+        hours = np.arange(n_hours, dtype=float)
+        envelope = np.exp(-hours / max(2.0, n_hours / 2.0))
+        envelope[0] = 1.0
+        noise = self._rng.lognormal(0.0, 0.15, size=n_hours)
+        counts = np.maximum(1, np.round(magnitude * envelope * noise)).astype(np.int64)
+        counts[0] = magnitude
+        return counts
+
+    @property
+    def pending_followups(self) -> int:
+        """Number of multistage follow-ups not yet launched."""
+        return len(self._followups)

@@ -1,0 +1,205 @@
+"""Bot population dynamics for one botnet family.
+
+Each family controls a pool of bots spread over a few *home* ASes with
+a Zipf-concentrated distribution (the geolocation preference of §II-B).
+The population evolves hour by hour:
+
+* a latent log-AR(1) intensity modulates both how many bots are active
+  and how many attacks get launched (autocorrelation for the temporal
+  models),
+* a semi-Markov on/off regime reproduces the dormancy patterns that
+  make ``active_days < observation_days`` in Table I,
+* a diurnal profile concentrates activity around the botmaster's
+  preferred hour,
+* daily churn replaces a fraction of the pool with fresh recruits
+  (source rotation, §III-B1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dataset.families import FamilyProfile
+from repro.topology.generator import ASRole, ASTopology
+from repro.topology.ipmap import IPAllocator
+
+__all__ = ["BotnetPopulation"]
+
+_DIURNAL_KAPPA = 2.0
+_BASE_ACTIVE_FRACTION = 0.35
+
+
+class BotnetPopulation:
+    """Evolving bot population of a single family.
+
+    Call :meth:`step_hour` once per simulation hour (in order); between
+    steps, :attr:`active_bots`, :meth:`launch_rate` and
+    :meth:`sample_attack_bots` describe the current hour.
+    """
+
+    def __init__(self, profile: FamilyProfile, topo: ASTopology,
+                 allocator: IPAllocator, rng: np.random.Generator) -> None:
+        self.profile = profile
+        self._topo = topo
+        self._allocator = allocator
+        self._rng = rng
+
+        stubs = [a for a, role in topo.roles.items() if role is ASRole.STUB]
+        if not stubs:
+            raise ValueError("topology has no stub ASes to host bots")
+        n_home = min(profile.n_home_ases, len(stubs))
+        self.home_ases: list[int] = sorted(
+            int(a) for a in rng.choice(stubs, size=n_home, replace=False)
+        )
+        # Zipf split of the pool across home ASes.
+        ranks = np.arange(1, n_home + 1, dtype=float)
+        weights = ranks ** (-profile.as_concentration)
+        weights /= weights.sum()
+        counts = np.maximum(1, np.round(weights * profile.pool_size).astype(int))
+
+        pools = []
+        owners = []
+        for asn, count in zip(self.home_ases, counts):
+            ips = allocator.sample_ips(asn, int(count), rng)
+            pools.append(ips)
+            owners.append(np.full(ips.size, asn, dtype=np.int64))
+        self._pool = np.concatenate(pools)
+        self._pool_asn = np.concatenate(owners)
+        self._cumulative = set(int(ip) for ip in self._pool)
+
+        # Diurnal profile, normalized to unit daily mean.
+        hours = np.arange(24)
+        phase = 2.0 * math.pi * (hours - profile.diurnal_peak) / 24.0
+        bump = np.exp(_DIURNAL_KAPPA * np.cos(phase))
+        bump /= bump.mean()
+        self._diurnal = (1.0 - profile.diurnal_strength) + profile.diurnal_strength * bump
+
+        # Latent AR(1) log-intensity, started at stationarity.
+        s = profile.latent_stationary_std()
+        self._latent = float(rng.normal(0.0, s)) if s > 0 else 0.0
+        self._latent_offset = 0.5 * s * s  # unit-mean correction for exp(latent)
+
+        # Dormancy regime (semi-Markov with geometric period lengths).
+        frac = profile.active_fraction()
+        self._p_stay_on = 1.0 - 1.0 / max(1.0, profile.mean_active_period_days)
+        if frac >= 1.0:
+            self._p_stay_off = 0.0
+        else:
+            mean_off = profile.mean_active_period_days * (1.0 - frac) / max(frac, 1e-9)
+            self._p_stay_off = 1.0 - 1.0 / max(1.0, mean_off)
+        self._regime_on = bool(rng.random() < frac)
+
+        self._hour_index = -1
+        self._day_perm = rng.permutation(self._pool.size)
+        self._n_active = 0
+
+    @property
+    def pool_size(self) -> int:
+        """Current number of bots under the family's control."""
+        return int(self._pool.size)
+
+    @property
+    def cumulative_bots(self) -> int:
+        """Distinct bots ever observed in this family."""
+        return len(self._cumulative)
+
+    @property
+    def regime_on(self) -> bool:
+        """Whether the family is currently in an active regime."""
+        return self._regime_on
+
+    @property
+    def latent_multiplier(self) -> float:
+        """Unit-mean intensity multiplier for the current hour."""
+        return math.exp(self._latent - self._latent_offset)
+
+    def step_hour(self, hour_index: int) -> None:
+        """Advance the population to ``hour_index`` (monotone, by 1)."""
+        if hour_index != self._hour_index + 1:
+            raise ValueError(
+                f"hours must advance by one (got {hour_index}, at {self._hour_index})"
+            )
+        self._hour_index = hour_index
+        if hour_index % 24 == 0:
+            self._step_day()
+        hour_of_day = hour_index % 24
+        frac = _BASE_ACTIVE_FRACTION * self._diurnal[hour_of_day] * self.latent_multiplier
+        if not self._regime_on:
+            frac *= 0.05  # dormant families keep a trickle of C&C heartbeat
+        self._n_active = int(np.clip(round(frac * self._pool.size), 0, self._pool.size))
+
+    def _step_day(self) -> None:
+        rng = self._rng
+        profile = self.profile
+        # Regime transition.
+        if self._regime_on:
+            self._regime_on = rng.random() < self._p_stay_on
+        else:
+            self._regime_on = not (rng.random() < self._p_stay_off)
+        # Latent AR(1) update.
+        sigma = profile.innovation_std()
+        if sigma > 0:
+            self._latent = profile.activity_phi * self._latent + float(rng.normal(0.0, sigma))
+        # Churn: replace a fraction of the pool with fresh recruits from
+        # the same home ASes (keeps the AS footprint, rotates addresses).
+        n_churn = int(round(profile.churn_rate * self._pool.size))
+        if n_churn > 0:
+            idx = rng.choice(self._pool.size, size=n_churn, replace=False)
+            for i in idx:
+                asn = int(self._pool_asn[i])
+                new_ip = int(self._allocator.sample_ips(asn, 1, rng)[0])
+                self._pool[i] = new_ip
+                self._cumulative.add(new_ip)
+        # New day, new activation order (source rotation within the pool).
+        self._day_perm = rng.permutation(self._pool.size)
+
+    @property
+    def active_bots(self) -> np.ndarray:
+        """IPs of bots active in the current hour."""
+        return self._pool[self._day_perm[: self._n_active]]
+
+    @property
+    def active_bot_asns(self) -> np.ndarray:
+        """ASNs of the currently active bots (aligned with active_bots)."""
+        return self._pool_asn[self._day_perm[: self._n_active]]
+
+    def launch_rate(self) -> float:
+        """Expected number of new campaigns this hour.
+
+        Each campaign later spawns ``multistage_mean_followups``
+        follow-up attacks on average, so the initiation rate is the
+        Table I attacks-per-day figure deflated by the expected campaign
+        length -- total attacks per active day then match the table.
+        """
+        if not self._regime_on:
+            return 0.0
+        profile = self.profile
+        hour_of_day = self._hour_index % 24
+        # The 0.85 factor compensates for follow-ups truncated at the
+        # observation-window end and during dormant stretches.
+        return (
+            profile.attacks_per_day
+            / (1.0 + 0.85 * profile.multistage_mean_followups)
+            / 24.0
+            * self._diurnal[hour_of_day]
+            * self.latent_multiplier
+        )
+
+    def sample_attack_bots(self, magnitude: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``magnitude`` distinct bots from the active set.
+
+        When fewer bots are active than requested, every active bot is
+        conscripted (and at least one bot is always returned -- a
+        verified attack implies at least one source).
+        """
+        active = self.active_bots
+        if active.size == 0:
+            # A dormant-hour launch still needs sources; wake a handful.
+            n = max(1, min(magnitude, self._pool.size))
+            idx = rng.choice(self._pool.size, size=n, replace=False)
+            return self._pool[idx]
+        n = max(1, min(magnitude, active.size))
+        idx = rng.choice(active.size, size=n, replace=False)
+        return active[idx]

@@ -1,0 +1,171 @@
+"""Top-level trace generation.
+
+:class:`TraceGenerator` wires the topology, IP allocation, bot
+populations, target population and per-family schedulers into a single
+hour-by-hour simulation and emits an
+:class:`~repro.dataset.records.AttackTrace` whose aggregate statistics
+match Table I (see ``tests/test_dataset_calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.dataset.attacks import AttackScheduler
+from repro.dataset.botnet import BotnetPopulation
+from repro.dataset.families import OBSERVATION_DAYS, TABLE1_FAMILIES, FamilyProfile
+from repro.dataset.records import AttackRecord, AttackTrace, HourlySnapshot, TraceMetadata
+from repro.dataset.targets import TargetPopulation
+from repro.topology.distance import DistanceOracle
+from repro.topology.generator import ASTopology, TopologyConfig, generate_topology
+from repro.topology.ipmap import IPAllocator
+
+__all__ = ["DatasetConfig", "SimulationEnvironment", "TraceGenerator"]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of a synthetic trace.
+
+    ``scale`` multiplies every family's launch rate; use small values
+    (e.g. 0.1) for fast test traces while keeping the full observation
+    window, or shrink ``n_days`` to shorten the window.
+    """
+
+    n_days: int = OBSERVATION_DAYS
+    families: tuple[FamilyProfile, ...] = TABLE1_FAMILIES
+    n_targets: int = 80
+    n_target_ases: int | None = None
+    scale: float = 1.0
+    seed: int = 0
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    snapshot_every: int = 1
+    snapshot_top_ases: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        if not self.families:
+            raise ValueError("need at least one family")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        names = [f.name for f in self.families]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate family names")
+
+
+@dataclass
+class SimulationEnvironment:
+    """The synthetic Internet a trace was generated on."""
+
+    topology: ASTopology
+    allocator: IPAllocator
+    oracle: DistanceOracle
+
+    @classmethod
+    def from_config(cls, config: DatasetConfig) -> "SimulationEnvironment":
+        """Build (deterministically) the environment for ``config``."""
+        topo = generate_topology(config.topology)
+        allocator = IPAllocator(topo, seed=config.topology.seed)
+        return cls(topology=topo, allocator=allocator, oracle=DistanceOracle(topo))
+
+    @classmethod
+    def from_metadata(cls, metadata: TraceMetadata) -> "SimulationEnvironment":
+        """Rebuild the environment a persisted trace was generated on."""
+        if metadata.topology:
+            topo_config = TopologyConfig(**metadata.topology)
+        else:
+            topo_config = TopologyConfig(seed=metadata.topology_seed)
+        topo = generate_topology(topo_config)
+        allocator = IPAllocator(topo, seed=topo_config.seed)
+        return cls(topology=topo, allocator=allocator, oracle=DistanceOracle(topo))
+
+
+class TraceGenerator:
+    """Generates an attack trace plus the environment it ran on."""
+
+    def __init__(self, config: DatasetConfig | None = None) -> None:
+        self.config = config or DatasetConfig()
+
+    def generate(self) -> tuple[AttackTrace, SimulationEnvironment]:
+        """Run the simulation; deterministic given ``config.seed``."""
+        config = self.config
+        env = SimulationEnvironment.from_config(config)
+        root_rng = np.random.default_rng(config.seed)
+        # Independent child streams per subsystem keep families decoupled.
+        streams = root_rng.spawn(2 * len(config.families) + 1)
+        target_rng = streams[0]
+
+        targets = TargetPopulation(
+            n_targets=config.n_targets,
+            topo=env.topology,
+            allocator=env.allocator,
+            families=list(config.families),
+            rng=target_rng,
+            n_target_ases=config.n_target_ases,
+        )
+
+        populations: dict[str, BotnetPopulation] = {}
+        schedulers: dict[str, AttackScheduler] = {}
+        for i, profile in enumerate(config.families):
+            populations[profile.name] = BotnetPopulation(
+                profile, env.topology, env.allocator, streams[1 + 2 * i]
+            )
+            schedulers[profile.name] = AttackScheduler(
+                populations[profile.name], targets, streams[2 + 2 * i], scale=config.scale
+            )
+
+        attacks: list[AttackRecord] = []
+        snapshots: list[HourlySnapshot] = []
+        running: dict[str, list[AttackRecord]] = {f.name: [] for f in config.families}
+        next_ddos_id = 1
+        next_campaign_id = 1
+        n_hours = config.n_days * 24
+        for hour in range(n_hours):
+            hour_end = (hour + 1) * 3600.0
+            for profile in config.families:
+                name = profile.name
+                populations[name].step_hour(hour)
+                new, next_ddos_id, next_campaign_id = schedulers[name].step_hour(
+                    hour, next_ddos_id, next_campaign_id
+                )
+                attacks.extend(new)
+                live = [a for a in running[name] if a.end_time > hour_end] + new
+                running[name] = live
+                if hour % config.snapshot_every == 0:
+                    snapshots.append(
+                        self._snapshot(populations[name], name, hour, len(live))
+                    )
+
+        metadata = TraceMetadata(
+            n_days=config.n_days,
+            seed=config.seed,
+            families=[f.name for f in config.families],
+            n_targets=config.n_targets,
+            topology_seed=config.topology.seed,
+            scale=config.scale,
+            topology=asdict(config.topology),
+        )
+        trace = AttackTrace(attacks=attacks, snapshots=snapshots, metadata=metadata)
+        return trace, env
+
+    def _snapshot(self, population: BotnetPopulation, family: str, hour: int,
+                  n_running: int) -> HourlySnapshot:
+        asns = population.active_bot_asns
+        histogram: dict[int, int] = {}
+        if asns.size:
+            values, counts = np.unique(asns, return_counts=True)
+            order = np.argsort(-counts)[: self.config.snapshot_top_ases]
+            histogram = {int(values[i]): int(counts[i]) for i in order}
+        return HourlySnapshot(
+            family=family,
+            hour_index=hour,
+            n_active_bots=int(population.active_bots.size),
+            n_cumulative_bots=population.cumulative_bots,
+            n_attacks_running=n_running,
+            as_histogram=histogram,
+        )

@@ -1,0 +1,102 @@
+"""Target (victim) population.
+
+Targets are services hosted in stub ASes.  Each family carries its own
+preference weights over targets (the *target affinity* of §II-B), and
+each (family, target) pair has a characteristic attack hour and a
+characteristic duration scale -- the per-target regularities that make
+the paper's spatial and spatiotemporal predictions work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.families import FamilyProfile
+from repro.topology.generator import ASRole, ASTopology
+from repro.topology.ipmap import IPAllocator
+
+__all__ = ["Target", "TargetPopulation"]
+
+
+@dataclass(frozen=True)
+class Target:
+    """One potential victim service."""
+
+    target_id: int
+    ip: int
+    asn: int
+    attractiveness: float
+
+    def __post_init__(self) -> None:
+        if self.attractiveness <= 0:
+            raise ValueError("attractiveness must be positive")
+
+
+class TargetPopulation:
+    """All victims plus per-family preference structure."""
+
+    def __init__(self, n_targets: int, topo: ASTopology, allocator: IPAllocator,
+                 families: list[FamilyProfile], rng: np.random.Generator,
+                 n_target_ases: int | None = None) -> None:
+        """Create ``n_targets`` victims clustered in a handful of ASes.
+
+        Clustering targets into ``n_target_ases`` networks matters: the
+        spatial model of §V trains per target AS, so each network must
+        accumulate enough attack history to learn from.
+        """
+        if n_targets < 1:
+            raise ValueError("need at least one target")
+        stubs = sorted(a for a, role in topo.roles.items() if role is ASRole.STUB)
+        if not stubs:
+            raise ValueError("topology has no stub ASes to host targets")
+        if n_target_ases is None:
+            n_target_ases = max(3, min(12, n_targets // 8 or 1))
+        n_target_ases = min(n_target_ases, len(stubs))
+        target_ases = sorted(int(a) for a in rng.choice(stubs, size=n_target_ases, replace=False))
+
+        self.targets: list[Target] = []
+        for i in range(n_targets):
+            asn = int(target_ases[i % n_target_ases])
+            ip = int(allocator.sample_ips(asn, 1, rng)[0])
+            # Heavy-tailed attractiveness: a few victims draw most fire.
+            attractiveness = float(rng.pareto(1.5) + 0.2)
+            self.targets.append(Target(target_id=i, ip=ip, asn=asn,
+                                       attractiveness=attractiveness))
+
+        # Per-family preference over targets and per-(family, target)
+        # personality: preferred launch hour and duration scale.
+        self._preference: dict[str, np.ndarray] = {}
+        self._preferred_hour: dict[str, np.ndarray] = {}
+        self._duration_scale: dict[str, np.ndarray] = {}
+        base = np.array([t.attractiveness for t in self.targets])
+        for profile in families:
+            tilt = rng.lognormal(0.0, 1.0, size=n_targets)
+            weights = base * tilt
+            self._preference[profile.name] = weights / weights.sum()
+            hours = (profile.diurnal_peak + rng.integers(-4, 5, size=n_targets)) % 24
+            self._preferred_hour[profile.name] = hours.astype(int)
+            self._duration_scale[profile.name] = rng.lognormal(0.0, 0.5, size=n_targets)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    @property
+    def target_ases(self) -> list[int]:
+        """Distinct ASes hosting targets."""
+        return sorted({t.asn for t in self.targets})
+
+    def sample_target(self, family: str, rng: np.random.Generator) -> Target:
+        """Draw a fresh victim according to the family's preferences."""
+        probs = self._preference[family]
+        idx = int(rng.choice(len(self.targets), p=probs))
+        return self.targets[idx]
+
+    def preferred_hour(self, family: str, target: Target) -> int:
+        """Characteristic launch hour of ``family`` against ``target``."""
+        return int(self._preferred_hour[family][target.target_id])
+
+    def duration_scale(self, family: str, target: Target) -> float:
+        """Multiplier on the family's duration scale for this target."""
+        return float(self._duration_scale[family][target.target_id])

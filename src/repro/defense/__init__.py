@@ -1,0 +1,53 @@
+"""Defense use cases (§VII-B, Fig. 5).
+
+The paper argues the models' predictions should *drive* defense
+mechanics: AS-based filtering in the SDN control plane (Fig. 5a),
+middlebox traversal reordering ahead of predicted attacks (Fig. 5b),
+and proactive provisioning of mitigation capacity.  This package
+simulates all three and quantifies the benefit of prediction-guided
+operation over reactive operation.
+"""
+
+from repro.defense.sdn import FlowRule, FlowTable, SdnController, run_filtering_usecase
+from repro.defense.middlebox import (
+    Middlebox,
+    MiddleboxPipeline,
+    run_middlebox_usecase,
+)
+from repro.defense.provisioning import CapacityPlanner, run_provisioning_usecase
+from repro.defense.detection import EntropyDetector, run_detection_usecase, shannon_entropy
+from repro.defense.redirection import (
+    Flow,
+    RedirectionSimulator,
+    ScrubbingCenter,
+    run_redirection_usecase,
+)
+from repro.defense.signaling import (
+    PredictionService,
+    SignalingChannel,
+    ThreatSignal,
+    run_signaling_usecase,
+)
+
+__all__ = [
+    "FlowRule",
+    "FlowTable",
+    "SdnController",
+    "run_filtering_usecase",
+    "Middlebox",
+    "MiddleboxPipeline",
+    "run_middlebox_usecase",
+    "CapacityPlanner",
+    "run_provisioning_usecase",
+    "EntropyDetector",
+    "run_detection_usecase",
+    "shannon_entropy",
+    "PredictionService",
+    "SignalingChannel",
+    "ThreatSignal",
+    "run_signaling_usecase",
+    "Flow",
+    "RedirectionSimulator",
+    "ScrubbingCenter",
+    "run_redirection_usecase",
+]

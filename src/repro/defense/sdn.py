@@ -1,0 +1,165 @@
+"""AS-based filtering in an SDN control plane (Fig. 5a).
+
+"Our model could run in the control plane to help differentiate attack
+flows based on their AS distributions ... all the traffic belonging to
+the AS that falls into the attacking source ASes will be forwarded
+along different route paths for further examinations."
+
+The simulation compares two controllers on the held-out test attacks:
+
+* **proactive** -- installs AS-match rules *before* the attack, from
+  the family's predicted source-AS distribution;
+* **reactive** -- installs rules only after a detection delay, from the
+  ASes observed during the attack so far.
+
+Metrics: fraction of attack flows scrubbed, and collateral (legitimate
+flows diverted to the scrubbing path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import AttackPredictor
+from repro.features.source_dist import as_histogram
+
+__all__ = ["FlowRule", "FlowTable", "SdnController", "run_filtering_usecase"]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """Match-on-source-AS rule with a priority and an action."""
+
+    source_asn: int
+    action: str  # "scrub" or "forward"
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("scrub", "forward"):
+            raise ValueError(f"unknown action {self.action!r}")
+
+
+class FlowTable:
+    """Priority-ordered flow rules with a default-forward fallthrough."""
+
+    def __init__(self) -> None:
+        self._rules: dict[int, FlowRule] = {}
+
+    def install(self, rule: FlowRule) -> None:
+        """Install (or replace, if higher priority) a rule."""
+        existing = self._rules.get(rule.source_asn)
+        if existing is None or rule.priority >= existing.priority:
+            self._rules[rule.source_asn] = rule
+
+    def remove(self, source_asn: int) -> None:
+        """Remove the rule for one AS (no-op if absent)."""
+        self._rules.pop(source_asn, None)
+
+    def clear(self) -> None:
+        """Flush the table."""
+        self._rules.clear()
+
+    def action_for(self, source_asn: int) -> str:
+        """Action applied to a flow from ``source_asn``."""
+        rule = self._rules.get(source_asn)
+        return rule.action if rule else "forward"
+
+    def scrubbed_ases(self) -> set[int]:
+        """ASes currently diverted to the scrubbing path."""
+        return {a for a, r in self._rules.items() if r.action == "scrub"}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+@dataclass
+class SdnController:
+    """Installs scrub rules for a predicted set of attack-source ASes."""
+
+    table: FlowTable = field(default_factory=FlowTable)
+
+    def deploy_prediction(self, predicted_ases: list[int]) -> None:
+        """Proactively scrub the predicted source ASes."""
+        self.table.clear()
+        for asn in predicted_ases:
+            self.table.install(FlowRule(source_asn=asn, action="scrub", priority=1))
+
+    def classify(self, flow_asns: np.ndarray) -> np.ndarray:
+        """Boolean mask: True where the flow is sent to scrubbing."""
+        scrubbed = self.table.scrubbed_ases()
+        return np.array([a in scrubbed for a in flow_asns])
+
+
+def run_filtering_usecase(predictor: AttackPredictor, n_attacks: int = 200,
+                          top_k: int = 8, detection_delay_fraction: float = 0.25,
+                          n_legit_flows: int = 500, seed: int = 0) -> dict[str, float]:
+    """Simulate Fig. 5a on a sample of test attacks.
+
+    The proactive controller predicts each family's source ASes from
+    its *training* attacks (the defender's historical knowledge); the
+    reactive controller observes the first ``detection_delay_fraction``
+    of each attack before filtering.  Legitimate flows arrive from ASes
+    proportionally to their address-space size.
+    """
+    rng = np.random.default_rng(seed)
+    fx = predictor.fx
+    allocator = fx.env.allocator
+    # Predicted per-family source ASes from training history.
+    predicted_ases: dict[str, list[int]] = {}
+    for family in fx.families():
+        train = [a for a in fx.family_attacks(family)
+                 if a.start_time < predictor.split_time]
+        totals: dict[int, int] = {}
+        for attack in train[-200:]:
+            for asn, count in as_histogram(attack.bot_ips, allocator).items():
+                totals[asn] = totals.get(asn, 0) + count
+        predicted_ases[family] = sorted(totals, key=lambda a: -totals[a])[:top_k]
+
+    # Legitimate traffic AS mix ~ address-space size.
+    all_asns = fx.env.topology.asns
+    sizes = np.array([allocator.block(a)[1] for a in all_asns], dtype=float)
+    legit_probs = sizes / sizes.sum()
+
+    test = [a for a in predictor.test_attacks if a.bot_ips.size > 0][:n_attacks]
+    if not test:
+        raise ValueError("no test attacks to simulate")
+    proactive_filtered = []
+    reactive_filtered = []
+    collateral = []
+    controller = SdnController()
+    for attack in test:
+        bot_asns = allocator.asn_of_many(attack.bot_ips)
+        bot_asns = bot_asns[bot_asns >= 0]
+        if bot_asns.size == 0:
+            continue
+        # Proactive: rules in place before the first malicious packet.
+        controller.deploy_prediction(predicted_ases.get(attack.family, []))
+        scrub_mask = controller.classify(bot_asns)
+        proactive_filtered.append(float(scrub_mask.mean()))
+        # Reactive: nothing is filtered during the detection window;
+        # afterwards the observed top ASes are scrubbed.
+        observed = {}
+        for asn in bot_asns:
+            observed[asn] = observed.get(asn, 0) + 1
+        observed_top = sorted(observed, key=lambda a: -observed[a])[:top_k]
+        controller.deploy_prediction(observed_top)
+        late_mask = controller.classify(bot_asns)
+        reactive_filtered.append(
+            float(late_mask.mean()) * (1.0 - detection_delay_fraction)
+        )
+        # Collateral under the proactive rules.
+        controller.deploy_prediction(predicted_ases.get(attack.family, []))
+        legit_asns = rng.choice(all_asns, size=n_legit_flows, p=legit_probs)
+        collateral.append(float(controller.classify(legit_asns).mean()))
+
+    return {
+        "proactive_attack_filtered": float(np.mean(proactive_filtered)),
+        "reactive_attack_filtered": float(np.mean(reactive_filtered)),
+        "proactive_collateral": float(np.mean(collateral)),
+        "improvement": float(
+            np.mean(proactive_filtered) - np.mean(reactive_filtered)
+        ),
+        "n_attacks": float(len(proactive_filtered)),
+    }

@@ -1,0 +1,79 @@
+"""Evaluation harness: metrics, splits, experiment runners, reporting.
+
+Every table and figure of the paper's evaluation maps to one function
+in :mod:`repro.evaluation.experiments` (see the DESIGN.md experiment
+index); :mod:`repro.evaluation.reporting` renders the results as the
+ASCII rows/series the benchmarks print.
+"""
+
+from repro.evaluation.metrics import (
+    circular_hour_error,
+    error_distribution,
+    mae,
+    rmse,
+    total_variation_distance,
+)
+from repro.evaluation.experiments import (
+    ComparisonResult,
+    Figure1Result,
+    Figure2Result,
+    Figure34Result,
+    UseCaseResult,
+    run_comparison,
+    run_figure1,
+    run_figure2,
+    run_figure34,
+    run_table1,
+    run_usecases,
+)
+from repro.evaluation.goodness import (
+    GoodnessOfFit,
+    fit_quality,
+    jarque_bera,
+    r_squared,
+    temporal_goodness_report,
+)
+from repro.evaluation.reporting import (
+    format_comparison,
+    format_goodness,
+    format_figure1,
+    format_figure2,
+    format_figure34,
+    format_table,
+    format_table1,
+    format_usecases,
+    sparkline,
+)
+
+__all__ = [
+    "rmse",
+    "mae",
+    "circular_hour_error",
+    "error_distribution",
+    "total_variation_distance",
+    "ComparisonResult",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure34Result",
+    "UseCaseResult",
+    "run_table1",
+    "run_figure1",
+    "run_figure2",
+    "run_figure34",
+    "run_comparison",
+    "run_usecases",
+    "GoodnessOfFit",
+    "fit_quality",
+    "jarque_bera",
+    "r_squared",
+    "temporal_goodness_report",
+    "format_table",
+    "format_table1",
+    "format_figure1",
+    "format_figure2",
+    "format_figure34",
+    "format_comparison",
+    "format_goodness",
+    "format_usecases",
+    "sparkline",
+]

@@ -1,0 +1,133 @@
+"""Goodness-of-fit validation (§III-C's first validation mode).
+
+"Models can be validated in two ways: goodness of fit of the model and
+quality of prediction."  The paper focuses on prediction; this module
+supplies the complementary goodness-of-fit toolkit: coefficient of
+determination, residual-whiteness (Ljung-Box), residual normality
+(Jarque-Bera) and a per-model report used by ``bench_extensions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.core.pipeline import AttackPredictor
+from repro.timeseries.acf import ljung_box
+
+__all__ = [
+    "r_squared",
+    "jarque_bera",
+    "GoodnessOfFit",
+    "fit_quality",
+    "temporal_goodness_report",
+]
+
+
+def r_squared(actual: np.ndarray, fitted: np.ndarray) -> float:
+    """Coefficient of determination of a fit."""
+    actual = np.asarray(actual, dtype=float).ravel()
+    fitted = np.asarray(fitted, dtype=float).ravel()
+    if actual.size != fitted.size or actual.size == 0:
+        raise ValueError("mismatched or empty inputs")
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if np.allclose(actual, fitted) else 0.0
+    residual = float(np.sum((actual - fitted) ** 2))
+    return 1.0 - residual / total
+
+
+def jarque_bera(residuals: np.ndarray) -> tuple[float, float]:
+    """Jarque-Bera normality test: ``(statistic, p_value)``.
+
+    Small p-values reject "residuals are Gaussian"; a well-specified
+    CSS-fitted ARIMA should leave approximately Gaussian residuals.
+    """
+    residuals = np.asarray(residuals, dtype=float).ravel()
+    n = residuals.size
+    if n < 8:
+        raise ValueError("need at least 8 residuals")
+    centered = residuals - residuals.mean()
+    sigma2 = float(np.mean(centered**2))
+    if sigma2 == 0.0:
+        return 0.0, 1.0
+    skew = float(np.mean(centered**3)) / sigma2**1.5
+    kurt = float(np.mean(centered**4)) / sigma2**2
+    statistic = n / 6.0 * (skew**2 + (kurt - 3.0) ** 2 / 4.0)
+    return statistic, float(stats.chi2.sf(statistic, 2))
+
+
+@dataclass(frozen=True)
+class GoodnessOfFit:
+    """Goodness-of-fit summary for one fitted series model."""
+
+    name: str
+    r2: float
+    ljung_box_p: float
+    jarque_bera_p: float
+    n: int
+
+    @property
+    def residuals_white(self) -> bool:
+        """Ljung-Box fails to reject whiteness at the 1% level."""
+        return self.ljung_box_p > 0.01
+
+
+def fit_quality(name: str, actual: np.ndarray, fitted: np.ndarray,
+                n_params: int = 0) -> GoodnessOfFit:
+    """Assemble a :class:`GoodnessOfFit` from one-step fits."""
+    actual = np.asarray(actual, dtype=float).ravel()
+    fitted = np.asarray(fitted, dtype=float).ravel()
+    residuals = actual - fitted
+    n_lags = max(2, min(10, residuals.size // 5))
+    try:
+        _, lb_p = ljung_box(residuals, n_lags, n_params=n_params)
+    except ValueError:
+        lb_p = float("nan")
+    try:
+        _, jb_p = jarque_bera(residuals)
+    except ValueError:
+        jb_p = float("nan")
+    return GoodnessOfFit(
+        name=name,
+        r2=r_squared(actual, fitted),
+        ljung_box_p=lb_p,
+        jarque_bera_p=jb_p,
+        n=int(actual.size),
+    )
+
+
+def temporal_goodness_report(predictor: AttackPredictor,
+                             n_families: int = 5) -> list[GoodnessOfFit]:
+    """Goodness of fit of the per-family magnitude ARIMA models.
+
+    Scores the in-sample one-step fit on the *training* series (that is
+    what goodness of fit means, as opposed to the prediction quality
+    the rest of the harness measures).
+    """
+    fx = predictor.fx
+    out: list[GoodnessOfFit] = []
+    for family in [f for f in fx.families() if f in predictor.temporal][:n_families]:
+        model = predictor.temporal[family]
+        if model.magnitude is None:
+            continue
+        train = model.magnitude_train
+        if train.size < 10:
+            continue
+        # In-sample one-step fits; skip the burn-in prefix where the
+        # CSS recursion has no proper lags (fits equal the actuals).
+        fitted = model.magnitude.fitted_values()
+        burn = max(5, model.magnitude.order.p + model.magnitude.order.d + 1)
+        actual_tail = train[-fitted.size:][burn:]
+        fitted_tail = fitted[burn:]
+        if actual_tail.size < 8:
+            continue
+        out.append(
+            fit_quality(
+                family, actual_tail, fitted_tail,
+                n_params=model.magnitude.order.n_params,
+            )
+        )
+    return out

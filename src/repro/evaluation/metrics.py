@@ -1,0 +1,100 @@
+"""Prediction-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "mae",
+    "circular_hour_error",
+    "error_distribution",
+    "total_variation_distance",
+    "bootstrap_rmse_ci",
+]
+
+
+def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=float).ravel()
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    if actual.size != predicted.size:
+        raise ValueError("actual and predicted disagree on length")
+    if actual.size == 0:
+        raise ValueError("empty inputs")
+    return actual, predicted
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error -- the paper's headline metric."""
+    actual, predicted = _pair(actual, predicted)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    actual, predicted = _pair(actual, predicted)
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def circular_hour_error(actual_hours: np.ndarray, predicted_hours: np.ndarray) -> np.ndarray:
+    """Per-sample hour error on the 24-hour circle.
+
+    23:00 vs 01:00 is 2 hours apart, not 22; the paper's hour RMSE only
+    makes sense with wraparound handled.
+    """
+    actual, predicted = _pair(actual_hours, predicted_hours)
+    raw = np.abs(actual - predicted) % 24.0
+    return np.minimum(raw, 24.0 - raw)
+
+
+def error_distribution(errors: np.ndarray, bins: np.ndarray | int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of errors, the Fig. 4 representation.
+
+    Returns ``(bin_edges, counts)``.
+    """
+    errors = np.asarray(errors, dtype=float).ravel()
+    counts, edges = np.histogram(errors, bins=bins)
+    return edges, counts
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """TV distance between two distributions (0 = identical, 1 = disjoint).
+
+    Used to score how close a predicted attacker ASN distribution is to
+    the ground truth (Fig. 2).
+    """
+    p = np.asarray(p, dtype=float).ravel()
+    q = np.asarray(q, dtype=float).ravel()
+    if p.size != q.size:
+        raise ValueError("distributions disagree on length")
+    p_sum, q_sum = p.sum(), q.sum()
+    if p_sum <= 0 or q_sum <= 0:
+        raise ValueError("distributions must have positive mass")
+    return float(0.5 * np.abs(p / p_sum - q / q_sum).sum())
+
+
+def bootstrap_rmse_ci(actual: np.ndarray, predicted: np.ndarray,
+                      confidence: float = 0.95, n_bootstrap: int = 1000,
+                      seed: int = 0) -> tuple[float, float, float]:
+    """Bootstrap confidence interval for an RMSE.
+
+    A single RMSE hides its sampling variability; when two models'
+    intervals overlap heavily, "A beats B" is not supported.  Returns
+    ``(rmse, lower, upper)`` with a percentile bootstrap over the
+    per-sample squared errors.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_bootstrap < 10:
+        raise ValueError("need at least 10 bootstrap resamples")
+    actual, predicted = _pair(actual, predicted)
+    squared = (actual - predicted) ** 2
+    point = float(np.sqrt(squared.mean()))
+    rng = np.random.default_rng(seed)
+    n = squared.size
+    samples = np.sqrt(
+        squared[rng.integers(0, n, size=(n_bootstrap, n))].mean(axis=1)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(samples, [alpha, 1.0 - alpha])
+    return point, float(lower), float(upper)

@@ -1,0 +1,27 @@
+"""Chronological splitting helpers shared by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.records import AttackRecord
+
+__all__ = ["split_series_at", "split_time_of"]
+
+
+def split_time_of(attacks: list[AttackRecord], train_fraction: float = 0.8) -> float:
+    """Timestamp separating the train and test splits (§III-C)."""
+    if not attacks:
+        raise ValueError("no attacks to split")
+    ordered = sorted(attacks, key=lambda a: (a.start_time, a.ddos_id))
+    cut = int(round(train_fraction * len(ordered)))
+    cut = min(max(cut, 1), len(ordered) - 1)
+    return ordered[cut].start_time
+
+
+def split_series_at(series: np.ndarray, first_day: int,
+                    split_day: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split a daily series (starting at ``first_day``) at ``split_day``."""
+    series = np.asarray(series, dtype=float)
+    cut = int(np.clip(split_day - first_day, 0, series.size))
+    return series[:cut], series[cut:]

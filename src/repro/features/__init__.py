@@ -1,0 +1,79 @@
+"""Feature analysis and extraction (§III of the paper).
+
+Turns raw :class:`~repro.dataset.records.AttackTrace` data into the
+modeling variables of Table II:
+
+* :mod:`repro.features.activity` -- activity levels, the Table I
+  statistics (avg attacks/day, active days, CV), and the cumulative
+  attack-rate feature ``A^f`` of Eq. 1.
+* :mod:`repro.features.magnitude` -- bot-magnitude series and the
+  normalized active-bot feature ``A^b`` of Eq. 2.
+* :mod:`repro.features.turnaround` -- durations, inter-launching times
+  and the 30 s .. 24 h multistage linking rule.
+* :mod:`repro.features.source_dist` -- the silhouette-style source
+  distribution coefficient ``A^s`` of Eqs. 3-4 (intra-AS concentration
+  over inter-AS hop distance).
+* :mod:`repro.features.variables` -- assembles everything into model
+  inputs.
+"""
+
+from repro.features.activity import (
+    ActivityStats,
+    activity_table,
+    attack_rate_feature,
+    daily_attack_counts,
+)
+from repro.features.magnitude import (
+    active_bot_series,
+    attack_magnitudes,
+    hourly_attacking_magnitude,
+    normalized_active_bots,
+)
+from repro.features.turnaround import (
+    durations,
+    inter_launch_times,
+    link_multistage,
+    turnaround_times,
+)
+from repro.features.source_dist import (
+    as_histogram,
+    as_share_matrix,
+    inter_as_distance,
+    intra_as_score,
+    source_distribution_coefficient,
+)
+from repro.features.variables import FeatureExtractor, TargetObservation
+from repro.features.collaboration import (
+    co_targeting_counts,
+    collaboration_graph,
+    collaboration_summary,
+    family_target_sets,
+    target_overlap_jaccard,
+)
+
+__all__ = [
+    "ActivityStats",
+    "activity_table",
+    "attack_rate_feature",
+    "daily_attack_counts",
+    "active_bot_series",
+    "attack_magnitudes",
+    "hourly_attacking_magnitude",
+    "normalized_active_bots",
+    "durations",
+    "inter_launch_times",
+    "link_multistage",
+    "turnaround_times",
+    "as_histogram",
+    "as_share_matrix",
+    "inter_as_distance",
+    "intra_as_score",
+    "source_distribution_coefficient",
+    "FeatureExtractor",
+    "TargetObservation",
+    "co_targeting_counts",
+    "collaboration_graph",
+    "collaboration_summary",
+    "family_target_sets",
+    "target_overlap_jaccard",
+]

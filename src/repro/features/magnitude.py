@@ -1,0 +1,83 @@
+"""Magnitude of bots (§III-A1; Eq. 2).
+
+The number of bots associated with an attack is its *magnitude*; each
+attack is itself a time series of hourly magnitudes.  Eq. 2 normalizes
+the active-bot count by the cumulative bot population of the family so
+that families of different absolute scale become comparable:
+``A^b = N_active / sum(N_b)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.records import HOUR, AttackRecord, HourlySnapshot
+
+__all__ = [
+    "attack_magnitudes",
+    "hourly_attacking_magnitude",
+    "active_bot_series",
+    "normalized_active_bots",
+]
+
+
+def attack_magnitudes(attacks: list[AttackRecord], family: str | None = None) -> np.ndarray:
+    """Per-attack unique-bot magnitudes, chronological."""
+    selected = [a for a in attacks if family is None or a.family == family]
+    selected.sort(key=lambda a: (a.start_time, a.ddos_id))
+    return np.array([a.magnitude for a in selected], dtype=float)
+
+
+def hourly_attacking_magnitude(attacks: list[AttackRecord], family: str,
+                               n_hours: int) -> np.ndarray:
+    """Total attacking bots per hour for one family.
+
+    Sums each attack's hourly magnitude profile into the global hour
+    grid -- the "time series of numbers which measure the attacking
+    magnitudes at any recorded time" of §III-A1.
+    """
+    if n_hours < 1:
+        raise ValueError("n_hours must be >= 1")
+    series = np.zeros(n_hours)
+    for attack in attacks:
+        if attack.family != family:
+            continue
+        start = attack.start_hour_index
+        for offset, count in enumerate(attack.hourly_magnitude):
+            hour = start + offset
+            if 0 <= hour < n_hours:
+                series[hour] += float(count)
+    return series
+
+
+def active_bot_series(snapshots: list[HourlySnapshot], family: str) -> np.ndarray:
+    """Hourly active-bot counts ``N^active_bots`` from monitoring snapshots."""
+    selected = sorted(
+        (s for s in snapshots if s.family == family), key=lambda s: s.hour_index
+    )
+    return np.array([s.n_active_bots for s in selected], dtype=float)
+
+
+def normalized_active_bots(snapshots: list[HourlySnapshot], family: str) -> np.ndarray:
+    """The ``A^b`` series of Eq. 2: active bots over cumulative bots.
+
+    Normalizing by the cumulative population removes the absolute-scale
+    bias between families ("the scale of their harms varies").
+    """
+    selected = sorted(
+        (s for s in snapshots if s.family == family), key=lambda s: s.hour_index
+    )
+    out = np.zeros(len(selected))
+    for i, snapshot in enumerate(selected):
+        denom = max(1, snapshot.n_cumulative_bots)
+        out[i] = snapshot.n_active_bots / denom
+    return out
+
+
+def magnitude_at(attack: AttackRecord, timestamp: float) -> int:
+    """Bots active in ``attack`` at an absolute ``timestamp`` (0 outside)."""
+    if timestamp < attack.start_time or timestamp >= attack.end_time:
+        return 0
+    offset = int((timestamp - attack.start_time) // HOUR)
+    offset = min(offset, len(attack.hourly_magnitude) - 1)
+    return int(attack.hourly_magnitude[offset])

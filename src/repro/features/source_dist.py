@@ -1,0 +1,145 @@
+"""Source distribution of bots (§III-A4; Eqs. 3-4).
+
+The paper quantifies how concentrated an attack's sources are with a
+silhouette-inspired coefficient: the sum of *intra*-AS densities
+(bots in an AS over that AS's total address space) divided by the
+average *inter*-AS hop distance between the involved ASes.  "The more
+bots are located in fewer ASes, the larger I and the smaller DT, thus
+resulting in larger A^s."
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.dataset.records import AttackRecord
+from repro.topology.distance import DistanceOracle
+from repro.topology.ipmap import IPAllocator
+from repro.topology.routing import UNREACHABLE
+
+__all__ = [
+    "as_histogram",
+    "intra_as_score",
+    "inter_as_distance",
+    "source_distribution_coefficient",
+    "as_share_matrix",
+    "PairDistanceCache",
+]
+
+# Floor on the inter-AS term: a single-AS source set has no pairwise
+# distance; one hop is the smallest meaningful inter-network separation,
+# so DT saturates there instead of dividing by zero.
+_MIN_INTER_AS_DISTANCE = 1.0
+
+
+def as_histogram(bot_ips: np.ndarray, allocator: IPAllocator) -> dict[int, int]:
+    """Map each bot IP to its AS and count bots per AS."""
+    asns = allocator.asn_of_many(np.asarray(bot_ips, dtype=np.int64))
+    asns = asns[asns >= 0]
+    values, counts = np.unique(asns, return_counts=True)
+    return {int(a): int(c) for a, c in zip(values, counts)}
+
+
+def intra_as_score(histogram: dict[int, int], allocator: IPAllocator) -> float:
+    """The numerator of Eq. 3: ``sum_j N^{AS_j} / N_{AS_j}``.
+
+    ``N^{AS_j}`` is the number of bots inside ``AS_j`` and ``N_{AS_j}``
+    the AS's total allocated address space; the ratio is the infection
+    density of the network.
+    """
+    total = 0.0
+    for asn, n_bots in histogram.items():
+        _, size = allocator.block(asn)
+        total += n_bots / max(1, size)
+    return total
+
+
+class PairDistanceCache:
+    """Memoizes unordered AS-pair hop distances on top of the oracle.
+
+    Family bot pools live in a couple of dozen home ASes, so the same
+    pairs recur across tens of thousands of attacks; a flat dict lookup
+    beats recomputing routes every time.
+    """
+
+    def __init__(self, oracle: DistanceOracle) -> None:
+        self._oracle = oracle
+        self._cache: dict[tuple[int, int], int] = {}
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between ``a`` and ``b`` (symmetric lookup)."""
+        if a == b:
+            return 0
+        key = (a, b) if a < b else (b, a)
+        d = self._cache.get(key)
+        if d is None:
+            d = self._oracle.distance(key[0], key[1])
+            self._cache[key] = d
+        return d
+
+
+def inter_as_distance(histogram: dict[int, int], oracle: DistanceOracle,
+                      cache: PairDistanceCache | None = None) -> float:
+    """The ``DT`` term of Eq. 4: mean pairwise hop distance of the ASes.
+
+    Uses the paper's normalization ``2 * sum / (n * (n - 1))`` over
+    distinct AS pairs.  Saturates at 1 hop from below so the Eq. 3
+    ratio stays finite for single-AS source sets.
+    """
+    asns = sorted(histogram)
+    if len(asns) < 2:
+        return _MIN_INTER_AS_DISTANCE
+    lookup = cache.distance if cache is not None else oracle.distance
+    total = 0.0
+    count = 0
+    for a, b in combinations(asns, 2):
+        d = lookup(a, b)
+        if d != UNREACHABLE:
+            total += d
+            count += 1
+    if count == 0:
+        return _MIN_INTER_AS_DISTANCE
+    return max(_MIN_INTER_AS_DISTANCE, total / count)
+
+
+def source_distribution_coefficient(bot_ips: np.ndarray, allocator: IPAllocator,
+                                    oracle: DistanceOracle,
+                                    cache: PairDistanceCache | None = None) -> float:
+    """The full ``A^s`` of Eq. 3: intra-AS density over inter-AS spread."""
+    histogram = as_histogram(bot_ips, allocator)
+    if not histogram:
+        return 0.0
+    return intra_as_score(histogram, allocator) / inter_as_distance(
+        histogram, oracle, cache
+    )
+
+
+def as_share_matrix(attacks: list[AttackRecord], allocator: IPAllocator,
+                    top_k: int = 10) -> tuple[list[int], np.ndarray]:
+    """Per-attack source-AS share vectors over the top-K source ASes.
+
+    Returns ``(asns, shares)`` where ``shares[i, j]`` is the fraction of
+    attack ``i``'s bots hosted in ``asns[j]`` (chronological rows).
+    This is the representation behind Fig. 2's "attacker ASN
+    distribution".
+    """
+    ordered = sorted(attacks, key=lambda a: (a.start_time, a.ddos_id))
+    histograms = [as_histogram(a.bot_ips, allocator) for a in ordered]
+    totals: dict[int, int] = {}
+    for histogram in histograms:
+        for asn, count in histogram.items():
+            totals[asn] = totals.get(asn, 0) + count
+    top = sorted(totals, key=lambda a: (-totals[a], a))[:top_k]
+    index = {asn: j for j, asn in enumerate(top)}
+    shares = np.zeros((len(ordered), len(top)))
+    for i, histogram in enumerate(histograms):
+        n = sum(histogram.values())
+        if n == 0:
+            continue
+        for asn, count in histogram.items():
+            j = index.get(asn)
+            if j is not None:
+                shares[i, j] = count / n
+    return top, shares

@@ -1,0 +1,219 @@
+"""Assembly of the Table II modeling variables.
+
+:class:`FeatureExtractor` is the facade the core models use: it binds a
+trace to its simulation environment and serves the attacker-side series
+(``A^f``, ``A^b``, ``A^s``), the target-side observations (``T_l``,
+``T^d``, ``T^ts`` decomposed into day and hour), and per-attack source
+coefficients, all cached.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.records import DAY, AttackRecord, AttackTrace
+from repro.features.activity import ActivityStats, activity_table, attack_rate_feature
+from repro.features.magnitude import normalized_active_bots
+from repro.features.source_dist import (
+    PairDistanceCache,
+    as_share_matrix,
+    source_distribution_coefficient,
+)
+
+__all__ = ["TargetObservation", "FeatureExtractor"]
+
+
+@dataclass(frozen=True)
+class TargetObservation:
+    """Target-side view of one attack (the §III-B2 variable group).
+
+    ``inter_launch`` is the gap in seconds since the previous attack on
+    the same target AS (``T^i = T^ts_{j+1} - T^ts_j``); ``None`` for the
+    first attack observed in that network.
+    """
+
+    ddos_id: int
+    family: str
+    target_ip: int
+    target_asn: int
+    start_time: float
+    day: int
+    hour: int
+    duration: float
+    magnitude: int
+    inter_launch: float | None
+
+    @classmethod
+    def from_record(cls, attack: AttackRecord,
+                    inter_launch: float | None) -> "TargetObservation":
+        """Build from a raw record plus its same-AS predecessor gap."""
+        return cls(
+            ddos_id=attack.ddos_id,
+            family=attack.family,
+            target_ip=attack.target_ip,
+            target_asn=attack.target_asn,
+            start_time=attack.start_time,
+            day=attack.start_day,
+            hour=attack.start_hour,
+            duration=attack.duration,
+            magnitude=attack.magnitude,
+            inter_launch=inter_launch,
+        )
+
+
+class FeatureExtractor:
+    """Cached feature views over one trace + environment."""
+
+    def __init__(self, trace: AttackTrace, env: SimulationEnvironment) -> None:
+        self.trace = trace
+        self.env = env
+        self._pair_cache = PairDistanceCache(env.oracle)
+        self._by_family: dict[str, list[AttackRecord]] = defaultdict(list)
+        self._by_asn: dict[int, list[AttackRecord]] = defaultdict(list)
+        for attack in trace.attacks:
+            self._by_family[attack.family].append(attack)
+            self._by_asn[attack.target_asn].append(attack)
+        self._a_s_cache: dict[int, float] = {}
+        self._observations_cache: dict[int, list[TargetObservation]] = {}
+
+    # ----- attacker-side series (temporal model inputs) -----
+
+    def families(self) -> list[str]:
+        """Families by descending attack count."""
+        return sorted(self._by_family, key=lambda f: (-len(self._by_family[f]), f))
+
+    def table1(self) -> list[ActivityStats]:
+        """Table I statistics for the bound trace."""
+        return activity_table(self.trace.attacks)
+
+    def attack_rate_series(self, family: str) -> np.ndarray:
+        """``A^f`` of Eq. 1, sampled daily."""
+        return attack_rate_feature(self.trace.attacks, family)
+
+    def normalized_bots_series(self, family: str) -> np.ndarray:
+        """``A^b`` of Eq. 2 from the hourly snapshots."""
+        return normalized_active_bots(self.trace.snapshots, family)
+
+    def daily_magnitude_series(self, family: str) -> np.ndarray:
+        """Total attacking-bot magnitude launched per day for a family.
+
+        This is the "magnitude of the attacking sources" series that
+        Fig. 1 predicts; zero-filled between the family's first and last
+        active day so the series is a proper uniform time grid.
+        """
+        attacks = self._by_family.get(family, [])
+        if not attacks:
+            return np.zeros(0)
+        days = np.array([a.start_day for a in attacks])
+        magnitudes = np.array([a.magnitude for a in attacks], dtype=float)
+        first, last = int(days.min()), int(days.max())
+        series = np.zeros(last - first + 1)
+        np.add.at(series, days - first, magnitudes)
+        return series
+
+    def daily_attack_count_series(self, family: str) -> np.ndarray:
+        """Attacks launched per day (zero-filled uniform grid)."""
+        attacks = self._by_family.get(family, [])
+        if not attacks:
+            return np.zeros(0)
+        days = np.array([a.start_day for a in attacks])
+        first, last = int(days.min()), int(days.max())
+        series = np.zeros(last - first + 1)
+        np.add.at(series, days - first, 1.0)
+        return series
+
+    def source_coefficient(self, attack: AttackRecord) -> float:
+        """Per-attack ``A^s`` (Eq. 3), memoized by DDoS id."""
+        cached = self._a_s_cache.get(attack.ddos_id)
+        if cached is None:
+            cached = source_distribution_coefficient(
+                attack.bot_ips, self.env.allocator, self.env.oracle, self._pair_cache
+            )
+            self._a_s_cache[attack.ddos_id] = cached
+        return cached
+
+    def source_coefficient_series(self, family: str) -> np.ndarray:
+        """Daily mean ``A^s`` for a family (uniform grid, ffilled).
+
+        Days without attacks inherit the previous day's coefficient:
+        the source distribution of a quiet botnet is unobserved, and
+        carrying the last observation forward keeps the grid uniform
+        without injecting artificial zeros.
+        """
+        attacks = self._by_family.get(family, [])
+        if not attacks:
+            return np.zeros(0)
+        by_day: dict[int, list[float]] = defaultdict(list)
+        for attack in attacks:
+            by_day[attack.start_day].append(self.source_coefficient(attack))
+        first, last = min(by_day), max(by_day)
+        series = np.zeros(last - first + 1)
+        previous = float(np.mean(by_day[first]))
+        for day in range(first, last + 1):
+            if day in by_day:
+                previous = float(np.mean(by_day[day]))
+            series[day - first] = previous
+        return series
+
+    # ----- target-side observations (spatial model inputs) -----
+
+    def target_ases(self) -> list[int]:
+        """ASes hosting at least one attacked target, busiest first."""
+        return sorted(self._by_asn, key=lambda a: (-len(self._by_asn[a]), a))
+
+    def observations_for_asn(self, asn: int) -> list[TargetObservation]:
+        """Chronological target observations inside one network (AS)."""
+        cached = self._observations_cache.get(asn)
+        if cached is not None:
+            return cached
+        attacks = sorted(
+            self._by_asn.get(asn, []), key=lambda a: (a.start_time, a.ddos_id)
+        )
+        observations: list[TargetObservation] = []
+        previous_time: float | None = None
+        for attack in attacks:
+            gap = None if previous_time is None else attack.start_time - previous_time
+            observations.append(TargetObservation.from_record(attack, gap))
+            previous_time = attack.start_time
+        self._observations_cache[asn] = observations
+        return observations
+
+    def observations_for_target(self, target_ip: int) -> list[TargetObservation]:
+        """Chronological observations of a single victim."""
+        attacks = sorted(
+            (a for a in self.trace.attacks if a.target_ip == target_ip),
+            key=lambda a: (a.start_time, a.ddos_id),
+        )
+        observations: list[TargetObservation] = []
+        previous_time: float | None = None
+        for attack in attacks:
+            gap = None if previous_time is None else attack.start_time - previous_time
+            observations.append(TargetObservation.from_record(attack, gap))
+            previous_time = attack.start_time
+        return observations
+
+    def family_attacks(self, family: str) -> list[AttackRecord]:
+        """Chronological attacks of one family."""
+        return sorted(
+            self._by_family.get(family, []), key=lambda a: (a.start_time, a.ddos_id)
+        )
+
+    def source_shares(self, family: str, top_k: int = 10) -> tuple[list[int], np.ndarray]:
+        """Fig. 2 representation: per-attack top-K source-AS shares."""
+        return as_share_matrix(self._by_family.get(family, []),
+                               self.env.allocator, top_k=top_k)
+
+    def recent_attacks(self, before_time: float, n: int) -> list[AttackRecord]:
+        """The ``n`` most recent attacks anywhere before ``before_time``.
+
+        This is the "part of DDoS attacks happened anywhere recently"
+        history the spatiotemporal model assumes a target can observe
+        (§VI-B).
+        """
+        prior = [a for a in self.trace.attacks if a.start_time < before_time]
+        prior.sort(key=lambda a: (a.start_time, a.ddos_id))
+        return prior[-n:]

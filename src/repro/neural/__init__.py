@@ -1,0 +1,36 @@
+"""Neural-network substrate for the spatial model (§V).
+
+The paper's spatial model is a nonlinear autoregressive (NAR) network:
+one hidden layer with the tan-sigmoid transfer function, a linear
+output, trained per target network, with the number of delays and
+hidden nodes found by grid search.  This package implements that stack
+from scratch:
+
+* :mod:`repro.neural.activations` -- tansig / logsig / purelin with
+  derivatives.
+* :mod:`repro.neural.network` -- a feedforward MLP with per-sample
+  Jacobians.
+* :mod:`repro.neural.training` -- Levenberg-Marquardt (MATLAB's
+  ``trainlm``) with early stopping, plus min-max normalization
+  (``mapminmax``).
+* :mod:`repro.neural.nar` -- the NAR wrapper (Eq. 6).
+* :mod:`repro.neural.gridsearch` -- delays x hidden-nodes search.
+"""
+
+from repro.neural.activations import ACTIVATIONS, Activation
+from repro.neural.network import MLP
+from repro.neural.training import MinMaxScaler, TrainingResult, train_levenberg_marquardt
+from repro.neural.nar import NARModel
+from repro.neural.gridsearch import GridSearchResult, grid_search_nar
+
+__all__ = [
+    "ACTIVATIONS",
+    "Activation",
+    "MLP",
+    "MinMaxScaler",
+    "TrainingResult",
+    "train_levenberg_marquardt",
+    "NARModel",
+    "GridSearchResult",
+    "grid_search_nar",
+]

@@ -1,0 +1,59 @@
+"""Transfer functions (§V names the three MATLAB classics).
+
+"Three transfer functions are most commonly used for multilayer
+networks, including Log-Sigmoid, Tan-Sigmoid and Linear"; the paper
+picks tan-sigmoid for the hidden layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Activation", "ACTIVATIONS", "tansig", "logsig", "purelin"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A transfer function together with its derivative.
+
+    ``derivative`` takes the *output* of the function (the standard
+    trick for sigmoids, where f' is cheap in terms of f).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    derivative: Callable[[np.ndarray], np.ndarray]
+
+
+def _tansig(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tansig_prime(y: np.ndarray) -> np.ndarray:
+    return 1.0 - y**2
+
+
+def _logsig(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+def _logsig_prime(y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def _purelin(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _purelin_prime(y: np.ndarray) -> np.ndarray:
+    return np.ones_like(y)
+
+
+tansig = Activation("tansig", _tansig, _tansig_prime)
+logsig = Activation("logsig", _logsig, _logsig_prime)
+purelin = Activation("purelin", _purelin, _purelin_prime)
+
+ACTIVATIONS: dict[str, Activation] = {a.name: a for a in (tansig, logsig, purelin)}

@@ -1,0 +1,136 @@
+"""Nonlinear autoregressive (NAR) model -- Eq. 6 of the paper.
+
+``T_{j+1} = f(T_j, T_{j-1}, ..., T_{j-q}) + eps`` where ``f`` is a
+one-hidden-layer tan-sigmoid network and ``q`` is the number of delays.
+Replacing the linear sum of Eq. 5 with the network's nonlinear
+activation is exactly how §V derives the spatial model from the
+temporal one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.network import MLP
+from repro.neural.training import MinMaxScaler, TrainingResult, train_levenberg_marquardt
+
+__all__ = ["NARModel"]
+
+
+class NARModel:
+    """NAR(q) series model with a neural regression function."""
+
+    def __init__(self, n_delays: int = 3, n_hidden: int = 8,
+                 hidden_activation: str = "tansig", seed: int = 0) -> None:
+        if n_delays < 1:
+            raise ValueError("need at least one delay")
+        self.n_delays = n_delays
+        self.n_hidden = n_hidden
+        self.hidden_activation = hidden_activation
+        self.seed = seed
+        self._network: MLP | None = None
+        self._scaler = MinMaxScaler()
+        self._history: np.ndarray | None = None
+        self.training: TrainingResult | None = None
+
+    @staticmethod
+    def embed(series: np.ndarray, n_delays: int) -> tuple[np.ndarray, np.ndarray]:
+        """Lag-embed a series: rows ``[y_{t-1} .. y_{t-q}] -> y_t``."""
+        series = np.asarray(series, dtype=float).ravel()
+        if series.size <= n_delays:
+            raise ValueError("series too short for the requested delays")
+        n = series.size - n_delays
+        x = np.empty((n, n_delays))
+        for j in range(n_delays):
+            x[:, j] = series[n_delays - 1 - j : series.size - 1 - j]
+        y = series[n_delays:]
+        return x, y
+
+    def fit(self, series: np.ndarray, max_epochs: int = 150) -> "NARModel":
+        """Fit on a chronological series; returns ``self``."""
+        series = np.asarray(series, dtype=float).ravel()
+        # Embedding on the raw scale validates the series length early
+        # (raises before any training state is touched).
+        self.embed(series, self.n_delays)
+        scaled = self._scaler.fit_transform(series.reshape(-1, 1)).ravel()
+        xs, ys = self.embed(scaled, self.n_delays)
+        rng = np.random.default_rng(self.seed)
+        self._network = MLP(self.n_delays, self.n_hidden, 1,
+                            hidden_activation=self.hidden_activation, rng=rng)
+        self.training = train_levenberg_marquardt(
+            self._network, xs, ys, max_epochs=max_epochs, rng=rng
+        )
+        self._history = series.copy()
+        return self
+
+    def _predict_scaled(self, window: np.ndarray) -> float:
+        assert self._network is not None
+        return float(self._network.forward(window.reshape(1, -1))[0, 0])
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Closed-loop multi-step forecast continuing the fit series."""
+        if self._network is None or self._history is None:
+            raise RuntimeError("fit() first")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        scaled = list(self._scaler.transform(self._history.reshape(-1, 1)).ravel())
+        out = []
+        for _ in range(steps):
+            window = np.array(scaled[-self.n_delays :][::-1])
+            nxt = self._predict_scaled(window)
+            scaled.append(nxt)
+            out.append(nxt)
+        return self._scaler.inverse_transform(np.array(out).reshape(-1, 1)).ravel()
+
+    def predict_continuation(self, future: np.ndarray) -> np.ndarray:
+        """Open-loop one-step-ahead predictions over new observations.
+
+        Each future value is predicted from the true values before it
+        (training history + already-observed future), matching the
+        evaluation protocol of Figs. 2-4.
+        """
+        if self._network is None or self._history is None:
+            raise RuntimeError("fit() first")
+        future = np.asarray(future, dtype=float).ravel()
+        full = np.concatenate([self._history, future])
+        scaled = self._scaler.transform(full.reshape(-1, 1)).ravel()
+        n_train = self._history.size
+        predictions = np.empty(future.size)
+        for i in range(future.size):
+            t = n_train + i
+            window = scaled[t - self.n_delays : t][::-1]
+            predictions[i] = self._predict_scaled(np.asarray(window))
+        return self._scaler.inverse_transform(predictions.reshape(-1, 1)).ravel()
+
+    def predict_next(self, window: np.ndarray) -> float:
+        """Predict the value following an arbitrary recent ``window``.
+
+        The window must contain at least ``n_delays`` observations;
+        extra leading values are ignored.  Used when a fitted per-AS
+        model is applied to a short per-target history (§VI-B).
+        """
+        if self._network is None:
+            raise RuntimeError("fit() first")
+        window = np.asarray(window, dtype=float).ravel()
+        if window.size < self.n_delays:
+            raise ValueError(f"window needs at least {self.n_delays} values")
+        scaled = self._scaler.transform(window.reshape(-1, 1)).ravel()
+        lags = scaled[-self.n_delays :][::-1]
+        out = self._predict_scaled(np.asarray(lags))
+        return float(self._scaler.inverse_transform(np.array([[out]]))[0, 0])
+
+    def in_sample_predictions(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(fitted, actual)`` one-step pairs over the training series."""
+        if self._network is None or self._history is None:
+            raise RuntimeError("fit() first")
+        scaled = self._scaler.transform(self._history.reshape(-1, 1)).ravel()
+        xs, ys = self.embed(scaled, self.n_delays)
+        fitted = self._network.forward(xs).ravel()
+        fitted = self._scaler.inverse_transform(fitted.reshape(-1, 1)).ravel()
+        actual = self._scaler.inverse_transform(ys.reshape(-1, 1)).ravel()
+        return fitted, actual
+
+    def residual_std(self) -> float:
+        """Std of in-sample one-step residuals (the Eq. 7 ``sigma``)."""
+        fitted, actual = self.in_sample_predictions()
+        return float(np.std(actual - fitted))

@@ -1,0 +1,111 @@
+"""Single-hidden-layer feedforward network.
+
+§V uses "only one hidden layer ... in order to simplify the performance
+optimization", which keeps the per-sample Jacobian small enough for
+Levenberg-Marquardt training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.activations import ACTIVATIONS, Activation
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """``n_inputs -> n_hidden (activation) -> n_outputs (linear)``."""
+
+    def __init__(self, n_inputs: int, n_hidden: int, n_outputs: int = 1,
+                 hidden_activation: str = "tansig",
+                 rng: np.random.Generator | None = None) -> None:
+        if n_inputs < 1 or n_hidden < 1 or n_outputs < 1:
+            raise ValueError("layer sizes must be positive")
+        if hidden_activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {hidden_activation!r}")
+        self.n_inputs = n_inputs
+        self.n_hidden = n_hidden
+        self.n_outputs = n_outputs
+        self.activation: Activation = ACTIVATIONS[hidden_activation]
+        rng = rng or np.random.default_rng(0)
+        # Nguyen-Widrow-flavored init: small weights scaled by fan-in.
+        scale = 0.7 * n_hidden ** (1.0 / n_inputs)
+        self.w1 = rng.normal(0.0, 1.0, size=(n_hidden, n_inputs))
+        norms = np.linalg.norm(self.w1, axis=1, keepdims=True)
+        self.w1 = scale * self.w1 / np.maximum(norms, 1e-12)
+        self.b1 = rng.uniform(-scale, scale, size=n_hidden)
+        self.w2 = rng.normal(0.0, 0.5, size=(n_outputs, n_hidden)) / np.sqrt(n_hidden)
+        self.b2 = np.zeros(n_outputs)
+
+    # ----- parameter vector interface (for LM) -----
+
+    @property
+    def n_params(self) -> int:
+        """Total number of trainable parameters."""
+        return self.w1.size + self.b1.size + self.w2.size + self.b2.size
+
+    def get_params(self) -> np.ndarray:
+        """Flatten all parameters into one vector."""
+        return np.concatenate(
+            [self.w1.ravel(), self.b1.ravel(), self.w2.ravel(), self.b2.ravel()]
+        )
+
+    def set_params(self, params: np.ndarray) -> None:
+        """Inverse of :meth:`get_params`."""
+        params = np.asarray(params, dtype=float)
+        if params.size != self.n_params:
+            raise ValueError("parameter vector has the wrong length")
+        i = 0
+        for attr in ("w1", "b1", "w2", "b2"):
+            current = getattr(self, attr)
+            setattr(self, attr, params[i : i + current.size].reshape(current.shape))
+            i += current.size
+
+    # ----- forward / derivatives -----
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Predict; ``x`` has shape ``(n_samples, n_inputs)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        hidden = self.activation.fn(x @ self.w1.T + self.b1)
+        return hidden @ self.w2.T + self.b2
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Forward pass returning ``(outputs, hidden_activations)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        hidden = self.activation.fn(x @ self.w1.T + self.b1)
+        return hidden @ self.w2.T + self.b2, hidden
+
+    def jacobian(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample Jacobian of the (single) output w.r.t. parameters.
+
+        Shape ``(n_samples, n_params)``.  Only defined for one-output
+        networks, which is all the NAR model needs.
+        """
+        if self.n_outputs != 1:
+            raise ValueError("jacobian requires a single-output network")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n = x.shape[0]
+        _, hidden = self.forward_cached(x)
+        dhidden = self.activation.derivative(hidden)  # (n, H)
+        w2 = self.w2[0]  # (H,)
+        # d out / d w1[h, i] = w2[h] * f'(h) * x[i]
+        dw1 = (w2 * dhidden)[:, :, None] * x[:, None, :]  # (n, H, I)
+        db1 = w2 * dhidden  # (n, H)
+        dw2 = hidden  # (n, H)
+        db2 = np.ones((n, 1))
+        return np.concatenate(
+            [dw1.reshape(n, -1), db1, dw2, db2], axis=1
+        )
+
+    def mse(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean squared error on ``(x, y)``."""
+        y = np.atleast_2d(np.asarray(y, dtype=float).reshape(len(x), -1))
+        return float(np.mean((self.forward(x) - y) ** 2))
+
+    def copy(self) -> "MLP":
+        """Deep copy (used to keep the best early-stopping weights)."""
+        clone = MLP(self.n_inputs, self.n_hidden, self.n_outputs,
+                    self.activation.name)
+        clone.set_params(self.get_params())
+        return clone

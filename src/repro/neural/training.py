@@ -1,0 +1,247 @@
+"""Levenberg-Marquardt training with early stopping, plus mapminmax.
+
+MATLAB's default for small NAR networks is ``trainlm`` with a
+train/validation split and max-fail early stopping; this module
+reproduces that combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neural.network import MLP
+
+__all__ = [
+    "MinMaxScaler",
+    "TrainingResult",
+    "train_levenberg_marquardt",
+    "train_gradient",
+]
+
+
+class MinMaxScaler:
+    """MATLAB's ``mapminmax``: affine map of each column to [-1, 1]."""
+
+    def __init__(self) -> None:
+        self._lo: np.ndarray | None = None
+        self._hi: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column ranges."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._lo = x.min(axis=0)
+        self._hi = x.max(axis=0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map into [-1, 1]; constant columns map to 0."""
+        if self._lo is None or self._hi is None:
+            raise RuntimeError("fit() first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        span = self._hi - self._lo
+        safe = np.where(span > 0, span, 1.0)
+        out = 2.0 * (x - self._lo) / safe - 1.0
+        return np.where(span > 0, out, 0.0)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map from [-1, 1] back to the original scale."""
+        if self._lo is None or self._hi is None:
+            raise RuntimeError("fit() first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        span = self._hi - self._lo
+        return (x + 1.0) / 2.0 * span + self._lo
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    n_epochs: int
+    train_mse: float
+    val_mse: float
+    stopped_early: bool
+    mu_final: float
+
+
+def train_levenberg_marquardt(
+    network: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    max_epochs: int = 200,
+    mu0: float = 1e-3,
+    mu_increase: float = 10.0,
+    mu_decrease: float = 0.1,
+    mu_max: float = 1e10,
+    val_fraction: float = 0.2,
+    max_fail: int = 6,
+    goal: float = 1e-8,
+    rng: np.random.Generator | None = None,
+) -> TrainingResult:
+    """Train ``network`` in place with Levenberg-Marquardt.
+
+    Each epoch solves ``(J'J + mu I) dp = J' e`` on the training split;
+    ``mu`` shrinks after an accepted step and grows after a rejected
+    one (the classic trust-region-like adaptation).  A random
+    validation split implements MATLAB-style max-fail early stopping;
+    the weights snap back to the best validation epoch.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float).reshape(x.shape[0], -1)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y disagree on sample count")
+    if x.shape[0] < 4:
+        raise ValueError("need at least 4 samples")
+    rng = rng or np.random.default_rng(0)
+
+    n = x.shape[0]
+    n_val = int(round(val_fraction * n)) if n >= 10 else 0
+    perm = rng.permutation(n)
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    x_train, y_train = x[train_idx], y[train_idx]
+    x_val, y_val = x[val_idx], y[val_idx]
+
+    mu = mu0
+    best_params = network.get_params()
+    best_val = network.mse(x_val, y_val) if n_val else np.inf
+    fails = 0
+    epoch = 0
+    stopped_early = False
+    identity = np.eye(network.n_params)
+
+    for epoch in range(1, max_epochs + 1):
+        residuals = (y_train - network.forward(x_train)).ravel()
+        sse = float(residuals @ residuals)
+        if sse / max(1, residuals.size) < goal:
+            break
+        jac = network.jacobian(x_train)
+        jtj = jac.T @ jac
+        jte = jac.T @ residuals
+        params = network.get_params()
+        accepted = False
+        while mu <= mu_max:
+            try:
+                step = np.linalg.solve(jtj + mu * identity, jte)
+            except np.linalg.LinAlgError:
+                mu *= mu_increase
+                continue
+            network.set_params(params + step)
+            new_residuals = (y_train - network.forward(x_train)).ravel()
+            if float(new_residuals @ new_residuals) < sse:
+                mu = max(mu * mu_decrease, 1e-20)
+                accepted = True
+                break
+            network.set_params(params)
+            mu *= mu_increase
+        if not accepted:
+            break  # mu exploded: converged as far as LM can go
+        if n_val:
+            val_mse = network.mse(x_val, y_val)
+            if val_mse < best_val:
+                best_val = val_mse
+                best_params = network.get_params()
+                fails = 0
+            else:
+                fails += 1
+                if fails >= max_fail:
+                    stopped_early = True
+                    break
+
+    if n_val:
+        network.set_params(best_params)
+    return TrainingResult(
+        n_epochs=epoch,
+        train_mse=network.mse(x_train, y_train),
+        val_mse=network.mse(x_val, y_val) if n_val else float("nan"),
+        stopped_early=stopped_early,
+        mu_final=mu,
+    )
+
+
+def train_gradient(
+    network: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    max_epochs: int = 500,
+    learning_rate: float = 1e-2,
+    batch_size: int = 32,
+    beta1: float = 0.9,
+    beta2: float = 0.999,
+    epsilon: float = 1e-8,
+    val_fraction: float = 0.2,
+    max_fail: int = 20,
+    rng: np.random.Generator | None = None,
+) -> TrainingResult:
+    """Adam mini-batch training -- the scalable alternative to LM.
+
+    Levenberg-Marquardt solves an ``n_params x n_params`` system per
+    epoch, which stops being practical for wide hidden layers; Adam on
+    per-sample Jacobians covers that regime.  The interface and early
+    stopping match :func:`train_levenberg_marquardt`.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float).reshape(x.shape[0], -1)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y disagree on sample count")
+    if x.shape[0] < 4:
+        raise ValueError("need at least 4 samples")
+    if network.n_outputs != 1:
+        raise ValueError("train_gradient supports single-output networks")
+    rng = rng or np.random.default_rng(0)
+
+    n = x.shape[0]
+    n_val = int(round(val_fraction * n)) if n >= 10 else 0
+    perm = rng.permutation(n)
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    x_train, y_train = x[train_idx], y[train_idx]
+    x_val, y_val = x[val_idx], y[val_idx]
+
+    m = np.zeros(network.n_params)
+    v = np.zeros(network.n_params)
+    step = 0
+    best_params = network.get_params()
+    best_val = network.mse(x_val, y_val) if n_val else np.inf
+    fails = 0
+    epoch = 0
+    stopped_early = False
+    for epoch in range(1, max_epochs + 1):
+        order = rng.permutation(x_train.shape[0])
+        for start in range(0, x_train.shape[0], batch_size):
+            batch = order[start : start + batch_size]
+            xb, yb = x_train[batch], y_train[batch]
+            residuals = (network.forward(xb) - yb).ravel()
+            # MSE gradient = 2/n * J^T r  (J from the analytic Jacobian).
+            gradient = 2.0 / max(1, xb.shape[0]) * (network.jacobian(xb).T @ residuals)
+            step += 1
+            m = beta1 * m + (1.0 - beta1) * gradient
+            v = beta2 * v + (1.0 - beta2) * gradient**2
+            m_hat = m / (1.0 - beta1**step)
+            v_hat = v / (1.0 - beta2**step)
+            network.set_params(
+                network.get_params() - learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+            )
+        if n_val:
+            val_mse = network.mse(x_val, y_val)
+            if val_mse < best_val:
+                best_val = val_mse
+                best_params = network.get_params()
+                fails = 0
+            else:
+                fails += 1
+                if fails >= max_fail:
+                    stopped_early = True
+                    break
+    if n_val:
+        network.set_params(best_params)
+    return TrainingResult(
+        n_epochs=epoch,
+        train_mse=network.mse(x_train, y_train),
+        val_mse=network.mse(x_val, y_val) if n_val else float("nan"),
+        stopped_early=stopped_early,
+        mu_final=float("nan"),
+    )

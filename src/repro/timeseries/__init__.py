@@ -1,0 +1,46 @@
+"""Time-series analysis substrate.
+
+The temporal model of §IV is ARIMA -- "the most general class of models
+for time series data" -- over the attacker-side series.  Since no
+statistics package is assumed, this package implements the stack from
+scratch on numpy/scipy:
+
+* :mod:`repro.timeseries.acf` -- autocorrelation and partial
+  autocorrelation (Durbin-Levinson), plus a Ljung-Box whiteness test.
+* :mod:`repro.timeseries.stationarity` -- differencing helpers and an
+  augmented Dickey-Fuller unit-root test.
+* :mod:`repro.timeseries.arima` -- ARIMA(p, d, q) with conditional
+  sum-of-squares fitting, Hannan-Rissanen initialization, forecasting
+  and one-step-ahead rolling prediction.
+* :mod:`repro.timeseries.selection` -- AIC/BIC order selection.
+"""
+
+from repro.timeseries.acf import acf, ljung_box, pacf
+from repro.timeseries.arima import ARIMA, ARIMAOrder
+from repro.timeseries.seasonal import (
+    SeasonalARIMA,
+    deseasonalize,
+    reseasonalize,
+    seasonal_profile,
+)
+from repro.timeseries.crossval import one_step_validation_rmse, select_order_cv
+from repro.timeseries.selection import select_order
+from repro.timeseries.stationarity import adf_test, difference, undifference
+
+__all__ = [
+    "acf",
+    "pacf",
+    "ljung_box",
+    "adf_test",
+    "difference",
+    "undifference",
+    "ARIMA",
+    "ARIMAOrder",
+    "select_order",
+    "select_order_cv",
+    "one_step_validation_rmse",
+    "SeasonalARIMA",
+    "deseasonalize",
+    "reseasonalize",
+    "seasonal_profile",
+]

@@ -1,0 +1,76 @@
+"""Autocorrelation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["acf", "pacf", "ljung_box"]
+
+
+def _validate(x: np.ndarray, nlags: int) -> np.ndarray:
+    x = np.asarray(x, dtype=float).ravel()
+    if x.size < 2:
+        raise ValueError("series too short")
+    if nlags < 1 or nlags >= x.size:
+        raise ValueError("need 1 <= nlags < len(x)")
+    return x
+
+
+def acf(x: np.ndarray, nlags: int) -> np.ndarray:
+    """Sample autocorrelation function at lags ``0..nlags``.
+
+    Uses the biased (1/n) estimator, which guarantees a positive
+    semi-definite autocovariance sequence.
+    """
+    x = _validate(x, nlags)
+    x = x - x.mean()
+    variance = float(np.dot(x, x)) / x.size
+    if variance == 0.0:
+        out = np.zeros(nlags + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(nlags + 1)
+    out[0] = 1.0
+    for k in range(1, nlags + 1):
+        out[k] = float(np.dot(x[k:], x[:-k])) / x.size / variance
+    return out
+
+
+def pacf(x: np.ndarray, nlags: int) -> np.ndarray:
+    """Partial autocorrelation at lags ``0..nlags`` via Durbin-Levinson."""
+    x = _validate(x, nlags)
+    rho = acf(x, nlags)
+    out = np.zeros(nlags + 1)
+    out[0] = 1.0
+    phi_prev = np.zeros(0)
+    for k in range(1, nlags + 1):
+        if k == 1:
+            phi_kk = rho[1]
+        else:
+            num = rho[k] - float(np.dot(phi_prev, rho[k - 1 : 0 : -1]))
+            den = 1.0 - float(np.dot(phi_prev, rho[1:k]))
+            phi_kk = num / den if abs(den) > 1e-12 else 0.0
+        out[k] = phi_kk
+        phi = np.empty(k)
+        phi[k - 1] = phi_kk
+        if k > 1:
+            phi[: k - 1] = phi_prev - phi_kk * phi_prev[::-1]
+        phi_prev = phi
+    return out
+
+
+def ljung_box(residuals: np.ndarray, nlags: int, n_params: int = 0) -> tuple[float, float]:
+    """Ljung-Box whiteness test.
+
+    Returns ``(Q, p_value)``; small p-values reject "residuals are
+    white noise".  ``n_params`` adjusts the degrees of freedom for
+    residuals of a fitted ARMA model.
+    """
+    residuals = _validate(residuals, nlags)
+    n = residuals.size
+    rho = acf(residuals, nlags)
+    q = n * (n + 2) * float(np.sum(rho[1:] ** 2 / (n - np.arange(1, nlags + 1))))
+    df = max(1, nlags - n_params)
+    p_value = float(stats.chi2.sf(q, df))
+    return q, p_value

@@ -1,0 +1,371 @@
+"""ARIMA(p, d, q) with conditional sum-of-squares estimation.
+
+Implements Eq. 5 of the paper: the differenced series is modeled as
+
+    w_t = c + sum_j phi_j w_{t-j} + sum_j theta_j e_{t-j} + e_t
+
+with parameters fitted by minimizing the conditional sum of squared
+one-step errors (pre-sample errors set to zero), initialized by the
+Hannan-Rissanen two-stage regression, and constrained to the
+stationary/invertible region by a root penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, signal
+
+from repro.timeseries.stationarity import difference, undifference
+
+__all__ = ["ARIMAOrder", "ARIMA"]
+
+
+@dataclass(frozen=True)
+class ARIMAOrder:
+    """The (p, d, q) order triple."""
+
+    p: int
+    d: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p < 0 or self.d < 0 or self.q < 0:
+            raise ValueError("orders must be non-negative")
+        if self.p == 0 and self.q == 0 and self.d == 0:
+            raise ValueError("trivial (0,0,0) model")
+
+    @property
+    def n_params(self) -> int:
+        """Number of ARMA coefficients (excluding the constant)."""
+        return self.p + self.q
+
+
+def _max_root_modulus(coeffs: np.ndarray) -> float:
+    """Largest modulus of the companion-matrix eigenvalues of a lag
+    polynomial ``1 - c_1 z - ... - c_k z^k`` (stationary iff < 1)."""
+    coeffs = np.asarray(coeffs, dtype=float)
+    if coeffs.size == 0 or not np.any(coeffs):
+        return 0.0
+    companion = np.zeros((coeffs.size, coeffs.size))
+    companion[0, :] = coeffs
+    if coeffs.size > 1:
+        companion[1:, :-1] = np.eye(coeffs.size - 1)
+    return float(np.max(np.abs(np.linalg.eigvals(companion))))
+
+
+class ARIMA:
+    """Autoregressive integrated moving-average model."""
+
+    def __init__(self, order: ARIMAOrder | tuple[int, int, int],
+                 include_constant: bool = True) -> None:
+        if isinstance(order, tuple):
+            order = ARIMAOrder(*order)
+        self.order = order
+        self.include_constant = include_constant
+        self.const: float = 0.0
+        self.phi: np.ndarray = np.zeros(order.p)
+        self.theta: np.ndarray = np.zeros(order.q)
+        self.sigma2: float = float("nan")
+        self._history: np.ndarray | None = None
+        self._residuals: np.ndarray | None = None
+
+    # ----- fitting -----
+
+    def fit(self, y: np.ndarray, maxiter: int = 500) -> "ARIMA":
+        """Fit by conditional sum of squares; returns ``self``."""
+        y = np.asarray(y, dtype=float).ravel()
+        min_len = self.order.d + max(self.order.p, self.order.q) + self.order.n_params + 3
+        if y.size < min_len:
+            raise ValueError(f"series of length {y.size} too short for {self.order}")
+        w = difference(y, self.order.d)
+
+        x0 = self._hannan_rissanen_init(w)
+        if self.order.n_params > 0:
+            result = optimize.minimize(
+                self._css_objective, x0, args=(w,), method="Nelder-Mead",
+                options={"maxiter": maxiter * max(1, x0.size), "xatol": 1e-6, "fatol": 1e-8},
+            )
+            params = result.x
+        else:
+            params = x0
+        self._unpack(params)
+        residuals = self._residual_recursion(w, self.const, self.phi, self.theta)
+        burn = max(self.order.p, self.order.q)
+        effective = residuals[burn:] if residuals.size > burn else residuals
+        self.sigma2 = float(np.mean(effective**2)) if effective.size else 0.0
+        self._residuals = residuals
+        self._history = y.copy()
+        return self
+
+    def _hannan_rissanen_init(self, w: np.ndarray) -> np.ndarray:
+        """Two-stage OLS initialization of (const, phi, theta)."""
+        p, q = self.order.p, self.order.q
+        mean = w.mean() if self.include_constant else 0.0
+        centered = w - mean
+        # Stage 1: long-AR fit to approximate the innovations.
+        k = min(max(p + q, 4, int(np.ceil(np.log(max(w.size, 2)) ** 2 / 2))), w.size // 2 - 1)
+        k = max(k, 1)
+        if w.size > 2 * k:
+            design = np.column_stack(
+                [centered[k - j - 1 : w.size - j - 1] for j in range(k)]
+            )
+            response = centered[k:]
+            beta, _, _, _ = np.linalg.lstsq(design, response, rcond=None)
+            innovations = np.zeros(w.size)
+            innovations[k:] = response - design @ beta
+        else:
+            innovations = centered.copy()
+        # Stage 2: regress w on its own lags and the innovation lags.
+        m = max(p, q)
+        rows = w.size - m
+        if rows >= p + q + 2 and (p + q) > 0:
+            cols = [centered[m - j - 1 : w.size - j - 1] for j in range(p)]
+            cols += [innovations[m - j - 1 : w.size - j - 1] for j in range(q)]
+            design = np.column_stack(cols) if cols else np.zeros((rows, 0))
+            beta, _, _, _ = np.linalg.lstsq(design, centered[m:], rcond=None)
+            phi0, theta0 = beta[:p], beta[p:]
+        else:
+            phi0, theta0 = np.zeros(p), np.zeros(q)
+        # Shrink toward zero if the initial guess is outside the
+        # stationary/invertible region.  The AR polynomial is
+        # ``1 - phi(z)`` but the MA polynomial is ``1 + theta(z)``, so
+        # the MA coefficients enter the root check negated.
+        ar_modulus = _max_root_modulus(phi0)
+        if ar_modulus >= 0.98:
+            phi0 *= 0.95 / ar_modulus
+        ma_modulus = _max_root_modulus(-theta0)
+        if ma_modulus >= 0.98:
+            theta0 *= 0.95 / ma_modulus
+        const0 = mean * (1.0 - phi0.sum()) if self.include_constant else 0.0
+        return np.concatenate(([const0] if self.include_constant else [], phi0, theta0))
+
+    def _unpack(self, params: np.ndarray) -> None:
+        offset = 0
+        if self.include_constant:
+            self.const = float(params[0])
+            offset = 1
+        self.phi = np.asarray(params[offset : offset + self.order.p], dtype=float)
+        self.theta = np.asarray(params[offset + self.order.p :], dtype=float)
+
+    @staticmethod
+    def _residual_recursion(w: np.ndarray, const: float, phi: np.ndarray,
+                            theta: np.ndarray) -> np.ndarray:
+        """Conditional one-step residuals.
+
+        Equivalent to the textbook loop ``e_t = w_t - c - sum phi_i
+        w_{t-i} - sum theta_j e_{t-j}`` with ``e_t = 0`` for ``t < p``,
+        but vectorized: the AR part is a convolution and the MA
+        feedback is the IIR filter ``e = lfilter([1], [1, theta], rhs)``
+        with zero initial state.
+        """
+        p, q = phi.size, theta.size
+        n = w.size
+        e = np.zeros(n)
+        if n <= p:
+            return e
+        if p:
+            ar_part = np.convolve(w, phi)[p - 1 : n - 1]
+        else:
+            ar_part = np.zeros(n - p)
+        rhs = w[p:] - const - ar_part
+        if q:
+            e[p:] = signal.lfilter([1.0], np.concatenate(([1.0], theta)), rhs)
+        else:
+            e[p:] = rhs
+        return e
+
+    def _css_objective(self, params: np.ndarray, w: np.ndarray) -> float:
+        offset = 1 if self.include_constant else 0
+        phi = params[offset : offset + self.order.p]
+        theta = params[offset + self.order.p :]
+        penalty = 0.0
+        # AR polynomial 1 - phi(z); MA polynomial 1 + theta(z).
+        for coeffs in (phi, -np.asarray(theta)):
+            modulus = _max_root_modulus(coeffs)
+            if modulus >= 0.999:
+                penalty += 1e6 * (modulus - 0.999)
+        const = params[0] if self.include_constant else 0.0
+        e = self._residual_recursion(w, const, phi, theta)
+        burn = max(self.order.p, self.order.q)
+        sse = float(np.sum(e[burn:] ** 2))
+        return sse + penalty
+
+    # ----- diagnostics -----
+
+    @property
+    def residuals(self) -> np.ndarray:
+        """In-sample one-step residuals on the differenced scale."""
+        if self._residuals is None:
+            raise RuntimeError("fit() first")
+        return self._residuals
+
+    @property
+    def n_effective(self) -> int:
+        """Observations entering the CSS likelihood."""
+        if self._history is None:
+            raise RuntimeError("fit() first")
+        burn = max(self.order.p, self.order.q)
+        return max(1, self._history.size - self.order.d - burn)
+
+    def log_likelihood(self) -> float:
+        """Gaussian CSS log-likelihood."""
+        n = self.n_effective
+        sigma2 = max(self.sigma2, 1e-12)
+        return -0.5 * n * (np.log(2.0 * np.pi * sigma2) + 1.0)
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion."""
+        k = self.order.n_params + (1 if self.include_constant else 0) + 1
+        return -2.0 * self.log_likelihood() + 2.0 * k
+
+    @property
+    def bic(self) -> float:
+        """Bayesian information criterion."""
+        k = self.order.n_params + (1 if self.include_constant else 0) + 1
+        return -2.0 * self.log_likelihood() + k * np.log(self.n_effective)
+
+    # ----- prediction -----
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Multi-step forecast continuing the training series."""
+        if self._history is None:
+            raise RuntimeError("fit() first")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        w = difference(self._history, self.order.d) if self.order.d else self._history.copy()
+        e = self._residual_recursion(w, self.const, self.phi, self.theta)
+        w_ext = list(w)
+        e_ext = list(e)
+        forecasts = []
+        p, q = self.order.p, self.order.q
+        for _ in range(steps):
+            t = len(w_ext)
+            ar = sum(self.phi[j] * w_ext[t - 1 - j] for j in range(min(p, t)))
+            ma = sum(
+                self.theta[j] * e_ext[t - 1 - j] for j in range(min(q, t))
+            )
+            w_hat = self.const + ar + ma
+            forecasts.append(w_hat)
+            w_ext.append(w_hat)
+            e_ext.append(0.0)  # future innovations have zero expectation
+        return undifference(np.array(forecasts), self._history, self.order.d)
+
+    def psi_weights(self, n_weights: int) -> np.ndarray:
+        """MA(infinity) weights of the (possibly integrated) process.
+
+        With the full autoregressive polynomial ``a(B) = phi(B)(1-B)^d``
+        the process is ``a(B) y = c + theta(B) e`` and the psi weights
+        follow the standard recursion ``psi_j = theta_j + sum_i a_i
+        psi_{j-i}`` (``theta_0 = psi_0 = 1``).  The h-step forecast error
+        variance is ``sigma^2 * sum_{j<h} psi_j^2``.
+        """
+        if n_weights < 1:
+            raise ValueError("need at least one weight")
+        # Full AR polynomial coefficients: phi(B) * (1-B)^d, stored as
+        # the lag coefficients a_1..a_k of  (1 - a_1 B - ... - a_k B^k).
+        poly = np.array([1.0])
+        for _ in range(self.order.d):
+            poly = np.convolve(poly, np.array([1.0, -1.0]))
+        phi_poly = np.concatenate(([1.0], -self.phi))
+        poly = np.convolve(poly, phi_poly)
+        a = -poly[1:]  # lag coefficients
+        psi = np.zeros(n_weights)
+        psi[0] = 1.0
+        for j in range(1, n_weights):
+            theta_j = self.theta[j - 1] if j - 1 < self.theta.size else 0.0
+            acc = theta_j
+            for i in range(1, min(j, a.size) + 1):
+                acc += a[i - 1] * psi[j - i]
+            psi[j] = acc
+        return psi
+
+    def forecast_interval(self, steps: int, alpha: float = 0.05
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Forecasts with Gaussian ``(1 - alpha)`` prediction intervals.
+
+        Returns ``(forecast, lower, upper)`` on the original scale.
+        """
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        from scipy import stats
+
+        forecast = self.forecast(steps)
+        psi = self.psi_weights(steps)
+        variances = self.sigma2 * np.cumsum(psi**2)
+        half_width = stats.norm.ppf(1.0 - alpha / 2.0) * np.sqrt(variances)
+        return forecast, forecast - half_width, forecast + half_width
+
+    def fitted_values(self) -> np.ndarray:
+        """In-sample one-step predictions aligned to the training series.
+
+        The first ``d + max(p, q)`` entries have no proper lags and are
+        filled with the actual values (zero residual by construction of
+        the CSS conditioning).
+        """
+        if self._history is None:
+            raise RuntimeError("fit() first")
+        history = self._history
+        w = difference(history, self.order.d) if self.order.d else history.copy()
+        e = self._residual_recursion(w, self.const, self.phi, self.theta)
+        w_hat = w - e
+        if self.order.d == 0:
+            return w_hat
+        out = history.copy()
+        for t in range(self.order.d, history.size):
+            out[t] = undifference(
+                np.array([w_hat[t - self.order.d]]), history[:t], self.order.d
+            )[0]
+        return out
+
+    def predict_next(self, window: np.ndarray) -> float:
+        """Predict the value following an arbitrary recent ``window``.
+
+        Used when the fitted family-level model is applied to a short
+        per-target history (the spatiotemporal protocol of §VI-B):
+        residuals are reconstructed over the window with zero pre-window
+        errors, then one step is forecast.
+        """
+        window = np.asarray(window, dtype=float).ravel()
+        if window.size < self.order.d + 1:
+            raise ValueError("window shorter than the differencing order")
+        w = difference(window, self.order.d) if self.order.d else window.copy()
+        e = self._residual_recursion(w, self.const, self.phi, self.theta)
+        t = w.size
+        p, q = self.order.p, self.order.q
+        k = min(p, t)
+        ar = float(np.dot(self.phi[:k], w[t - k : t][::-1])) if k else 0.0
+        lo = max(0, t - q)
+        ma = float(np.dot(self.theta[: t - lo], e[lo:t][::-1])) if q else 0.0
+        w_hat = self.const + ar + ma
+        return float(undifference(np.array([w_hat]), window, self.order.d)[0])
+
+    def predict_continuation(self, y_future: np.ndarray) -> np.ndarray:
+        """One-step-ahead predictions over a stream of new observations.
+
+        For each element of ``y_future`` the model predicts it from
+        everything before it (training history + earlier future
+        values), then observes the truth and moves on -- the protocol
+        behind the Fig. 1/Fig. 2 error series.
+        """
+        if self._history is None:
+            raise RuntimeError("fit() first")
+        y_future = np.asarray(y_future, dtype=float).ravel()
+        full = np.concatenate([self._history, y_future])
+        w = difference(full, self.order.d) if self.order.d else full.copy()
+        e = self._residual_recursion(w, self.const, self.phi, self.theta)
+        p, q = self.order.p, self.order.q
+        n_train = self._history.size
+        predictions = np.empty(y_future.size)
+        for i in range(y_future.size):
+            t = n_train - self.order.d + i  # index into w of the value to predict
+            ar = float(np.dot(self.phi, w[t - p : t][::-1])) if p and t >= p else 0.0
+            lo = max(0, t - q)
+            ma = float(np.dot(self.theta[: t - lo], e[lo:t][::-1])) if q else 0.0
+            w_hat = self.const + ar + ma
+            predictions[i] = undifference(
+                np.array([w_hat]), full[: n_train + i], self.order.d
+            )[0]
+        return predictions

@@ -1,0 +1,63 @@
+"""ARIMA order selection.
+
+Chooses the differencing order by repeated ADF testing, then grids
+(p, q) under an information criterion -- the standard Box-Jenkins
+automation the paper's "weights are assigned dynamically using the
+training process" implies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.arima import ARIMA, ARIMAOrder
+from repro.timeseries.stationarity import adf_test, difference
+
+__all__ = ["choose_differencing", "select_order"]
+
+
+def choose_differencing(y: np.ndarray, max_d: int = 2, level: str = "5%") -> int:
+    """Smallest ``d`` whose d-differenced series passes the ADF test."""
+    y = np.asarray(y, dtype=float).ravel()
+    for d in range(max_d + 1):
+        w = difference(y, d) if d else y
+        if w.size < 10:
+            return d
+        if np.allclose(w, w[0]):
+            return d  # constant series: trivially stationary
+        if adf_test(w).is_stationary(level):
+            return d
+    return max_d
+
+
+def select_order(y: np.ndarray, max_p: int = 3, max_q: int = 3, max_d: int = 1,
+                 criterion: str = "aic", include_constant: bool = True) -> ARIMA:
+    """Fit the ARIMA with the best information criterion on the grid.
+
+    Returns the fitted winner.  Models that fail to converge (or whose
+    residual variance degenerates) are skipped; at least one candidate
+    always survives because (1, d, 0) is always attempted.
+    """
+    if criterion not in ("aic", "bic"):
+        raise ValueError("criterion must be 'aic' or 'bic'")
+    y = np.asarray(y, dtype=float).ravel()
+    d = choose_differencing(y, max_d=max_d)
+    best: ARIMA | None = None
+    best_score = np.inf
+    for p in range(max_p + 1):
+        for q in range(max_q + 1):
+            if p == 0 and q == 0 and d == 0:
+                continue
+            try:
+                model = ARIMA(ARIMAOrder(p, d, q), include_constant=include_constant)
+                model.fit(y)
+            except (ValueError, np.linalg.LinAlgError):
+                continue
+            if not np.isfinite(model.sigma2) or model.sigma2 < 0:
+                continue
+            score = model.aic if criterion == "aic" else model.bic
+            if score < best_score:
+                best, best_score = model, score
+    if best is None:
+        best = ARIMA(ARIMAOrder(1, d, 0), include_constant=include_constant).fit(y)
+    return best

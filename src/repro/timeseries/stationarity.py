@@ -1,0 +1,97 @@
+"""Differencing and the augmented Dickey-Fuller unit-root test."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["difference", "undifference", "ADFResult", "adf_test"]
+
+# MacKinnon asymptotic critical values for the constant-only ADF
+# regression (no trend).
+_ADF_CRITICAL = {"1%": -3.43, "5%": -2.86, "10%": -2.57}
+
+
+def difference(x: np.ndarray, d: int = 1) -> np.ndarray:
+    """Apply ``d`` rounds of first differencing."""
+    x = np.asarray(x, dtype=float)
+    if d < 0:
+        raise ValueError("d must be >= 0")
+    if x.size <= d:
+        raise ValueError("series too short to difference")
+    for _ in range(d):
+        x = np.diff(x)
+    return x
+
+
+def undifference(forecast_diffs: np.ndarray, history: np.ndarray, d: int = 1) -> np.ndarray:
+    """Invert :func:`difference` for forecast continuation.
+
+    ``forecast_diffs`` are forecasts of the d-times differenced series;
+    ``history`` is the *original* (undifferenced) series the forecasts
+    continue.  Returns forecasts on the original scale.
+    """
+    forecast_diffs = np.asarray(forecast_diffs, dtype=float)
+    history = np.asarray(history, dtype=float)
+    if d == 0:
+        return forecast_diffs.copy()
+    if history.size < d:
+        raise ValueError("history too short for the differencing order")
+    # Integrate one level at a time; the anchor at each level is the
+    # last value of the history differenced to that level.
+    levels = [history]
+    for k in range(1, d):
+        levels.append(np.diff(levels[-1]))
+    out = forecast_diffs
+    for level in reversed(levels):
+        out = level[-1] + np.cumsum(out)
+    return out
+
+
+@dataclass(frozen=True)
+class ADFResult:
+    """Outcome of an augmented Dickey-Fuller test."""
+
+    statistic: float
+    critical_values: dict[str, float]
+    n_lags: int
+
+    def is_stationary(self, level: str = "5%") -> bool:
+        """Reject the unit root at the given significance level?"""
+        return self.statistic < self.critical_values[level]
+
+
+def adf_test(x: np.ndarray, n_lags: int | None = None) -> ADFResult:
+    """Augmented Dickey-Fuller test with a constant term.
+
+    Regresses ``dy_t`` on ``[1, y_{t-1}, dy_{t-1} .. dy_{t-k}]`` and
+    returns the t-statistic of the ``y_{t-1}`` coefficient, compared to
+    MacKinnon critical values.  ``n_lags`` defaults to Schwert's rule
+    ``floor(12 * (n/100)^0.25)`` capped to leave enough observations.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if x.size < 10:
+        raise ValueError("series too short for an ADF test")
+    n = x.size
+    if n_lags is None:
+        n_lags = int(np.floor(12.0 * (n / 100.0) ** 0.25))
+    n_lags = max(0, min(n_lags, n // 2 - 2))
+
+    dy = np.diff(x)
+    lagged = x[:-1]
+    rows = dy.size - n_lags
+    design = [np.ones(rows), lagged[n_lags:]]
+    for k in range(1, n_lags + 1):
+        design.append(dy[n_lags - k : dy.size - k])
+    design_matrix = np.column_stack(design)
+    response = dy[n_lags:]
+
+    beta, _, _, _ = np.linalg.lstsq(design_matrix, response, rcond=None)
+    residuals = response - design_matrix @ beta
+    dof = max(1, rows - design_matrix.shape[1])
+    sigma2 = float(residuals @ residuals) / dof
+    xtx_inv = np.linalg.pinv(design_matrix.T @ design_matrix)
+    se = float(np.sqrt(sigma2 * xtx_inv[1, 1]))
+    statistic = float(beta[1] / se) if se > 0 else 0.0
+    return ADFResult(statistic=statistic, critical_values=dict(_ADF_CRITICAL), n_lags=n_lags)

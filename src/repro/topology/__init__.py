@@ -1,0 +1,50 @@
+"""AS-level Internet topology substrate.
+
+The paper measures the *inter-AS distribution* of attack sources
+(Eq. 4) as an average hop distance between the autonomous systems that
+host attacking bots, with AS relationships inferred from Route Views
+routing tables using Gao's algorithm.  This package rebuilds that whole
+pipeline on a synthetic Internet:
+
+* :mod:`repro.topology.generator` -- a tiered, power-law AS graph with
+  ground-truth customer-provider and peer-peer relationships.
+* :mod:`repro.topology.routing` -- valley-free (Gao-Rexford) path
+  computation and Route Views-style routing-table export.
+* :mod:`repro.topology.relationships` -- Gao's degree-based relationship
+  inference run over exported AS paths.
+* :mod:`repro.topology.distance` -- cached inter-AS hop-distance oracle.
+* :mod:`repro.topology.ipmap` -- prefix allocation and IP-to-ASN lookup
+  (the stand-in for the commercial whois mapping the paper used).
+"""
+
+from repro.topology.generator import ASTopology, Relationship, TopologyConfig, generate_topology
+from repro.topology.routing import RouteViewsCollector, RoutingTable, valley_free_distances
+from repro.topology.relationships import GaoInference, InferredRelationship
+from repro.topology.distance import DistanceOracle
+from repro.topology.ipmap import IPAllocator, format_ip, parse_ip
+from repro.topology.analysis import (
+    customer_cone_sizes,
+    degree_histogram,
+    path_inflation,
+    undirected_distances,
+)
+
+__all__ = [
+    "ASTopology",
+    "Relationship",
+    "TopologyConfig",
+    "generate_topology",
+    "RouteViewsCollector",
+    "RoutingTable",
+    "valley_free_distances",
+    "GaoInference",
+    "InferredRelationship",
+    "DistanceOracle",
+    "IPAllocator",
+    "format_ip",
+    "parse_ip",
+    "customer_cone_sizes",
+    "degree_histogram",
+    "path_inflation",
+    "undirected_distances",
+]

@@ -1,0 +1,89 @@
+"""Cached inter-AS hop-distance oracle.
+
+Eq. 4 of the paper needs the average pairwise hop distance between the
+ASes hosting attack bots at a given time (the *inter-AS* term ``DT``).
+Recomputing valley-free routes for every attack would dominate the
+feature-extraction cost, so the oracle memoizes the per-destination
+distance maps produced by :func:`repro.topology.routing.valley_free_distances`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.topology.generator import ASTopology
+from repro.topology.routing import UNREACHABLE, valley_free_distances
+
+__all__ = ["DistanceOracle"]
+
+
+class DistanceOracle:
+    """Answers valley-free hop distances with per-destination caching."""
+
+    def __init__(self, topo: ASTopology, max_cached_destinations: int | None = None) -> None:
+        """``max_cached_destinations`` bounds memory; ``None`` means unbounded."""
+        self._topo = topo
+        self._cache: dict[int, dict[int, int]] = {}
+        self._max_cached = max_cached_destinations
+
+    @property
+    def topology(self) -> ASTopology:
+        """The underlying topology."""
+        return self._topo
+
+    def _distances_to(self, dst: int) -> dict[int, int]:
+        table = self._cache.get(dst)
+        if table is None:
+            table = valley_free_distances(self._topo, dst)
+            if self._max_cached is not None and len(self._cache) >= self._max_cached:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[dst] = table
+        return table
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance of the shortest valley-free path from ``a`` to ``b``.
+
+        Returns :data:`~repro.topology.routing.UNREACHABLE` when no
+        valley-free path exists.
+        """
+        if a == b:
+            return 0
+        return self._distances_to(b)[a]
+
+    def mean_pairwise_distance(self, asns: list[int]) -> float:
+        """Average hop distance over all unordered pairs of ``asns``.
+
+        This is the ``DT_{t_i}`` denominator of Eq. 4: with the paper's
+        normalization ``2 * sum / (n * (n-1))``.  Duplicate ASNs are
+        collapsed first (the distribution term cares about distinct
+        networks).  A single-AS (or empty) set has distance 0 by
+        convention -- maximal source concentration.
+        """
+        unique = sorted(set(asns))
+        if len(unique) < 2:
+            return 0.0
+        total = 0
+        count = 0
+        for a, b in combinations(unique, 2):
+            d = self.distance(a, b)
+            if d != UNREACHABLE:
+                total += d
+                count += 1
+        return total / count if count else 0.0
+
+    def distance_matrix(self, asns: list[int]) -> np.ndarray:
+        """Dense pairwise hop-distance matrix for ``asns`` (order preserved)."""
+        n = len(asns)
+        out = np.zeros((n, n), dtype=float)
+        for j, dst in enumerate(asns):
+            table = self._distances_to(dst)
+            for i, src in enumerate(asns):
+                d = table[src] if src != dst else 0
+                out[i, j] = np.nan if d == UNREACHABLE else d
+        return out
+
+    def cache_size(self) -> int:
+        """Number of destination tables currently memoized."""
+        return len(self._cache)

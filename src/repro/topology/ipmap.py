@@ -1,0 +1,115 @@
+"""IP address space allocation and IP-to-ASN mapping.
+
+The paper maps bot IP addresses to ASNs "using a commercial grade
+mapping dataset" (whois).  Here the synthetic Internet allocates
+contiguous IPv4 blocks to each AS -- block sizes proportional to a
+per-AS weight (stubs hosting eyeball populations get large blocks) --
+and lookups run as a binary search over block starts, the same
+longest-prefix-match contract a whois service provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.generator import ASRole, ASTopology
+
+__all__ = ["IPAllocator", "format_ip", "parse_ip"]
+
+# Carve the synthetic space out of 11.0.0.0/8 .. 126.0.0.0/8 so rendered
+# addresses look like routable unicast space.
+_BASE_IP = 11 << 24
+_SPACE = (126 - 11) << 24
+
+
+def format_ip(ip: int) -> str:
+    """Render a 32-bit integer as dotted-quad."""
+    if not 0 <= ip <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit address: {ip}")
+    return f"{(ip >> 24) & 0xFF}.{(ip >> 16) & 0xFF}.{(ip >> 8) & 0xFF}.{ip & 0xFF}"
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad text into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class IPAllocator:
+    """Allocates address blocks to ASes and answers IP->ASN queries."""
+
+    def __init__(self, topo: ASTopology, seed: int = 0,
+                 min_block: int = 1 << 10, max_block: int = 1 << 18) -> None:
+        """Allocate the synthetic space across ``topo``'s ASes.
+
+        Block sizes are lognormally dispersed around role-dependent
+        means (transit providers announce more space than stubs), then
+        scaled to fit the synthetic /8s.  Deterministic given ``seed``.
+        """
+        if min_block <= 0 or max_block < min_block:
+            raise ValueError("invalid block size bounds")
+        rng = np.random.default_rng(seed)
+        asns = topo.asns
+        role_scale = {ASRole.TIER1: 8.0, ASRole.TRANSIT: 4.0, ASRole.STUB: 1.0}
+        weights = np.array(
+            [role_scale[topo.roles[a]] * rng.lognormal(0.0, 0.8) for a in asns]
+        )
+        sizes = np.clip(
+            (weights / weights.sum() * _SPACE).astype(np.int64), min_block, max_block
+        )
+        starts = _BASE_IP + np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        if starts[-1] + sizes[-1] > _BASE_IP + _SPACE:
+            raise ValueError("allocation exceeds the synthetic address space")
+        self._asns = np.array(asns, dtype=np.int64)
+        self._starts = starts.astype(np.int64)
+        self._sizes = sizes
+        self._index = {asn: i for i, asn in enumerate(asns)}
+
+    def block(self, asn: int) -> tuple[int, int]:
+        """``(start, size)`` of the block allocated to ``asn``."""
+        i = self._index[asn]
+        return int(self._starts[i]), int(self._sizes[i])
+
+    def asn_of(self, ip: int) -> int:
+        """Map an IP (32-bit int) to its owning ASN.
+
+        Raises ``KeyError`` for addresses outside every allocated block,
+        mirroring a whois lookup miss.
+        """
+        i = int(np.searchsorted(self._starts, ip, side="right")) - 1
+        if i < 0 or ip >= self._starts[i] + self._sizes[i]:
+            raise KeyError(f"unallocated address {format_ip(ip)}")
+        return int(self._asns[i])
+
+    def asn_of_many(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`asn_of`; unallocated addresses map to -1."""
+        ips = np.asarray(ips, dtype=np.int64)
+        idx = np.searchsorted(self._starts, ips, side="right") - 1
+        idx = np.clip(idx, 0, len(self._starts) - 1)
+        inside = (ips >= self._starts[idx]) & (ips < self._starts[idx] + self._sizes[idx])
+        out = np.where(inside, self._asns[idx], -1)
+        return out
+
+    def sample_ips(self, asn: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` distinct addresses from ``asn``'s block.
+
+        When ``n`` exceeds the block size the whole block is returned
+        (a botnet cannot infect more hosts than the AS has addresses).
+        """
+        start, size = self.block(asn)
+        n = min(n, size)
+        offsets = rng.choice(size, size=n, replace=False)
+        return (start + offsets).astype(np.int64)
+
+    @property
+    def total_allocated(self) -> int:
+        """Total number of allocated addresses."""
+        return int(self._sizes.sum())

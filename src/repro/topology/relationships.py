@@ -1,0 +1,166 @@
+"""Gao's AS relationship inference algorithm.
+
+Reimplements the degree-based heuristic of Gao ("On Inferring Autonomous
+System Relationships in the Internet", IEEE/ACM ToN 2001), which the
+paper's distance tool relies on: given a set of BGP AS paths, find the
+*top provider* of each path (the highest-degree AS), orient every edge
+left of it as customer->provider and every edge right of it as
+provider->customer, accumulate votes across all paths, then classify
+edge directions from the votes and finally identify peer candidates at
+the top of the paths whose endpoint degrees are within a ratio ``R``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.topology.generator import ASTopology, Relationship
+
+__all__ = ["InferredRelationship", "GaoInference", "score_inference"]
+
+
+class InferredRelationship(enum.Enum):
+    """Relationship label produced by the inference."""
+
+    CUSTOMER_TO_PROVIDER = "c2p"
+    PEER_TO_PEER = "p2p"
+    SIBLING = "s2s"
+
+
+@dataclass
+class GaoInference:
+    """Gao relationship inference over a collection of AS paths.
+
+    Attributes:
+        l_threshold: minimum vote ratio before an edge direction is
+            trusted (Gao's ``L`` parameter); below it, conflicting
+            evidence yields a sibling label.
+        degree_ratio: maximum degree ratio ``R`` for two ASes to be
+            considered potential peers.
+    """
+
+    l_threshold: int = 2
+    degree_ratio: float = 3.0
+    _degree: Counter = field(default_factory=Counter, init=False, repr=False)
+    _labels: dict[tuple[int, int], InferredRelationship] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def fit(self, paths: list[list[int]]) -> "GaoInference":
+        """Run the three-phase inference over ``paths``.
+
+        Paths shorter than two hops are ignored.  Returns ``self``.
+        """
+        paths = [p for p in paths if len(p) >= 2]
+        if not paths:
+            raise ValueError("no usable AS paths")
+
+        # Degrees seen in the data (unique neighbors per AS).
+        neighbors: dict[int, set[int]] = defaultdict(set)
+        for path in paths:
+            for a, b in zip(path, path[1:]):
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+        self._degree = Counter({asn: len(ns) for asn, ns in neighbors.items()})
+
+        # Phase 1: vote on edge orientation using the top provider.
+        transit_votes: Counter = Counter()  # (provider, customer) -> count
+        for path in paths:
+            top = max(range(len(path)), key=lambda i: (self._degree[path[i]], -i))
+            for i in range(top):
+                transit_votes[(path[i + 1], path[i])] += 1  # path[i] is the customer
+            for i in range(top, len(path) - 1):
+                transit_votes[(path[i], path[i + 1])] += 1  # path[i+1] is the customer
+
+        # Phase 2: classify directed pairs from the votes (Gao's rule: a
+        # direction wins outright when the other is unseen, or when it
+        # dominates by more than the noise threshold L).
+        undirected = {tuple(sorted(pair)) for pair in transit_votes}
+        labels: dict[tuple[int, int], InferredRelationship] = {}
+        for a, b in sorted(undirected):
+            ab = transit_votes.get((a, b), 0)  # votes for "a provides for b"
+            ba = transit_votes.get((b, a), 0)  # votes for "b provides for a"
+            if ab > 0 and ba == 0 or ab > self.l_threshold * ba:
+                labels[(b, a)] = InferredRelationship.CUSTOMER_TO_PROVIDER
+            elif ba > 0 and ab == 0 or ba > self.l_threshold * ab:
+                labels[(a, b)] = InferredRelationship.CUSTOMER_TO_PROVIDER
+            else:
+                labels[(a, b)] = InferredRelationship.SIBLING
+                labels[(b, a)] = InferredRelationship.SIBLING
+
+        # Phase 3: peering.  A peer edge can only appear adjacent to the
+        # top provider of a valley-free path; re-label those candidates
+        # peer-to-peer when the endpoint degrees are comparable (ratio
+        # at most R).  This deliberately overrides one-directional
+        # transit votes: two peers of unequal degree always get voted in
+        # the same direction by phase 1, which is exactly the bias Gao's
+        # degree-ratio refinement exists to undo.
+        peer_votes: Counter = Counter()
+        for path in paths:
+            top = max(range(len(path)), key=lambda i: (self._degree[path[i]], -i))
+            for j in (top - 1, top + 1):
+                if 0 <= j < len(path):
+                    a, b = path[top], path[j]
+                    da, db = self._degree[a], self._degree[b]
+                    if max(da, db) <= self.degree_ratio * max(1, min(da, db)):
+                        peer_votes[tuple(sorted((a, b)))] += 1
+        for (a, b), votes in peer_votes.items():
+            ab = transit_votes.get((a, b), 0)
+            ba = transit_votes.get((b, a), 0)
+            # Require the peering evidence to be at least as frequent as
+            # the net transit evidence before overriding.
+            if votes >= abs(ab - ba):
+                labels[(a, b)] = InferredRelationship.PEER_TO_PEER
+                labels[(b, a)] = InferredRelationship.PEER_TO_PEER
+        self._labels = labels
+        return self
+
+    def relationship(self, a: int, b: int) -> InferredRelationship | None:
+        """Inferred label of the directed pair ``(a, b)``; ``None`` if unseen."""
+        if not self._labels:
+            raise RuntimeError("call fit() first")
+        return self._labels.get((a, b))
+
+    def edges(self) -> dict[tuple[int, int], InferredRelationship]:
+        """All inferred directed-pair labels."""
+        return dict(self._labels)
+
+    def degree(self, asn: int) -> int:
+        """Observed degree of ``asn`` in the fitted path set."""
+        return self._degree[asn]
+
+
+def score_inference(inference: GaoInference, topo: ASTopology) -> dict[str, float]:
+    """Score inferred labels against the topology's ground truth.
+
+    Returns a dict with ``n_scored`` (edges present both in the
+    inference and the truth), ``accuracy`` overall, and per-class
+    accuracies ``c2p_accuracy`` / ``p2p_accuracy``.
+    """
+    total = correct = 0
+    per_class: dict[str, list[int]] = {"c2p": [0, 0], "p2p": [0, 0]}
+    for (a, b), label in inference.edges().items():
+        truth = topo.relationship(a, b)
+        reverse = topo.relationship(b, a)
+        if truth is None and reverse is None:
+            continue
+        if truth is Relationship.CUSTOMER_TO_PROVIDER:
+            key, want = "c2p", InferredRelationship.CUSTOMER_TO_PROVIDER
+        elif truth is Relationship.PEER_TO_PEER:
+            key, want = "p2p", InferredRelationship.PEER_TO_PEER
+        else:
+            # (a, b) is provider->customer; score it from the customer side.
+            continue
+        total += 1
+        per_class[key][1] += 1
+        if label is want:
+            correct += 1
+            per_class[key][0] += 1
+    return {
+        "n_scored": float(total),
+        "accuracy": correct / total if total else 0.0,
+        "c2p_accuracy": per_class["c2p"][0] / per_class["c2p"][1] if per_class["c2p"][1] else 0.0,
+        "p2p_accuracy": per_class["p2p"][0] / per_class["p2p"][1] if per_class["p2p"][1] else 0.0,
+    }

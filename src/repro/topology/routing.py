@@ -1,0 +1,217 @@
+"""Valley-free routing over an :class:`~repro.topology.generator.ASTopology`.
+
+Real BGP routes obey the Gao-Rexford export rules, which constrain every
+AS path to the *valley-free* shape ``up* peer? down*``: a (possibly
+empty) ascent through providers, at most one lateral peer hop, then a
+descent through customers.  This module computes shortest valley-free
+paths with a three-phase relaxation and exports Route Views-style
+routing tables from a set of vantage ASes -- the exact input Gao's
+relationship-inference algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.generator import ASTopology
+
+__all__ = [
+    "UNREACHABLE",
+    "valley_free_distances",
+    "valley_free_path",
+    "RoutingTable",
+    "RouteViewsCollector",
+]
+
+UNREACHABLE = -1
+_INF = float("inf")
+
+
+@dataclass
+class _DestinationRoutes:
+    """Per-destination shortest valley-free route state.
+
+    ``dist_down[x]`` is the shortest pure-descent distance from ``x`` to
+    the destination; ``dist_peer`` additionally allows one leading peer
+    hop; ``dist_up`` is the full valley-free distance.  ``next_*`` hold
+    the tie-broken next hops used for path reconstruction.
+    """
+
+    dst: int
+    dist_down: dict[int, float]
+    dist_peer: dict[int, float]
+    dist_up: dict[int, float]
+    next_down: dict[int, int]
+    next_peer: dict[int, int]
+    next_up: dict[int, int]
+
+
+def _routes_to(topo: ASTopology, dst: int) -> _DestinationRoutes:
+    """Compute shortest valley-free routes from every AS to ``dst``."""
+    asns = topo.asns
+    dist_down = {a: _INF for a in asns}
+    next_down: dict[int, int] = {}
+    dist_down[dst] = 0.0
+
+    # Phase 1 -- descent-only paths.  A descending hop goes from an AS to
+    # one of its customers, so walking backwards from dst we move to
+    # providers: BFS over the "provider of" relation.
+    frontier = [dst]
+    while frontier:
+        new_frontier: list[int] = []
+        for node in frontier:
+            for provider in sorted(topo.providers[node]):
+                if dist_down[provider] == _INF:
+                    dist_down[provider] = dist_down[node] + 1
+                    next_down[provider] = node
+                    new_frontier.append(provider)
+        frontier = new_frontier
+
+    # Phase 2 -- allow one peer hop before the descent.
+    dist_peer = dict(dist_down)
+    next_peer: dict[int, int] = {}
+    for node in asns:
+        for q in sorted(topo.peers[node]):
+            candidate = dist_down[q] + 1
+            if candidate < dist_peer[node]:
+                dist_peer[node] = candidate
+                next_peer[node] = q
+
+    # Phase 3 -- ascent prefix.  dist_up[x] may route through a provider's
+    # own (already final) valley-free route; providers precede customers
+    # in provider-topological order, which makes one sweep sufficient.
+    dist_up = dict(dist_peer)
+    next_up: dict[int, int] = {}
+    for node in topo.provider_topological_order():
+        for p in sorted(topo.providers[node]):
+            candidate = dist_up[p] + 1
+            if candidate < dist_up[node]:
+                dist_up[node] = candidate
+                next_up[node] = p
+
+    return _DestinationRoutes(
+        dst=dst,
+        dist_down=dist_down,
+        dist_peer=dist_peer,
+        dist_up=dist_up,
+        next_down=next_down,
+        next_peer=next_peer,
+        next_up=next_up,
+    )
+
+
+def valley_free_distances(topo: ASTopology, dst: int) -> dict[int, int]:
+    """Shortest valley-free hop count from every AS to ``dst``.
+
+    Unreachable ASes (none exist in a validated topology, but callers
+    may pass partial graphs) map to :data:`UNREACHABLE`.
+    """
+    if dst not in topo.roles:
+        raise KeyError(f"unknown ASN {dst}")
+    routes = _routes_to(topo, dst)
+    return {
+        a: (UNREACHABLE if d == _INF else int(d)) for a, d in routes.dist_up.items()
+    }
+
+
+def _reconstruct(routes: _DestinationRoutes, src: int) -> list[int]:
+    """Walk next-hop pointers from ``src`` down to the destination."""
+    path = [src]
+    node = src
+    phase = "up"
+    while node != routes.dst:
+        if phase == "up":
+            up_via = routes.next_up.get(node)
+            if up_via is not None and routes.dist_up[node] == routes.dist_up[up_via] + 1:
+                node = up_via
+                path.append(node)
+                continue
+            phase = "peer"
+        if phase == "peer":
+            peer_via = routes.next_peer.get(node)
+            if peer_via is not None and routes.dist_peer[node] == routes.dist_down[peer_via] + 1:
+                node = peer_via
+                path.append(node)
+            phase = "down"
+            continue
+        node = routes.next_down[node]
+        path.append(node)
+    return path
+
+
+def valley_free_path(topo: ASTopology, src: int, dst: int) -> list[int] | None:
+    """One shortest valley-free AS path ``[src, ..., dst]``, or ``None``."""
+    if src not in topo.roles or dst not in topo.roles:
+        raise KeyError("unknown ASN")
+    if src == dst:
+        return [src]
+    routes = _routes_to(topo, dst)
+    if routes.dist_up[src] == _INF:
+        return None
+    return _reconstruct(routes, src)
+
+
+@dataclass
+class RoutingTable:
+    """A single vantage point's best AS path to every destination."""
+
+    vantage: int
+    paths: dict[int, list[int]]
+
+    def path_to(self, dst: int) -> list[int] | None:
+        """Best path to ``dst`` or ``None`` when unreachable."""
+        return self.paths.get(dst)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+class RouteViewsCollector:
+    """Simulates the Route Views project: full tables from vantage ASes.
+
+    The paper's tool infers AS relationships "from one or more routing
+    tables provided by Route Views"; this collector produces those
+    tables from the synthetic topology.
+    """
+
+    def __init__(self, topo: ASTopology) -> None:
+        self._topo = topo
+
+    def collect(self, vantages: list[int] | None = None, n_vantages: int = 5,
+                seed: int = 0) -> list[RoutingTable]:
+        """Export routing tables from ``vantages``.
+
+        When ``vantages`` is omitted, ``n_vantages`` ASes are sampled
+        with probability proportional to their degree (Route Views
+        peers tend to be large networks).
+        """
+        topo = self._topo
+        if vantages is None:
+            asns = topo.asns
+            weights = np.array([float(topo.degree(a)) for a in asns])
+            rng = np.random.default_rng(seed)
+            n = min(n_vantages, len(asns))
+            idx = rng.choice(len(asns), size=n, replace=False, p=weights / weights.sum())
+            vantages = sorted(asns[i] for i in idx)
+        for vantage in vantages:
+            if vantage not in topo.roles:
+                raise KeyError(f"unknown vantage ASN {vantage}")
+        # One route computation per destination serves every vantage.
+        paths_by_vantage: dict[int, dict[int, list[int]]] = {v: {v: [v]} for v in vantages}
+        for dst in topo.asns:
+            routes = _routes_to(topo, dst)
+            for vantage in vantages:
+                if vantage != dst and routes.dist_up[vantage] != _INF:
+                    paths_by_vantage[vantage][dst] = _reconstruct(routes, vantage)
+        return [RoutingTable(vantage=v, paths=paths_by_vantage[v]) for v in vantages]
+
+    def as_paths(self, tables: list[RoutingTable]) -> list[list[int]]:
+        """Flatten routing tables into the list of AS paths (len >= 2)."""
+        out = []
+        for table in tables:
+            for path in table.paths.values():
+                if len(path) >= 2:
+                    out.append(path)
+        return out

@@ -1,0 +1,21 @@
+"""Regression-tree substrate for the spatiotemporal model (§VI).
+
+The spatiotemporal model "partitions the data space into smaller
+regions recursively" with CART and attaches "a simple model, in this
+case a multivariate linear model (MLR)" to each leaf -- a model tree.
+This package provides:
+
+* :mod:`repro.tree.linear` -- ordinary/ridge multivariate linear
+  regression.
+* :mod:`repro.tree.cart` -- a CART regression tree (variance-reduction
+  splits).
+* :mod:`repro.tree.model_tree` -- CART structure + MLR leaves with the
+  paper's standard-deviation pruning rule ("keep only 88% of the
+  original standard deviations").
+"""
+
+from repro.tree.linear import LinearRegression
+from repro.tree.cart import RegressionTree, TreeNode
+from repro.tree.model_tree import ModelTree
+
+__all__ = ["LinearRegression", "RegressionTree", "TreeNode", "ModelTree"]

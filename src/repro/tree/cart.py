@@ -1,0 +1,222 @@
+"""CART regression tree (Breiman et al. 1984, the paper's citation).
+
+Splits greedily on the (feature, threshold) pair with the largest
+sum-of-squared-error reduction; candidate thresholds are midpoints of
+consecutive sorted values, evaluated in O(n) per feature via prefix
+sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TreeNode", "RegressionTree"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a regression tree."""
+
+    value: float
+    n_samples: int
+    std: float
+    depth: int
+    feature: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    sample_indices: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no split."""
+        return self.feature is None
+
+
+def _best_split(x: np.ndarray, y: np.ndarray,
+                min_samples_leaf: int) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, sse_reduction) or ``None``."""
+    n, n_features = x.shape
+    base_sse = float(np.sum((y - y.mean()) ** 2))
+    best: tuple[int, float, float] | None = None
+    best_reduction = 1e-12
+    for feature in range(n_features):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs = x[order, feature]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csum_sq = np.cumsum(ys**2)
+        total_sum, total_sq = csum[-1], csum_sq[-1]
+        # Split after position i (left = 0..i inclusive).
+        for i in range(min_samples_leaf - 1, n - min_samples_leaf):
+            if xs[i] == xs[i + 1]:
+                continue
+            n_left = i + 1
+            n_right = n - n_left
+            left_sse = csum_sq[i] - csum[i] ** 2 / n_left
+            right_sum = total_sum - csum[i]
+            right_sse = (total_sq - csum_sq[i]) - right_sum**2 / n_right
+            reduction = base_sse - (left_sse + right_sse)
+            if reduction > best_reduction:
+                best_reduction = reduction
+                best = (feature, float((xs[i] + xs[i + 1]) / 2.0), float(reduction))
+    return best
+
+
+class RegressionTree:
+    """CART for regression.
+
+    Stopping rules: ``max_depth``, ``min_samples_split``,
+    ``min_samples_leaf``, and the standard-deviation rule used by model
+    trees -- a node whose target SD is below ``sd_stop_fraction`` of the
+    root SD is kept as a leaf.
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 10,
+                 min_samples_leaf: int = 4, sd_stop_fraction: float = 0.0,
+                 keep_indices: bool = False) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("invalid minimum sample parameters")
+        if not 0.0 <= sd_stop_fraction <= 1.0:
+            raise ValueError("sd_stop_fraction must be in [0, 1]")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.sd_stop_fraction = sd_stop_fraction
+        self.keep_indices = keep_indices
+        self.root: TreeNode | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Grow the tree on ``(n_samples, n_features)`` data."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError("x and y disagree on sample count")
+        if x.shape[0] < 1:
+            raise ValueError("empty training set")
+        root_std = float(y.std())
+        self.root = self._grow(x, y, np.arange(y.size), depth=0, root_std=root_std)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, indices: np.ndarray,
+              depth: int, root_std: float) -> TreeNode:
+        ys = y[indices]
+        node = TreeNode(
+            value=float(ys.mean()),
+            n_samples=int(indices.size),
+            std=float(ys.std()),
+            depth=depth,
+            sample_indices=indices if self.keep_indices else None,
+        )
+        if (
+            depth >= self.max_depth
+            or indices.size < self.min_samples_split
+            or node.std <= self.sd_stop_fraction * root_std
+            or node.std == 0.0
+        ):
+            return node
+        split = _best_split(x[indices], ys, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[indices, feature] <= threshold
+        left_idx, right_idx = indices[mask], indices[~mask]
+        if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x, y, left_idx, depth + 1, root_std)
+        node.right = self._grow(x, y, right_idx, depth + 1, root_std)
+        return node
+
+    def _leaf_for(self, row: np.ndarray) -> TreeNode:
+        if self.root is None:
+            raise RuntimeError("fit() first")
+        node = self.root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Mean-of-leaf predictions."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.array([self._leaf_for(row).value for row in x])
+
+    def apply(self, x: np.ndarray) -> list[TreeNode]:
+        """The leaf node each row of ``x`` lands in."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return [self._leaf_for(row) for row in x]
+
+    def prune_reduced_error(self, x_val: np.ndarray, y_val: np.ndarray) -> int:
+        """Classic reduced-error post-pruning on a validation set.
+
+        Bottom-up: an internal node is collapsed to a leaf whenever the
+        leaf's validation SSE (predicting the node's training mean) is
+        no worse than its subtree's.  An alternative to the paper's
+        SD-based pre-pruning; compared in ``bench_ablation``.  Returns
+        the number of collapsed subtrees.
+        """
+        if self.root is None:
+            raise RuntimeError("fit() first")
+        x_val = np.atleast_2d(np.asarray(x_val, dtype=float))
+        y_val = np.asarray(y_val, dtype=float).ravel()
+        if x_val.shape[0] != y_val.size:
+            raise ValueError("x_val and y_val disagree on sample count")
+        collapsed = 0
+
+        def recurse(node: TreeNode, idx: np.ndarray) -> None:
+            nonlocal collapsed
+            if node.is_leaf or idx.size == 0:
+                return
+            assert node.left is not None and node.right is not None
+            mask = x_val[idx, node.feature] <= node.threshold
+            recurse(node.left, idx[mask])
+            recurse(node.right, idx[~mask])
+            subtree_pred = np.array([self._predict_row(node, x_val[i]) for i in idx])
+            subtree_sse = float(np.sum((y_val[idx] - subtree_pred) ** 2))
+            leaf_sse = float(np.sum((y_val[idx] - node.value) ** 2))
+            if leaf_sse <= subtree_sse:
+                node.feature = None
+                node.threshold = None
+                node.left = None
+                node.right = None
+                collapsed += 1
+
+        recurse(self.root, np.arange(y_val.size))
+        return collapsed
+
+    def _predict_row(self, node: TreeNode, row: np.ndarray) -> float:
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def leaves(self) -> list[TreeNode]:
+        """All leaf nodes."""
+        if self.root is None:
+            raise RuntimeError("fit() first")
+        out: list[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                assert node.left is not None and node.right is not None
+                stack.extend((node.left, node.right))
+        return out
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves."""
+        return len(self.leaves())
+
+    @property
+    def depth(self) -> int:
+        """Maximum leaf depth."""
+        return max(leaf.depth for leaf in self.leaves())

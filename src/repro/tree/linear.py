@@ -1,0 +1,67 @@
+"""Multivariate linear regression (the Eq. 8-10 leaf models)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """Least-squares MLR with optional ridge regularization.
+
+    A small ridge keeps leaf fits stable when a partition cell contains
+    nearly collinear or constant features, which happens routinely in
+    model-tree leaves with few samples.
+    """
+
+    def __init__(self, ridge: float = 0.0, fit_intercept: bool = True) -> None:
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.ridge = ridge
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit on ``(n_samples, n_features)`` / ``(n_samples,)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError("x and y disagree on sample count")
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = y.mean()
+            xc = x - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(x.shape[1])
+            y_mean = 0.0
+            xc, yc = x, y
+        gram = xc.T @ xc
+        if self.ridge > 0:
+            gram = gram + self.ridge * np.eye(x.shape[1])
+        try:
+            self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        except np.linalg.LinAlgError:
+            self.coef_, *_ = np.linalg.lstsq(xc, yc, rcond=None)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_) if self.fit_intercept else 0.0
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``x``."""
+        if self.coef_ is None:
+            raise RuntimeError("fit() first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x @ self.coef_ + self.intercept_
+
+    def r2(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination on ``(x, y)``."""
+        y = np.asarray(y, dtype=float).ravel()
+        residuals = y - self.predict(x)
+        total = float(np.sum((y - y.mean()) ** 2))
+        if total == 0.0:
+            return 1.0 if np.allclose(residuals, 0) else 0.0
+        return 1.0 - float(residuals @ residuals) / total

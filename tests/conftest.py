@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+Expensive artifacts (trace generation, model fitting) are session-
+scoped: the suite pays for them once.  The small trace is full-width
+(all ten families, real topology) but short (35 days) and rate-scaled,
+which keeps every code path exercised while the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AttackPredictor
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.features import FeatureExtractor
+from repro.topology import TopologyConfig, generate_topology
+from repro.topology.ipmap import IPAllocator
+
+
+SMALL_CONFIG = DatasetConfig(
+    n_days=35,
+    n_targets=40,
+    scale=0.6,
+    seed=1234,
+    topology=TopologyConfig(n_tier1=5, n_transit=30, n_stub=120, seed=99),
+)
+
+
+@pytest.fixture(scope="session")
+def small_trace_env():
+    """A 35-day trace plus its simulation environment."""
+    return TraceGenerator(SMALL_CONFIG).generate()
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_trace_env):
+    """The 35-day trace."""
+    return small_trace_env[0]
+
+
+@pytest.fixture(scope="session")
+def small_env(small_trace_env):
+    """The environment the 35-day trace ran on."""
+    return small_trace_env[1]
+
+
+@pytest.fixture(scope="session")
+def fx(small_trace_env):
+    """FeatureExtractor bound to the small trace."""
+    trace, env = small_trace_env
+    return FeatureExtractor(trace, env)
+
+
+@pytest.fixture(scope="session")
+def predictor(small_trace_env):
+    """A fully fitted AttackPredictor on the small trace."""
+    trace, env = small_trace_env
+    return AttackPredictor(trace, env).fit()
+
+
+@pytest.fixture(scope="session")
+def topo():
+    """A small standalone topology (separate from the trace's)."""
+    return generate_topology(TopologyConfig(n_tier1=4, n_transit=20, n_stub=60, seed=7))
+
+
+@pytest.fixture(scope="session")
+def allocator(topo):
+    """IP allocator over the standalone topology."""
+    return IPAllocator(topo, seed=5)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(2024)

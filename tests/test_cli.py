@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.days == 60
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_generate_and_table1_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl.gz"
+        code = main(["generate", "--days", "6", "--scale", "0.4",
+                     "--seed", "5", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+        code = main(["table1", "--trace", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "TABLE I" in captured.out
+        assert "DirtJumper" in captured.out
+
+    def test_table1_from_generation(self, capsys):
+        code = main(["table1", "--days", "6", "--scale", "0.4", "--seed", "5"])
+        assert code == 0
+        assert "ACTIVITY LEVEL" in capsys.readouterr().out
+
+    def test_evaluate_rejects_unknown_experiment(self, capsys):
+        code = main(["evaluate", "--days", "6", "--scale", "0.4",
+                     "--experiments", "fig99"])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_evaluate_table1_only_skips_fitting(self, capsys):
+        code = main(["evaluate", "--days", "6", "--scale", "0.4",
+                     "--experiments", "table1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "TABLE I" in captured.out
+        assert "fitting models" not in captured.err
+
+    @pytest.mark.slow
+    def test_predict_command(self, capsys):
+        code = main(["predict", "--days", "25", "--scale", "0.6", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        if code == 0:
+            assert "next" in captured.out
+            assert "magnitude" in captured.out
+
+
+class TestExtendedEvaluate:
+    def test_goodness_experiment(self, capsys):
+        code = main(["evaluate", "--days", "25", "--scale", "0.6", "--seed", "3",
+                     "--experiments", "goodness"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "GOODNESS OF FIT" in captured.out
+
+    def test_parser_mentions_new_experiments(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        # subparser help is nested; just confirm evaluate exists
+        assert "evaluate" in help_text

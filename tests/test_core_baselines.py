@@ -1,0 +1,58 @@
+"""Tests for the naive baselines (§VII-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.baselines import AlwaysMean, AlwaysSame
+
+
+class TestAlwaysSame:
+    def test_predict_next_is_last(self):
+        assert AlwaysSame().predict_next(np.array([1.0, 2.0, 7.0])) == 7.0
+
+    def test_continuation_shifts_by_one(self):
+        predictions = AlwaysSame().predict_continuation(
+            np.array([5.0]), np.array([6.0, 7.0, 8.0])
+        )
+        assert predictions.tolist() == [5.0, 6.0, 7.0]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            AlwaysSame().predict_next(np.zeros(0))
+        with pytest.raises(ValueError):
+            AlwaysSame().predict_continuation(np.zeros(0), np.zeros(2))
+
+    def test_perfect_on_constant_series(self):
+        predictions = AlwaysSame().predict_continuation(np.array([3.0]), np.full(5, 3.0))
+        assert np.allclose(predictions, 3.0)
+
+
+class TestAlwaysMean:
+    def test_predict_next_is_mean(self):
+        assert AlwaysMean().predict_next(np.array([1.0, 3.0])) == 2.0
+
+    def test_continuation_uses_running_mean(self):
+        predictions = AlwaysMean().predict_continuation(
+            np.array([2.0, 4.0]), np.array([6.0, 8.0])
+        )
+        assert predictions[0] == pytest.approx(3.0)  # mean(2, 4)
+        assert predictions[1] == pytest.approx(4.0)  # mean(2, 4, 6)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            AlwaysMean().predict_continuation(np.zeros(0), np.ones(1))
+
+    @given(arrays(np.float64, st.integers(1, 20), elements=st.floats(-1e3, 1e3)),
+           arrays(np.float64, st.integers(1, 20), elements=st.floats(-1e3, 1e3)))
+    @settings(max_examples=50, deadline=None)
+    def test_continuation_length_and_causality(self, history, future):
+        """Predictions align with the future and use only past values."""
+        same = AlwaysSame().predict_continuation(history, future)
+        mean = AlwaysMean().predict_continuation(history, future)
+        assert same.size == future.size == mean.size
+        # first prediction depends only on history
+        assert same[0] == history[-1]
+        assert mean[0] == pytest.approx(history.mean(), rel=1e-9, abs=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the alert-correlation (Markov) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov_baseline import AlertCorrelationModel, AlertState
+from repro.dataset.records import HOUR
+from tests.test_dataset_records import make_attack
+
+
+def alternating_stream(n=40):
+    """A -> B -> A -> B ... every 2 hours, two targets."""
+    attacks = []
+    for i in range(n):
+        family = "A" if i % 2 == 0 else "B"
+        asn = 1 if i % 2 == 0 else 2
+        attacks.append(
+            make_attack(ddos_id=i + 1, family=family, target_asn=asn,
+                        start_time=i * 2 * HOUR)
+        )
+    return attacks
+
+
+class TestAlertCorrelationModel:
+    def test_learns_deterministic_transitions(self):
+        model = AlertCorrelationModel(smoothing=0.01).fit(alternating_stream())
+        a = AlertState("A", 1)
+        b = AlertState("B", 2)
+        assert model.transition_probability(a, b) > 0.9
+        assert model.transition_probability(a, a) < 0.1
+
+    def test_predict_next_state(self):
+        model = AlertCorrelationModel().fit(alternating_stream())
+        (prediction,) = model.predict_next(AlertState("A", 1))
+        assert prediction.state == AlertState("B", 2)
+        assert prediction.expected_gap == pytest.approx(2 * HOUR)
+
+    def test_unseen_state_falls_back_to_global(self):
+        model = AlertCorrelationModel().fit(alternating_stream())
+        predictions = model.predict_next(AlertState("Z", 99))
+        assert predictions  # global fallback produced something
+
+    def test_timestamp_prediction(self):
+        attacks = alternating_stream()
+        model = AlertCorrelationModel().fit(attacks[:-1])
+        hour, day = model.predict_attack_timestamp(attacks[-2], attacks[-1])
+        expected = attacks[-2].start_time + 2 * HOUR
+        assert day == pytest.approx(expected / 86400.0)
+        assert hour == pytest.approx(expected % 86400.0 / 3600.0)
+
+    def test_requires_two_alerts(self):
+        with pytest.raises(ValueError):
+            AlertCorrelationModel().fit([make_attack()])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AlertCorrelationModel().predict_next(AlertState("A", 1))
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            AlertCorrelationModel(smoothing=-1.0)
+
+    def test_n_states(self):
+        model = AlertCorrelationModel().fit(alternating_stream())
+        assert model.n_states() == 2
+
+    def test_on_real_trace_competitive_protocols(self, predictor):
+        """Fair comparison on the per-state recurrence protocol: both
+        models answer "when does the next alert of THIS category fire?"
+        -- the Markov model by projecting the state's recurrence gap
+        from the last same-state alert, the spatiotemporal model by its
+        date prediction.  §VIII argues static alert correlation misses
+        the dynamics; the ST model must not lose this matchup."""
+        model = AlertCorrelationModel().fit(predictor.train_attacks)
+        pairs = predictor.predict_test_set()
+        test_by_id = {a.ddos_id: (a, p) for a, p in pairs}
+
+        last_in_state: dict = {}
+        markov_errors = []
+        st_errors = []
+        ordered = sorted(predictor.test_attacks,
+                         key=lambda a: (a.start_time, a.ddos_id))
+        for attack in ordered:
+            state = AlertState(attack.family, attack.target_asn)
+            prev = last_in_state.get(state)
+            last_in_state[state] = attack
+            if prev is None or attack.ddos_id not in test_by_id:
+                continue
+            _, day = model.predict_attack_timestamp(prev, attack)
+            actual_day = attack.start_time / 86400.0
+            markov_errors.append(abs(actual_day - day))
+            _, prediction = test_by_id[attack.ddos_id]
+            st_errors.append(abs(actual_day - prediction.day))
+        assert len(markov_errors) > 20
+        markov_rmse = float(np.sqrt(np.mean(np.square(markov_errors))))
+        st_rmse = float(np.sqrt(np.mean(np.square(st_errors))))
+        # The ST model conditions on the full §VI-B context; it must be
+        # at least competitive with (in practice better than) the
+        # static per-state recurrence projection.
+        assert st_rmse <= markov_rmse * 1.1

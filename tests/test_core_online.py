@@ -1,0 +1,38 @@
+"""Tests for the rolling-origin online predictor."""
+
+import pytest
+
+from repro.core.online import OnlinePredictor
+
+
+class TestOnlinePredictor:
+    @pytest.fixture(scope="class")
+    def windows(self, small_trace_env):
+        trace, env = small_trace_env
+        online = OnlinePredictor(trace, env, initial_days=20, window_days=5)
+        return online.run(max_windows=2)
+
+    def test_produces_windows(self, windows):
+        assert 1 <= len(windows) <= 2
+
+    def test_window_bounds_ordered(self, windows):
+        for window in windows:
+            assert window.window_end_day == window.window_start_day + 5
+            assert window.n_predicted > 0
+
+    def test_rmse_sane(self, windows):
+        for window in windows:
+            assert 0.0 <= window.hour_rmse <= 12.0
+            assert window.day_rmse >= 0.0
+
+    def test_rejects_bad_params(self, small_trace_env):
+        trace, env = small_trace_env
+        with pytest.raises(ValueError):
+            OnlinePredictor(trace, env, initial_days=2)
+        with pytest.raises(ValueError):
+            OnlinePredictor(trace, env, window_days=0)
+
+    def test_max_windows_respected(self, small_trace_env):
+        trace, env = small_trace_env
+        online = OnlinePredictor(trace, env, initial_days=20, window_days=5)
+        assert len(online.run(max_windows=1)) <= 1

@@ -1,0 +1,58 @@
+"""Tests for the end-to-end AttackPredictor pipeline."""
+
+import pytest
+
+from repro.core import AttackPredictor
+
+
+class TestAttackPredictor:
+    def test_split_is_80_20(self, predictor):
+        total = len(predictor.train_attacks) + len(predictor.test_attacks)
+        assert abs(len(predictor.train_attacks) - 0.8 * total) <= 1
+
+    def test_split_time_separates(self, predictor):
+        assert all(a.start_time < predictor.split_time
+                   for a in predictor.train_attacks)
+        assert all(a.start_time >= predictor.split_time
+                   for a in predictor.test_attacks)
+
+    def test_predict_before_fit_raises(self, small_trace_env):
+        trace, env = small_trace_env
+        fresh = AttackPredictor(trace, env)
+        with pytest.raises(RuntimeError):
+            fresh.predict_attack(trace.attacks[-1])
+
+    def test_test_set_coverage_high(self, predictor):
+        """With 10-attack histories and busy networks, most test
+        attacks must be predictable."""
+        assert predictor.coverage() > 0.9
+
+    def test_predict_test_set_pairs(self, predictor):
+        pairs = predictor.predict_test_set()
+        seen = {a.ddos_id for a, _ in pairs}
+        assert len(seen) == len(pairs)
+        test_ids = {a.ddos_id for a in predictor.test_attacks}
+        assert seen <= test_ids
+
+    def test_predict_next_for_network(self, predictor):
+        asn = predictor.spatial.ases()[0]
+        family = predictor.temporal.families()[0]
+        prediction = predictor.predict_next_for_network(asn, family)
+        assert prediction is not None
+        assert 0.0 <= prediction.hour < 24.0
+        assert prediction.duration > 0
+
+    def test_predict_next_for_unknown_network(self, predictor):
+        assert predictor.predict_next_for_network(987654, "DirtJumper") is None
+
+    def test_predict_next_respects_now(self, predictor):
+        """A 'now' before any history yields None."""
+        asn = predictor.spatial.ases()[0]
+        family = predictor.temporal.families()[0]
+        assert predictor.predict_next_for_network(asn, family, now=0.0) is None
+
+    def test_custom_train_fraction_changes_split(self, small_trace_env):
+        trace, env = small_trace_env
+        predictor = AttackPredictor(trace, env, train_fraction=0.9)
+        total = len(predictor.train_attacks) + len(predictor.test_attacks)
+        assert abs(len(predictor.train_attacks) - 0.9 * total) <= 1

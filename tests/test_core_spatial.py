@@ -1,0 +1,92 @@
+"""Tests for the spatial model (§V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spatial import SourceDistributionModel, _lognormal_correction
+
+
+class TestLognormalCorrection:
+    def test_zero_std_is_identity(self):
+        assert _lognormal_correction(0.0) == 1.0
+
+    def test_monotone_and_capped(self):
+        assert _lognormal_correction(0.5) > 1.0
+        assert _lognormal_correction(10.0) == 3.0
+
+
+class TestSpatialModel:
+    def test_fits_busy_networks(self, predictor):
+        assert len(predictor.spatial.ases()) >= 3
+
+    def test_duration_prediction_positive(self, predictor):
+        asn = predictor.spatial.ases()[0]
+        window = np.array([1800.0, 2400.0, 1200.0, 3600.0, 900.0])
+        duration = predictor.spatial.predict_next_duration(asn, window)
+        assert 1.0 <= duration <= 7 * 86400.0
+
+    def test_hour_prediction_in_range(self, predictor):
+        asn = predictor.spatial.ases()[0]
+        hour = predictor.spatial.predict_next_hour(asn, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert 0.0 <= hour < 24.0
+
+    def test_unknown_asn_uses_global_fallback(self, predictor):
+        duration = predictor.spatial.predict_next_duration(999_999, np.zeros(0))
+        assert duration == predictor.spatial._global_duration_mean
+
+    def test_short_window_uses_as_mean(self, predictor):
+        asn = predictor.spatial.ases()[0]
+        model = predictor.spatial.get(asn)
+        assert model is not None
+        assert model.predict_next_duration(np.zeros(0)) == model.duration_mean
+
+    def test_interval_prediction_positive(self, predictor):
+        asn = predictor.spatial.ases()[0]
+        window = np.array([300.0, 900.0, 600.0, 1200.0])
+        interval = predictor.spatial.predict_next_interval(asn, window)
+        assert interval >= 1.0
+
+    def test_predictions_use_history(self, predictor):
+        """Longer durations in the window should raise the prediction."""
+        asn = predictor.spatial.ases()[0]
+        model = predictor.spatial.get(asn)
+        if model is None or model.duration is None:
+            pytest.skip("no duration NAR for this network")
+        short = model.predict_next_duration(np.full(10, 300.0))
+        long = model.predict_next_duration(np.full(10, 30_000.0))
+        assert long > short
+
+
+class TestSourceDistributionModel:
+    def test_predictions_are_distributions(self, fx, predictor):
+        family = fx.families()[0]
+        _, shares = fx.source_shares(family, top_k=6)
+        n_train = int(0.8 * shares.shape[0])
+        model = SourceDistributionModel().fit(shares[:n_train])
+        predicted = model.predict_continuation(shares[:n_train], shares[n_train:])
+        assert predicted.shape == shares[n_train:].shape
+        assert np.allclose(predicted.sum(axis=1), 1.0)
+        assert (predicted >= 0).all()
+
+    def test_prediction_close_to_truth(self, fx, predictor):
+        from repro.evaluation.metrics import total_variation_distance
+
+        family = fx.families()[0]
+        _, shares = fx.source_shares(family, top_k=8)
+        n_train = int(0.8 * shares.shape[0])
+        model = SourceDistributionModel().fit(shares[:n_train])
+        predicted = model.predict_continuation(shares[:n_train], shares[n_train:])
+        tv = np.mean([
+            total_variation_distance(shares[n_train + i] + 1e-9, predicted[i])
+            for i in range(predicted.shape[0])
+        ])
+        assert tv < 0.35
+
+    def test_too_short_training_rejected(self):
+        with pytest.raises(ValueError):
+            SourceDistributionModel().fit(np.ones((3, 2)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            SourceDistributionModel().predict_continuation(np.ones((10, 2)),
+                                                           np.ones((2, 2)))

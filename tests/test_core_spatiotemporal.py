@@ -1,0 +1,128 @@
+"""Tests for the spatiotemporal model (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spatiotemporal import (
+    FEATURE_NAMES,
+    AttackContext,
+    HistoryIndex,
+    SpatiotemporalConfig,
+    SpatiotemporalModel,
+)
+
+
+@pytest.fixture(scope="module")
+def index(fx):
+    return HistoryIndex(fx)
+
+
+class TestHistoryIndex:
+    def test_recent_global_strictly_before(self, fx, index):
+        t = fx.trace.attacks[200].start_time
+        recent = index.recent_global(t, 10)
+        assert len(recent) == 10
+        assert all(a.start_time < t for a in recent)
+
+    def test_recent_global_matches_slow_path(self, fx, index):
+        t = fx.trace.attacks[150].start_time
+        fast = index.recent_global(t, 7)
+        slow = fx.recent_attacks(t, 7)
+        assert [a.ddos_id for a in fast] == [a.ddos_id for a in slow]
+
+    def test_recent_family_filtered(self, fx, index):
+        family = fx.families()[0]
+        t = fx.trace.attacks[-1].start_time
+        recent = index.recent_family(family, t, 5)
+        assert all(a.family == family for a in recent)
+
+    def test_recent_same_as_filtered(self, fx, index):
+        asn = fx.target_ases()[0]
+        t = fx.trace.attacks[-1].start_time
+        recent = index.recent_same_as(asn, t, 5)
+        assert all(o.target_asn == asn for o in recent)
+
+    def test_empty_before_epoch(self, index):
+        assert index.recent_global(0.0, 5) == []
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SpatiotemporalConfig()
+        assert config.n_same_as == 10
+        assert config.n_recent == 10
+        assert config.keep_sd == 0.88
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpatiotemporalConfig(n_same_as=0)
+        with pytest.raises(ValueError):
+            SpatiotemporalConfig(min_same_as=20, n_same_as=10)
+
+
+class TestSpatiotemporalModel:
+    def test_feature_vector_shape(self, fx, predictor, index):
+        attack = predictor.test_attacks[0]
+        context = AttackContext.for_attack(attack, index, 10, 10)
+        features = predictor.spatiotemporal._features(context)
+        assert features.shape == (len(FEATURE_NAMES),)
+        assert np.isfinite(features).all()
+
+    def test_prediction_fields_sane(self, predictor):
+        pairs = predictor.predict_test_set()
+        assert pairs
+        for attack, prediction in pairs[:50]:
+            assert 0.0 <= prediction.hour < 24.0
+            assert prediction.duration > 0
+            assert prediction.magnitude > 0
+            assert prediction.day >= 0
+            assert 0.0 <= prediction.temporal_hour < 24.0
+            assert 0.0 <= prediction.spatial_hour < 24.0
+
+    def test_day_prediction_not_in_past(self, predictor, index):
+        """The predicted date is never before the last observed
+        same-AS attack."""
+        config = predictor.spatiotemporal.config
+        for attack in predictor.test_attacks[:50]:
+            context = AttackContext.for_attack(attack, index,
+                                               config.n_same_as, config.n_recent)
+            if len(context.same_as) < config.min_same_as:
+                continue
+            prediction = predictor.spatiotemporal.predict_context(context)
+            last_day = context.same_as[-1].start_time / 86400.0
+            assert prediction.day >= last_day - 1e-9
+
+    def test_insufficient_history_returns_none(self, fx, predictor, index):
+        attack = fx.trace.attacks[0]  # nothing before the first attack
+        assert predictor.spatiotemporal.predict_attack(attack, index) is None
+
+    def test_unfitted_predict_raises(self, predictor, fx, index):
+        model = SpatiotemporalModel(predictor.temporal, predictor.spatial)
+        context = AttackContext.for_attack(fx.trace.attacks[-1], index, 10, 10)
+        with pytest.raises(RuntimeError):
+            model.predict_context(context)
+
+    def test_fit_rejects_empty_history(self, fx, predictor, index):
+        model = SpatiotemporalModel(predictor.temporal, predictor.spatial)
+        with pytest.raises(ValueError):
+            model.fit(fx, fx.trace.attacks[:3], index=index)
+
+    def test_beats_components_on_hour(self, predictor):
+        """The §VI headline: the combination outperforms (or at least
+        matches) both components on hour RMSE."""
+        from repro.evaluation.metrics import circular_hour_error
+
+        pairs = predictor.predict_test_set()
+        actual = np.array([a.start_time % 86400.0 / 3600.0 for a, _ in pairs])
+
+        def rmse(values):
+            return float(np.sqrt(np.mean(circular_hour_error(actual, values) ** 2)))
+
+        st = rmse(np.array([p.hour for _, p in pairs]))
+        tmp = rmse(np.array([p.temporal_hour for _, p in pairs]))
+        spa = rmse(np.array([p.spatial_hour for _, p in pairs]))
+        assert st <= tmp * 1.05
+        assert st <= spa * 1.05
+
+    def test_feature_names_exported(self, predictor):
+        assert predictor.spatiotemporal.feature_names == FEATURE_NAMES

@@ -1,0 +1,119 @@
+"""Tests for the temporal model (§IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import ScaledARIMA, TemporalModel
+
+
+class TestScaledARIMA:
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledARIMA.fit(np.full(50, 3.0), 2, 1, 1)
+
+    def test_prediction_scale_restored(self, rng):
+        base = 10_000.0
+        y = base + 500.0 * rng.normal(0, 1, 300)
+        model = ScaledARIMA.fit(y, 2, 1, 1)
+        predictions = model.predict_continuation(y[-20:] + 0.0)
+        assert np.all(np.abs(predictions - base) < 5_000.0)
+
+    def test_clamps_explosive_predictions(self, rng):
+        y = np.abs(rng.normal(100, 30, 100))
+        model = ScaledARIMA.fit(y, 3, 2, 1)
+        wild = model.predict_next(np.full(20, 1e9))
+        assert model.lo <= wild <= model.hi
+
+    def test_predict_next_tracks_window(self, rng):
+        n = 400
+        y = np.zeros(n)
+        for t in range(1, n):
+            y[t] = 0.9 * y[t - 1] + rng.normal()
+        y = 50.0 + 10.0 * y
+        model = ScaledARIMA.fit(y, 2, 1, 0)
+        high = model.predict_next(y[:50] + 100.0)
+        low = model.predict_next(y[:50] - 100.0)
+        assert high > low
+
+
+class TestTemporalModel:
+    def test_fits_active_families(self, fx, predictor):
+        model = predictor.temporal
+        assert len(model.families()) >= 5
+        assert fx.families()[0] in model
+
+    def test_train_split_respected(self, fx, predictor):
+        """The magnitude training series must end before the split."""
+        family = predictor.temporal.families()[0]
+        fam = predictor.temporal[family]
+        split_day = int(predictor.split_time // 86400.0)
+        attacks = fx.family_attacks(family)
+        first_day = attacks[0].start_day
+        assert fam.magnitude_train.size <= split_day - first_day
+
+    def test_magnitude_continuation_finite(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        series = fx.daily_magnitude_series(family)
+        predictions = fam.predict_magnitude_continuation(series[-10:])
+        assert predictions.shape == (10,)
+        assert np.isfinite(predictions).all()
+
+    def test_hour_prediction_in_range(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        for window in ([], [3.0, 4.0, 5.0], list(range(24)) * 2):
+            hour = fam.predict_next_hour(np.array(window))
+            assert 0.0 <= hour < 24.0
+
+    def test_hour_prediction_respects_circularity(self, fx, predictor):
+        """A window oscillating around midnight must predict near
+        midnight, not near noon (the arithmetic-mean trap)."""
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        window = np.array([23.0, 1.0, 23.5, 0.5, 23.0, 1.0, 23.5, 0.5] * 3)
+        hour = fam.predict_next_hour(window)
+        distance_from_midnight = min(hour, 24.0 - hour)
+        assert distance_from_midnight < 6.0
+
+    def test_interval_prediction_positive(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        gaps = np.array([600.0, 1200.0, 900.0, 1500.0, 800.0])
+        interval = fam.predict_next_interval(gaps)
+        assert 1.0 <= interval <= 7 * 86400.0
+
+    def test_interval_empty_window_falls_back(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        assert fam.predict_next_interval(np.zeros(0)) == fam.interval_mean
+
+    def test_get_unknown_family(self, predictor):
+        assert predictor.temporal.get("NoSuchFamily") is None
+        assert "NoSuchFamily" not in predictor.temporal
+
+    def test_getitem_raises_for_unknown(self, predictor):
+        with pytest.raises(KeyError):
+            predictor.temporal["NoSuchFamily"]
+
+
+class TestForecastIntervals:
+    def test_magnitude_forecast_interval_shapes(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        forecast, lower, upper = fam.forecast_magnitude(7)
+        assert forecast.shape == lower.shape == upper.shape == (7,)
+        assert (lower <= upper).all()
+
+    def test_band_widens_with_horizon(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        _, lower, upper = fam.forecast_magnitude(10)
+        widths = upper - lower
+        assert widths[-1] >= widths[0] - 1e-9
+
+    def test_upper_band_exceeds_point(self, fx, predictor):
+        family = fx.families()[0]
+        fam = predictor.temporal[family]
+        forecast, _, upper = fam.forecast_magnitude(3)
+        assert (upper >= forecast - 1e-6).all()

@@ -1,0 +1,128 @@
+"""Tests for the attack scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.attacks import AttackScheduler
+from repro.dataset.botnet import BotnetPopulation
+from repro.dataset.families import FamilyProfile, TABLE1_FAMILIES, family_by_name
+from repro.dataset.records import DAY
+from repro.dataset.targets import TargetPopulation
+
+
+@pytest.fixture()
+def scheduler_setup(topo, allocator):
+    rng = np.random.default_rng(77)
+    profile = family_by_name("Darkshell")
+    population = BotnetPopulation(profile, topo, allocator, rng)
+    targets = TargetPopulation(20, topo, allocator, list(TABLE1_FAMILIES),
+                               np.random.default_rng(78), n_target_ases=4)
+    scheduler = AttackScheduler(population, targets, np.random.default_rng(79))
+    return population, scheduler
+
+
+def run_days(population, scheduler, n_days):
+    attacks = []
+    ddos_id = campaign_id = 1
+    for hour in range(24 * n_days):
+        population.step_hour(hour)
+        new, ddos_id, campaign_id = scheduler.step_hour(hour, ddos_id, campaign_id)
+        attacks.extend(new)
+    return attacks
+
+
+class TestAttackScheduler:
+    def test_generates_attacks(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        attacks = run_days(population, scheduler, 20)
+        assert len(attacks) > 20
+
+    def test_ids_unique_and_increasing(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        attacks = run_days(population, scheduler, 10)
+        ids = [a.ddos_id for a in attacks]
+        assert len(set(ids)) == len(ids)
+
+    def test_attacks_within_their_hour_or_followup(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        attacks = run_days(population, scheduler, 10)
+        horizon = 10 * DAY + DAY  # follow-ups may spill past the last hour
+        for attack in attacks:
+            assert 0 <= attack.start_time <= horizon
+
+    def test_durations_positive_and_bounded(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        for attack in run_days(population, scheduler, 10):
+            assert 60.0 <= attack.duration <= 2 * DAY
+
+    def test_magnitude_matches_bots(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        for attack in run_days(population, scheduler, 5):
+            assert attack.magnitude == attack.bot_ips.size
+            assert attack.magnitude >= 1
+            assert attack.hourly_magnitude[0] == attack.magnitude
+
+    def test_hourly_profile_covers_duration(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        for attack in run_days(population, scheduler, 5):
+            expected_hours = int(np.ceil(attack.duration / 3600.0))
+            assert len(attack.hourly_magnitude) == max(1, expected_hours)
+
+    def test_campaign_followups_same_target(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        attacks = run_days(population, scheduler, 30)
+        by_campaign: dict[int, list] = {}
+        for attack in attacks:
+            by_campaign.setdefault(attack.campaign_id, []).append(attack)
+        multi = [c for c in by_campaign.values() if len(c) > 1]
+        assert multi, "expected at least one multistage campaign"
+        for campaign in multi:
+            assert len({a.target_ip for a in campaign}) == 1
+
+    def test_followup_gaps_in_paper_window(self, scheduler_setup):
+        population, scheduler = scheduler_setup
+        attacks = run_days(population, scheduler, 30)
+        by_campaign: dict[int, list] = {}
+        for attack in attacks:
+            by_campaign.setdefault(attack.campaign_id, []).append(attack)
+        for campaign in by_campaign.values():
+            campaign.sort(key=lambda a: a.start_time)
+            for prev, nxt in zip(campaign, campaign[1:]):
+                gap = nxt.start_time - prev.start_time
+                assert 30.0 <= gap <= DAY
+
+    def test_affinity_produces_repeat_targets(self, topo, allocator):
+        profile = FamilyProfile(name="Clingy", attacks_per_day=30.0, active_days=240,
+                                cv=0.5, pool_size=1000, target_affinity=0.9,
+                                multistage_mean_followups=0.0,
+                                mean_active_period_days=1000.0)
+        population = BotnetPopulation(profile, topo, allocator,
+                                      np.random.default_rng(1))
+        targets = TargetPopulation(50, topo, allocator, [profile],
+                                   np.random.default_rng(2), n_target_ases=8)
+        scheduler = AttackScheduler(population, targets, np.random.default_rng(3))
+        attacks = run_days(population, scheduler, 10)
+        consecutive_repeats = sum(
+            1 for a, b in zip(attacks, attacks[1:]) if a.target_ip == b.target_ip
+        )
+        assert consecutive_repeats / max(1, len(attacks) - 1) > 0.2
+
+    def test_scale_multiplies_volume(self, topo, allocator):
+        profile = family_by_name("Darkshell")
+
+        def volume(scale):
+            population = BotnetPopulation(profile, topo, allocator,
+                                          np.random.default_rng(10))
+            targets = TargetPopulation(20, topo, allocator, [profile],
+                                       np.random.default_rng(11), n_target_ases=4)
+            scheduler = AttackScheduler(population, targets,
+                                        np.random.default_rng(12), scale=scale)
+            return len(run_days(population, scheduler, 20))
+
+        assert volume(2.0) > 1.3 * volume(0.5)
+
+    def test_rejects_bad_scale(self, scheduler_setup):
+        population, _ = scheduler_setup
+        targets_rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            AttackScheduler(population, None, targets_rng, scale=0.0)

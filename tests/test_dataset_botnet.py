@@ -1,0 +1,122 @@
+"""Tests for bot population dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.botnet import BotnetPopulation
+from repro.dataset.families import FamilyProfile, family_by_name
+
+
+@pytest.fixture()
+def population(topo, allocator, rng):
+    profile = family_by_name("BlackEnergy")
+    return BotnetPopulation(profile, topo, allocator, rng)
+
+
+class TestBotnetPopulation:
+    def test_pool_in_home_ases(self, population, allocator):
+        for ip in np.random.default_rng(0).choice(population._pool, size=20):
+            assert allocator.asn_of(int(ip)) in population.home_ases
+
+    def test_home_as_count_respects_profile(self, population):
+        assert len(population.home_ases) <= population.profile.n_home_ases
+
+    def test_steps_must_be_sequential(self, population):
+        population.step_hour(0)
+        with pytest.raises(ValueError):
+            population.step_hour(2)
+
+    def test_active_bots_bounded_by_pool(self, population):
+        for hour in range(48):
+            population.step_hour(hour)
+            assert 0 <= population.active_bots.size <= population.pool_size
+
+    def test_active_asns_aligned(self, population, allocator):
+        population.step_hour(0)
+        bots = population.active_bots
+        asns = population.active_bot_asns
+        assert bots.size == asns.size
+        for ip, asn in zip(bots[:10], asns[:10]):
+            assert allocator.asn_of(int(ip)) == asn
+
+    def test_churn_grows_cumulative(self, topo, allocator, rng):
+        profile = FamilyProfile(name="Churny", attacks_per_day=5.0, active_days=200,
+                                cv=1.0, pool_size=500, churn_rate=0.2,
+                                mean_active_period_days=1000.0)
+        population = BotnetPopulation(profile, topo, allocator, rng)
+        initial = population.cumulative_bots
+        for hour in range(24 * 10):
+            population.step_hour(hour)
+        assert population.cumulative_bots > initial
+
+    def test_diurnal_modulation(self, topo, allocator):
+        """Activity at the preferred hour should exceed the off-peak."""
+        profile = FamilyProfile(name="Diurnal", attacks_per_day=50.0, active_days=240,
+                                cv=0.3, pool_size=2000, diurnal_peak=12,
+                                diurnal_strength=0.9,
+                                mean_active_period_days=1000.0)
+        population = BotnetPopulation(profile, topo, allocator,
+                                      np.random.default_rng(3))
+        peak, trough = [], []
+        for hour in range(24 * 20):
+            population.step_hour(hour)
+            if hour % 24 == 12:
+                peak.append(population.active_bots.size)
+            if hour % 24 == 0:
+                trough.append(population.active_bots.size)
+        assert np.mean(peak) > 1.5 * max(np.mean(trough), 1)
+
+    def test_dormant_family_low_rate(self, topo, allocator):
+        profile = FamilyProfile(name="Sleepy", attacks_per_day=10.0, active_days=1,
+                                cv=1.0, pool_size=500, mean_active_period_days=1.0)
+        population = BotnetPopulation(profile, topo, allocator,
+                                      np.random.default_rng(4))
+        rates = []
+        for hour in range(24 * 30):
+            population.step_hour(hour)
+            rates.append(population.launch_rate())
+        # almost always dormant -> rate nearly always zero
+        assert np.mean(np.array(rates) == 0.0) > 0.9
+
+    def test_launch_rate_calibrated(self, topo, allocator):
+        """Mean launch rate over active regime ~ attacks/day deflated by
+        the follow-up factor."""
+        profile = family_by_name("Optima")
+        population = BotnetPopulation(profile, topo, allocator,
+                                      np.random.default_rng(5))
+        rates = []
+        for hour in range(24 * 60):
+            population.step_hour(hour)
+            if population.regime_on:
+                rates.append(population.launch_rate())
+        expected = profile.attacks_per_day / (1.0 + 0.85 * profile.multistage_mean_followups) / 24.0
+        assert np.mean(rates) == pytest.approx(expected, rel=0.5)
+
+    def test_sample_attack_bots_distinct_and_active(self, population, rng):
+        population.step_hour(0)
+        active = set(int(ip) for ip in population.active_bots)
+        bots = population.sample_attack_bots(20, rng)
+        assert len(set(int(b) for b in bots)) == bots.size
+        if active:
+            assert all(int(b) in active for b in bots)
+
+    def test_sample_when_dormant_still_returns_bots(self, topo, allocator, rng):
+        profile = FamilyProfile(name="Sleepy2", attacks_per_day=1.0, active_days=1,
+                                cv=1.0, pool_size=100, mean_active_period_days=1.0)
+        population = BotnetPopulation(profile, topo, allocator,
+                                      np.random.default_rng(6))
+        population.step_hour(0)
+        population._n_active = 0  # force an empty active set
+        bots = population.sample_attack_bots(5, rng)
+        assert bots.size >= 1
+
+    def test_latent_multiplier_near_unit_mean(self, topo, allocator):
+        profile = family_by_name("DirtJumper")
+        population = BotnetPopulation(profile, topo, allocator,
+                                      np.random.default_rng(7))
+        multipliers = []
+        for hour in range(24 * 200):
+            population.step_hour(hour)
+            if hour % 24 == 0:
+                multipliers.append(population.latent_multiplier)
+        assert np.mean(multipliers) == pytest.approx(1.0, rel=0.35)

@@ -1,0 +1,89 @@
+"""Tests for botnet family profiles (Table I calibration math)."""
+
+import math
+
+import pytest
+
+from repro.dataset.families import (
+    OBSERVATION_DAYS,
+    TABLE1_FAMILIES,
+    FamilyProfile,
+    family_by_name,
+)
+
+
+class TestTable1Profiles:
+    def test_ten_families(self):
+        assert len(TABLE1_FAMILIES) == 10
+
+    def test_names_match_paper(self):
+        names = {p.name for p in TABLE1_FAMILIES}
+        assert names == {
+            "AldiBot", "BlackEnergy", "Colddeath", "Darkshell", "DDoSer",
+            "DirtJumper", "Nitol", "Optima", "Pandora", "YZF",
+        }
+
+    def test_paper_values_verbatim(self):
+        dirtjumper = family_by_name("DirtJumper")
+        assert dirtjumper.attacks_per_day == pytest.approx(144.30)
+        assert dirtjumper.active_days == 220
+        assert dirtjumper.cv == pytest.approx(0.77)
+        yzf = family_by_name("YZF")
+        assert yzf.active_days == 72
+        assert yzf.cv == pytest.approx(1.41)
+
+    def test_dirtjumper_most_active_aldibot_least(self):
+        rates = {p.name: p.attacks_per_day for p in TABLE1_FAMILIES}
+        assert max(rates, key=rates.get) == "DirtJumper"
+        assert min(rates, key=rates.get) == "AldiBot"
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            family_by_name("Mirai")
+
+
+class TestFamilyProfileMath:
+    def test_latent_std_reproduces_cv(self):
+        """CV^2 = 1/lambda + (e^{s^2} - 1) must invert exactly."""
+        profile = family_by_name("DirtJumper")
+        s = profile.latent_stationary_std()
+        implied_cv = math.sqrt(
+            1.0 / profile.attacks_per_day + math.expm1(s * s)
+        )
+        assert implied_cv == pytest.approx(profile.cv, rel=1e-9)
+
+    def test_latent_std_zero_when_poisson_already_overdispersed(self):
+        # lambda=1, cv=0.5: Poisson noise alone (cv=1) exceeds the
+        # target; no latent volatility can reduce it, so s=0.
+        profile = FamilyProfile(name="X", attacks_per_day=1.0, active_days=10, cv=0.5)
+        assert profile.latent_stationary_std() == 0.0
+
+    def test_innovation_std_consistent_with_ar1(self):
+        profile = family_by_name("Pandora")
+        s = profile.latent_stationary_std()
+        sigma = profile.innovation_std()
+        stationary = sigma / math.sqrt(1.0 - profile.activity_phi**2)
+        assert stationary == pytest.approx(s, rel=1e-9)
+
+    def test_active_fraction_capped_at_one(self):
+        profile = FamilyProfile(name="X", attacks_per_day=1.0,
+                                active_days=OBSERVATION_DAYS + 100, cv=1.0)
+        assert profile.active_fraction() == 1.0
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FamilyProfile(name="X", attacks_per_day=0.0, active_days=10, cv=1.0)
+        with pytest.raises(ValueError):
+            FamilyProfile(name="X", attacks_per_day=1.0, active_days=0, cv=1.0)
+        with pytest.raises(ValueError):
+            FamilyProfile(name="X", attacks_per_day=1.0, active_days=1, cv=-0.1)
+        with pytest.raises(ValueError):
+            FamilyProfile(name="X", attacks_per_day=1.0, active_days=1, cv=1.0,
+                          target_affinity=1.5)
+        with pytest.raises(ValueError):
+            FamilyProfile(name="X", attacks_per_day=1.0, active_days=1, cv=1.0,
+                          activity_phi=1.0)
+
+    def test_profiles_frozen(self):
+        with pytest.raises(AttributeError):
+            TABLE1_FAMILIES[0].cv = 0.5  # type: ignore[misc]

@@ -1,0 +1,103 @@
+"""Tests for the top-level trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.families import TABLE1_FAMILIES
+from repro.dataset.generator import DatasetConfig, SimulationEnvironment, TraceGenerator
+from repro.topology import TopologyConfig
+
+
+class TestDatasetConfig:
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(n_days=0)
+
+    def test_rejects_empty_families(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(families=())
+
+    def test_rejects_duplicate_families(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(families=(TABLE1_FAMILIES[0], TABLE1_FAMILIES[0]))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(scale=-1.0)
+
+    def test_rejects_bad_snapshot_interval(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(snapshot_every=0)
+
+
+class TestTraceGenerator:
+    def test_trace_matches_config(self, small_trace):
+        assert small_trace.metadata.n_days == 35
+        assert small_trace.metadata.seed == 1234
+        assert len(small_trace.metadata.families) == 10
+
+    def test_attacks_generated(self, small_trace):
+        assert len(small_trace) > 500
+
+    def test_attacks_chronological(self, small_trace):
+        starts = [a.start_time for a in small_trace.attacks]
+        assert starts == sorted(starts)
+
+    def test_ddos_ids_unique(self, small_trace):
+        ids = [a.ddos_id for a in small_trace.attacks]
+        assert len(set(ids)) == len(ids)
+
+    def test_targets_hosted_in_environment(self, small_trace, small_env):
+        for attack in small_trace.attacks[::97]:
+            assert small_env.allocator.asn_of(attack.target_ip) == attack.target_asn
+
+    def test_bots_map_to_real_ases(self, small_trace, small_env):
+        attack = max(small_trace.attacks, key=lambda a: a.magnitude)
+        asns = small_env.allocator.asn_of_many(attack.bot_ips)
+        assert (asns >= 0).all()
+
+    def test_snapshots_per_family_per_hour(self, small_trace):
+        n_families = len(small_trace.metadata.families)
+        assert len(small_trace.snapshots) == small_trace.n_hours * n_families
+
+    def test_snapshot_running_counts_sane(self, small_trace):
+        for snapshot in small_trace.snapshots[::501]:
+            assert snapshot.n_attacks_running >= 0
+            assert snapshot.n_active_bots >= 0
+            assert snapshot.n_cumulative_bots >= snapshot.n_active_bots or \
+                snapshot.n_cumulative_bots > 0
+
+    def test_deterministic(self):
+        config = DatasetConfig(
+            n_days=6, n_targets=15, scale=0.5, seed=55,
+            topology=TopologyConfig(n_tier1=3, n_transit=12, n_stub=50, seed=5),
+        )
+        t1, _ = TraceGenerator(config).generate()
+        t2, _ = TraceGenerator(config).generate()
+        assert len(t1) == len(t2)
+        for a, b in zip(t1.attacks[:50], t2.attacks[:50]):
+            assert a.start_time == b.start_time
+            assert a.family == b.family
+            assert np.array_equal(a.bot_ips, b.bot_ips)
+
+    def test_seed_changes_trace(self):
+        base = dict(n_days=6, n_targets=15, scale=0.5,
+                    topology=TopologyConfig(n_tier1=3, n_transit=12, n_stub=50, seed=5))
+        t1, _ = TraceGenerator(DatasetConfig(seed=1, **base)).generate()
+        t2, _ = TraceGenerator(DatasetConfig(seed=2, **base)).generate()
+        assert len(t1) != len(t2) or t1.attacks[0].start_time != t2.attacks[0].start_time
+
+    def test_environment_reproducible_from_config(self):
+        config = DatasetConfig(
+            n_days=2, topology=TopologyConfig(n_tier1=3, n_transit=10, n_stub=30, seed=9)
+        )
+        env1 = SimulationEnvironment.from_config(config)
+        env2 = SimulationEnvironment.from_config(config)
+        assert env1.topology.edges() == env2.topology.edges()
+        assert env1.allocator.block(5) == env2.allocator.block(5)
+
+    def test_all_families_represented_eventually(self, small_trace):
+        present = set(small_trace.families())
+        # Short traces may miss the most dormant families, but the bulk
+        # must be there.
+        assert len(present) >= 7

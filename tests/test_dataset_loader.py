@@ -1,0 +1,90 @@
+"""Tests for trace persistence and splitting."""
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataset.loader import load_trace, save_trace, train_test_split
+
+
+class TestPersistence:
+    def test_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_trace)
+        assert loaded.metadata == small_trace.metadata
+        assert len(loaded.snapshots) == len(small_trace.snapshots)
+        a, b = small_trace.attacks[10], loaded.attacks[10]
+        assert a.ddos_id == b.ddos_id
+        assert np.array_equal(a.bot_ips, b.bot_ips)
+        assert a.duration == b.duration
+
+    def test_creates_parent_directories(self, small_trace, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        assert path.exists()
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        snapshot = {
+            "type": "snapshot", "family": "F", "hour_index": 0,
+            "n_active_bots": 1, "n_cumulative_bots": 1, "n_attacks_running": 0,
+        }
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps(snapshot) + "\n")
+        with pytest.raises(ValueError, match="metadata"):
+            load_trace(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad2.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({"type": "mystery"}) + "\n")
+        with pytest.raises(ValueError, match="unknown record type"):
+            load_trace(path)
+
+    def test_blank_lines_tolerated(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        raw = gzip.open(path, "rt").read()
+        with gzip.open(path, "wt") as fh:
+            fh.write("\n" + raw + "\n\n")
+        assert len(load_trace(path)) == len(small_trace)
+
+
+class TestTrainTestSplit:
+    def test_default_80_20(self, small_trace):
+        train, test = train_test_split(small_trace.attacks)
+        total = len(small_trace)
+        assert len(train) + len(test) == total
+        assert abs(len(train) - 0.8 * total) <= 1
+
+    def test_chronological(self, small_trace):
+        train, test = train_test_split(small_trace.attacks)
+        assert max(a.start_time for a in train) <= min(a.start_time for a in test)
+
+    def test_rejects_bad_fraction(self, small_trace):
+        with pytest.raises(ValueError):
+            train_test_split(small_trace.attacks, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(small_trace.attacks, 1.0)
+
+    def test_two_attacks_split_one_each(self, small_trace):
+        pair = small_trace.attacks[:2]
+        train, test = train_test_split(pair, 0.8)
+        assert len(train) == 1 and len(test) == 1
+
+    def test_paper_proportions(self):
+        """50,704 attacks split 80/20 -> 40,563 / 10,141 (§III-C)."""
+        from repro.dataset.records import AttackRecord
+        attacks = [
+            AttackRecord(ddos_id=i, family="F", target_ip=1, target_asn=1,
+                         start_time=float(i), duration=1.0,
+                         bot_ips=np.array([1]), hourly_magnitude=np.array([1]))
+            for i in range(50_704)
+        ]
+        train, test = train_test_split(attacks, 0.8)
+        assert len(train) == 40_563
+        assert len(test) == 10_141

@@ -1,0 +1,66 @@
+"""Tests for the target population."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.families import TABLE1_FAMILIES
+from repro.dataset.targets import Target, TargetPopulation
+
+
+@pytest.fixture()
+def targets(topo, allocator, rng):
+    return TargetPopulation(
+        n_targets=30, topo=topo, allocator=allocator,
+        families=list(TABLE1_FAMILIES), rng=rng, n_target_ases=5,
+    )
+
+
+class TestTargetPopulation:
+    def test_count(self, targets):
+        assert len(targets) == 30
+
+    def test_targets_clustered_in_requested_ases(self, targets):
+        assert len(targets.target_ases) == 5
+
+    def test_target_ips_in_their_asn(self, targets, allocator):
+        for target in targets.targets:
+            assert allocator.asn_of(target.ip) == target.asn
+
+    def test_sampling_respects_preferences(self, targets, rng):
+        """The most preferred target should be hit more often than the
+        least preferred one over many draws."""
+        counts = np.zeros(30)
+        for _ in range(3000):
+            counts[targets.sample_target("DirtJumper", rng).target_id] += 1
+        probs = targets._preference["DirtJumper"]
+        assert counts[np.argmax(probs)] > counts[np.argmin(probs)]
+
+    def test_preferred_hour_in_range(self, targets):
+        for target in targets.targets:
+            for profile in TABLE1_FAMILIES:
+                hour = targets.preferred_hour(profile.name, target)
+                assert 0 <= hour < 24
+
+    def test_duration_scale_positive(self, targets):
+        for target in targets.targets[:10]:
+            assert targets.duration_scale("Pandora", target) > 0
+
+    def test_families_have_distinct_preferences(self, targets):
+        a = targets._preference["DirtJumper"]
+        b = targets._preference["Pandora"]
+        assert not np.allclose(a, b)
+
+    def test_rejects_zero_targets(self, topo, allocator, rng):
+        with pytest.raises(ValueError):
+            TargetPopulation(0, topo, allocator, list(TABLE1_FAMILIES), rng)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            Target(target_id=0, ip=1, asn=1, attractiveness=0.0)
+
+    def test_deterministic_given_rng_seed(self, topo, allocator):
+        a = TargetPopulation(10, topo, allocator, list(TABLE1_FAMILIES),
+                             np.random.default_rng(9), n_target_ases=3)
+        b = TargetPopulation(10, topo, allocator, list(TABLE1_FAMILIES),
+                             np.random.default_rng(9), n_target_ases=3)
+        assert [t.ip for t in a.targets] == [t.ip for t in b.targets]

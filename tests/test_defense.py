@@ -1,0 +1,144 @@
+"""Tests for the defense use-case simulations (§VII-B, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.defense.middlebox import Middlebox, MiddleboxPipeline, run_middlebox_usecase
+from repro.defense.provisioning import CapacityPlanner, run_provisioning_usecase
+from repro.defense.sdn import FlowRule, FlowTable, SdnController, run_filtering_usecase
+
+
+class TestFlowTable:
+    def test_default_forward(self):
+        table = FlowTable()
+        assert table.action_for(42) == "forward"
+
+    def test_install_and_remove(self):
+        table = FlowTable()
+        table.install(FlowRule(source_asn=42, action="scrub", priority=1))
+        assert table.action_for(42) == "scrub"
+        table.remove(42)
+        assert table.action_for(42) == "forward"
+
+    def test_priority_override(self):
+        table = FlowTable()
+        table.install(FlowRule(42, "scrub", priority=5))
+        table.install(FlowRule(42, "forward", priority=1))  # lower: ignored
+        assert table.action_for(42) == "scrub"
+        table.install(FlowRule(42, "forward", priority=9))
+        assert table.action_for(42) == "forward"
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRule(1, "drop-table")
+
+    def test_scrubbed_ases(self):
+        table = FlowTable()
+        table.install(FlowRule(1, "scrub"))
+        table.install(FlowRule(2, "forward"))
+        assert table.scrubbed_ases() == {1}
+
+
+class TestSdnController:
+    def test_classification(self):
+        controller = SdnController()
+        controller.deploy_prediction([10, 20])
+        mask = controller.classify(np.array([10, 30, 20, 40]))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_redeploy_clears_previous(self):
+        controller = SdnController()
+        controller.deploy_prediction([10])
+        controller.deploy_prediction([20])
+        assert controller.table.scrubbed_ases() == {20}
+
+
+class TestFilteringUsecase:
+    def test_metrics_shape(self, predictor):
+        metrics = run_filtering_usecase(predictor, n_attacks=50, seed=1)
+        assert 0.0 <= metrics["proactive_attack_filtered"] <= 1.0
+        assert 0.0 <= metrics["reactive_attack_filtered"] <= 1.0
+        assert 0.0 <= metrics["proactive_collateral"] <= 1.0
+        assert metrics["n_attacks"] > 0
+
+    def test_proactive_wins(self, predictor):
+        """Fig. 5a claim: prediction lets filtering start at t=0."""
+        metrics = run_filtering_usecase(predictor, n_attacks=100, seed=0)
+        assert metrics["improvement"] > 0
+
+
+class TestMiddleboxPipeline:
+    def test_mode_switching_costs(self):
+        pipeline = MiddleboxPipeline(switch_cost_minutes=3.0)
+        assert pipeline.mode == MiddleboxPipeline.NORMAL
+        pipeline.set_mode(MiddleboxPipeline.DEFENSE)
+        pipeline.set_mode(MiddleboxPipeline.DEFENSE)  # no-op
+        pipeline.set_mode(MiddleboxPipeline.NORMAL)
+        assert pipeline.switches == 2
+        assert pipeline.interruption_minutes == 6.0
+
+    def test_order_reflects_mode(self):
+        pipeline = MiddleboxPipeline()
+        first, second = pipeline.order()
+        assert (first.name, second.name) == ("load-balancer", "firewall")
+        pipeline.set_mode(MiddleboxPipeline.DEFENSE)
+        first, second = pipeline.order()
+        assert first.name == "firewall"
+        assert pipeline.protected
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MiddleboxPipeline().set_mode("panic")
+
+    def test_negative_switch_cost_rejected(self):
+        with pytest.raises(ValueError):
+            MiddleboxPipeline(switch_cost_minutes=-1.0)
+
+    def test_middlebox_dataclass(self):
+        fw = Middlebox("fw", 1.5, True)
+        assert fw.protective
+
+
+class TestMiddleboxUsecase:
+    def test_metrics(self, predictor):
+        metrics = run_middlebox_usecase(predictor, n_networks=3)
+        assert 0.0 <= metrics["predictive_unprotected_fraction"] <= 1.0
+        assert 0.0 <= metrics["reactive_unprotected_fraction"] <= 1.0
+        assert metrics["n_networks"] == 3
+
+    def test_prediction_reduces_unprotected_time(self, predictor):
+        metrics = run_middlebox_usecase(predictor, n_networks=4)
+        assert metrics["predictive_unprotected_fraction"] <= \
+            metrics["reactive_unprotected_fraction"] + 0.05
+
+
+class TestCapacityPlanner:
+    def test_provision_scales_with_headroom(self):
+        planner = CapacityPlanner(headroom=2.0)
+        assert planner.provision(100.0) == 200.0
+
+    def test_cost_asymmetric(self):
+        planner = CapacityPlanner(over_cost=1.0, under_cost=5.0)
+        assert planner.cost(50.0, 100.0) == 250.0  # underprovision hurts
+        assert planner.cost(150.0, 100.0) == 50.0
+
+    def test_unmet(self):
+        planner = CapacityPlanner()
+        assert planner.unmet(50.0, 80.0) == 30.0
+        assert planner.unmet(90.0, 80.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityPlanner(headroom=0.0)
+        with pytest.raises(ValueError):
+            CapacityPlanner(over_cost=-1.0)
+
+
+class TestProvisioningUsecase:
+    def test_guided_beats_static_on_unmet(self, predictor):
+        metrics = run_provisioning_usecase(predictor)
+        assert metrics["guided_unmet"] < metrics["static_mean_unmet"]
+
+    def test_max_provisioning_never_unmet_but_costly(self, predictor):
+        metrics = run_provisioning_usecase(predictor)
+        assert metrics["static_max_cost"] > metrics["guided_cost"] * 0.5

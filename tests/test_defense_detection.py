@@ -1,0 +1,92 @@
+"""Tests for entropy-based early detection."""
+
+import numpy as np
+import pytest
+
+from repro.defense.detection import EntropyDetector, run_detection_usecase, shannon_entropy
+
+
+class TestShannonEntropy:
+    def test_uniform_max(self):
+        assert shannon_entropy(np.full(8, 10)) == pytest.approx(3.0)
+
+    def test_single_source_zero(self):
+        assert shannon_entropy(np.array([100])) == 0.0
+
+    def test_empty_zero(self):
+        assert shannon_entropy(np.zeros(0)) == 0.0
+
+    def test_concentration_lowers_entropy(self):
+        spread = shannon_entropy(np.full(10, 10))
+        concentrated = shannon_entropy(np.array([91, 1, 1, 1, 1, 1, 1, 1, 1, 1]))
+        assert concentrated < spread
+
+
+class TestEntropyDetector:
+    def _calibrated(self, rng, threshold=1.0):
+        detector = EntropyDetector(threshold_drop=threshold, window=200)
+        detector.calibrate(rng.integers(1, 200, size=5000))  # diverse sources
+        return detector
+
+    def test_clean_traffic_no_alarm(self, rng):
+        detector = self._calibrated(rng)
+        for _ in range(10):
+            assert not detector.observe(rng.integers(1, 200, size=100))
+
+    def test_concentrated_attack_alarms(self, rng):
+        detector = self._calibrated(rng)
+        fired = False
+        for _ in range(10):
+            mixed = np.concatenate([
+                rng.integers(1, 200, size=50),
+                np.full(150, 7),  # bot AS floods the window
+            ])
+            fired = fired or detector.observe(mixed)
+        assert fired
+
+    def test_requires_calibration(self, rng):
+        detector = EntropyDetector(threshold_drop=1.0)
+        with pytest.raises(RuntimeError):
+            detector.observe(np.array([1, 2, 3]))
+        with pytest.raises(RuntimeError):
+            _ = detector.baseline
+
+    def test_reset_keeps_baseline(self, rng):
+        detector = self._calibrated(rng)
+        detector.observe(rng.integers(1, 200, size=100))
+        baseline = detector.baseline
+        detector.reset()
+        assert detector.baseline == baseline
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EntropyDetector(threshold_drop=0.0)
+        with pytest.raises(ValueError):
+            EntropyDetector(threshold_drop=1.0, window=5)
+
+    def test_no_alarm_before_window_warm(self, rng):
+        detector = self._calibrated(rng)
+        # Fewer than window/2 connections: never alarmed, even if pure bot.
+        assert not detector.observe(np.full(50, 7))
+
+
+class TestDetectionUsecase:
+    @pytest.fixture(scope="class")
+    def metrics(self, predictor):
+        return run_detection_usecase(predictor, n_attacks=30, n_steps=30,
+                                     onset_step=15)
+
+    def test_detects_most_attacks(self, metrics):
+        assert metrics["informed_detection_rate"] > 0.5
+
+    def test_informed_at_least_as_fast(self, metrics):
+        generic = metrics["generic_mean_delay_steps"]
+        informed = metrics["informed_mean_delay_steps"]
+        if np.isfinite(generic) and np.isfinite(informed):
+            assert informed <= generic + 1.0
+
+    def test_false_alarms_bounded(self, metrics):
+        assert metrics["informed_false_alarm_rate"] <= 0.5
+
+    def test_counts(self, metrics):
+        assert metrics["n_attacks"] > 0

@@ -1,0 +1,107 @@
+"""Tests for flow-level traffic redirection."""
+
+import numpy as np
+import pytest
+
+from repro.defense.redirection import (
+    Flow,
+    RedirectionSimulator,
+    ScrubbingCenter,
+    run_redirection_usecase,
+)
+from repro.topology.distance import DistanceOracle
+
+
+@pytest.fixture()
+def simulator(topo):
+    scrub_asn = max(topo.asns, key=topo.degree)
+    return RedirectionSimulator(
+        DistanceOracle(topo), ScrubbingCenter(asn=scrub_asn, capacity=100.0)
+    ), scrub_asn
+
+
+class TestFlowValidation:
+    def test_rejects_zero_volume(self):
+        with pytest.raises(ValueError):
+            Flow(src_asn=1, dst_asn=2, volume=0.0, is_attack=True)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ScrubbingCenter(asn=1, capacity=0.0)
+
+
+class TestRouting:
+    def test_unmatched_flow_takes_direct_path(self, simulator, topo):
+        sim, _ = simulator
+        flow = Flow(src_asn=topo.asns[-1], dst_asn=topo.asns[-2],
+                    volume=5.0, is_attack=False)
+        outcome = sim.route(flow, scrub_ases=set())
+        assert not outcome.scrubbed
+        assert outcome.stretch == 1.0
+
+    def test_matched_flow_detours(self, simulator, topo):
+        sim, scrub_asn = simulator
+        src, dst = topo.asns[-1], topo.asns[-2]
+        flow = Flow(src_asn=src, dst_asn=dst, volume=5.0, is_attack=True)
+        outcome = sim.route(flow, scrub_ases={src})
+        assert outcome.scrubbed
+        direct = sim.oracle.distance(src, dst)
+        via = sim.oracle.distance(src, scrub_asn) + sim.oracle.distance(scrub_asn, dst)
+        assert outcome.hops == max(via, 1)
+        assert outcome.stretch >= 1.0 or via < direct
+
+    def test_capacity_overflow_drops(self, simulator, topo):
+        sim, _ = simulator
+        src, dst = topo.asns[-1], topo.asns[-2]
+        big = Flow(src_asn=src, dst_asn=dst, volume=90.0, is_attack=True)
+        sim.route(big, {src})
+        second = Flow(src_asn=src, dst_asn=dst, volume=50.0, is_attack=True)
+        outcome = sim.route(second, {src})
+        assert outcome.dropped_at_scrubber
+
+    def test_reset_clears_load(self, simulator, topo):
+        sim, _ = simulator
+        src, dst = topo.asns[-1], topo.asns[-2]
+        sim.route(Flow(src, dst, 30.0, True), {src})
+        assert sim.load == 30.0
+        sim.reset()
+        assert sim.load == 0.0
+
+
+class TestRunBatch:
+    def test_metrics_bounded(self, simulator, topo, rng):
+        sim, _ = simulator
+        stubs = topo.asns[-20:]
+        dst = stubs[0]
+        flows = [
+            Flow(src_asn=s, dst_asn=dst, volume=2.0, is_attack=(i % 3 == 0))
+            for i, s in enumerate(stubs[1:])
+        ]
+        scrub = {s for i, s in enumerate(stubs[1:]) if i % 3 == 0}
+        metrics = sim.run(flows, scrub)
+        assert metrics["attack_scrubbed_fraction"] == 1.0
+        assert metrics["legit_redirected_fraction"] == 0.0
+        assert metrics["mean_legit_stretch"] >= 1.0
+
+    def test_empty_batch_rejected(self, simulator):
+        sim, _ = simulator
+        with pytest.raises(ValueError):
+            sim.run([], set())
+
+
+class TestUsecase:
+    def test_end_to_end(self, predictor):
+        metrics = run_redirection_usecase(predictor, n_attacks=20,
+                                          n_legit_flows=100)
+        assert metrics["attack_scrubbed_fraction"] > 0.5
+        assert metrics["legit_redirected_fraction"] < 0.3
+        assert metrics["mean_legit_stretch"] >= 1.0
+        assert metrics["n_attacks"] == 20.0
+
+    def test_capacity_limits_matter(self, predictor):
+        tight = run_redirection_usecase(predictor, n_attacks=15,
+                                        capacity_factor=0.2)
+        loose = run_redirection_usecase(predictor, n_attacks=15,
+                                        capacity_factor=10.0)
+        assert tight["scrubber_overflow_fraction"] >= \
+            loose["scrubber_overflow_fraction"]

@@ -1,0 +1,94 @@
+"""Tests for goodness-of-fit validation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.goodness import (
+    fit_quality,
+    jarque_bera,
+    r_squared,
+    temporal_goodness_report,
+)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert r_squared(x, x) == 1.0
+
+    def test_mean_prediction_zero(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        fitted = np.full(3, 2.0)
+        assert r_squared(actual, fitted) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        fitted = np.array([3.0, 2.0, 1.0])
+        assert r_squared(actual, fitted) < 0.0
+
+    def test_constant_target(self):
+        x = np.full(5, 2.0)
+        assert r_squared(x, x) == 1.0
+        assert r_squared(x, x + 1.0) == 0.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared(np.zeros(2), np.zeros(3))
+
+
+class TestJarqueBera:
+    def test_gaussian_not_rejected(self, rng):
+        _, p = jarque_bera(rng.normal(0, 1, 2000))
+        assert p > 0.01
+
+    def test_heavy_tails_rejected(self, rng):
+        _, p = jarque_bera(rng.standard_t(2, size=2000))
+        assert p < 0.01
+
+    def test_skew_rejected(self, rng):
+        _, p = jarque_bera(rng.exponential(1.0, size=2000))
+        assert p < 1e-6
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            jarque_bera(np.zeros(5))
+
+    def test_constant_residuals(self):
+        stat, p = jarque_bera(np.full(20, 1.0))
+        assert stat == 0.0 and p == 1.0
+
+
+class TestFitQuality:
+    def test_fields(self, rng):
+        actual = rng.normal(0, 1, 200)
+        fitted = actual + rng.normal(0, 0.1, 200)
+        quality = fit_quality("x", actual, fitted, n_params=2)
+        assert quality.r2 > 0.9
+        assert quality.n == 200
+        assert quality.residuals_white  # iid residuals
+
+    def test_autocorrelated_residuals_flagged(self, rng):
+        n = 500
+        residuals = np.zeros(n)
+        for t in range(1, n):
+            residuals[t] = 0.9 * residuals[t - 1] + rng.normal()
+        actual = rng.normal(0, 1, n) + residuals
+        fitted = actual - residuals
+        quality = fit_quality("x", actual, fitted)
+        assert not quality.residuals_white
+
+
+class TestTemporalGoodnessReport:
+    def test_report_on_fitted_predictor(self, predictor):
+        report = temporal_goodness_report(predictor, n_families=4)
+        assert report
+        for entry in report:
+            assert np.isfinite(entry.r2)
+            assert entry.n >= 8
+
+    def test_fits_explain_signal(self, predictor):
+        """In-sample one-step R^2 of the magnitude ARIMAs should be
+        positive for at least one active family (the series are
+        autocorrelated by construction)."""
+        report = temporal_goodness_report(predictor, n_families=5)
+        assert max(entry.r2 for entry in report) > 0.0

@@ -1,0 +1,135 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation.metrics import (
+    circular_hour_error,
+    error_distribution,
+    mae,
+    rmse,
+    total_variation_distance,
+)
+
+
+class TestRmseMae:
+    def test_perfect(self):
+        x = np.array([1.0, 2.0])
+        assert rmse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+
+    def test_known_values(self):
+        actual = np.array([0.0, 0.0])
+        predicted = np.array([3.0, 4.0])
+        assert rmse(actual, predicted) == pytest.approx(np.sqrt(12.5))
+        assert mae(actual, predicted) == pytest.approx(3.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(2), np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(0), np.zeros(0))
+
+    @given(arrays(np.float64, st.integers(1, 30), elements=st.floats(-100, 100)),
+           arrays(np.float64, st.integers(1, 30), elements=st.floats(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_dominates_mae(self, a, b):
+        n = min(a.size, b.size)
+        assert rmse(a[:n], b[:n]) >= mae(a[:n], b[:n]) - 1e-12
+
+
+class TestCircularHourError:
+    def test_wraparound(self):
+        errors = circular_hour_error(np.array([23.0]), np.array([1.0]))
+        assert errors[0] == pytest.approx(2.0)
+
+    def test_max_is_twelve(self):
+        errors = circular_hour_error(np.array([0.0]), np.array([12.0]))
+        assert errors[0] == pytest.approx(12.0)
+
+    def test_symmetric(self):
+        a, b = np.array([5.0]), np.array([20.0])
+        assert circular_hour_error(a, b)[0] == circular_hour_error(b, a)[0]
+
+    @given(arrays(np.float64, st.integers(1, 20), elements=st.floats(0, 24)),
+           arrays(np.float64, st.integers(1, 20), elements=st.floats(0, 24)))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_half_day(self, a, b):
+        n = min(a.size, b.size)
+        errors = circular_hour_error(a[:n], b[:n])
+        assert (errors >= 0).all()
+        assert (errors <= 12.0).all()
+
+
+class TestErrorDistribution:
+    def test_counts_sum_to_n(self):
+        errors = np.array([0.1, 0.2, 5.0, 9.0])
+        _, counts = error_distribution(errors, bins=5)
+        assert counts.sum() == 4
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_one(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_normalizes_inputs(self):
+        assert total_variation_distance(
+            np.array([2.0, 2.0]), np.array([5.0, 5.0])
+        ) == pytest.approx(0.0)
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.zeros(2), np.ones(2))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.ones(2), np.ones(3))
+
+
+class TestBootstrapCi:
+    def test_contains_point_estimate(self, rng):
+        from repro.evaluation.metrics import bootstrap_rmse_ci
+
+        actual = rng.normal(0, 1, 300)
+        predicted = actual + rng.normal(0, 0.5, 300)
+        point, lower, upper = bootstrap_rmse_ci(actual, predicted, seed=1)
+        assert lower <= point <= upper
+        assert point == pytest.approx(rmse(actual, predicted))
+
+    def test_interval_narrows_with_more_data(self, rng):
+        from repro.evaluation.metrics import bootstrap_rmse_ci
+
+        def width(n):
+            actual = rng.normal(0, 1, n)
+            predicted = actual + rng.normal(0, 0.5, n)
+            _, lower, upper = bootstrap_rmse_ci(actual, predicted, seed=2)
+            return upper - lower
+
+        assert width(2000) < width(50)
+
+    def test_deterministic_given_seed(self, rng):
+        from repro.evaluation.metrics import bootstrap_rmse_ci
+
+        actual = rng.normal(0, 1, 100)
+        predicted = actual + 0.3
+        assert bootstrap_rmse_ci(actual, predicted, seed=7) == \
+            bootstrap_rmse_ci(actual, predicted, seed=7)
+
+    def test_validation(self, rng):
+        from repro.evaluation.metrics import bootstrap_rmse_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_rmse_ci(np.ones(5), np.ones(5), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_rmse_ci(np.ones(5), np.ones(5), n_bootstrap=2)

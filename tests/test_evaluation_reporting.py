@@ -1,0 +1,76 @@
+"""Tests for ASCII reporting."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["A", "LongHeader"], [["x", "1"], ["yy", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A ")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        out = format_table(["H"], [["v"]], title="TITLE")
+        assert out.splitlines()[0] == "TITLE"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline(np.zeros(0)) == ""
+
+    def test_constant(self):
+        assert sparkline(np.ones(5)) == "▁" * 5
+
+    def test_monotone_ramp(self):
+        out = sparkline(np.arange(8.0))
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_downsamples_long_series(self):
+        out = sparkline(np.arange(500.0), width=40)
+        assert len(out) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline(np.arange(3.0), width=40)) == 3
+
+
+class TestEndToEndFormatting:
+    def test_all_formatters_render(self, predictor, small_trace):
+        """Smoke: every formatter produces non-empty printable text."""
+        from repro.evaluation import (
+            format_comparison,
+            format_figure1,
+            format_figure2,
+            format_figure34,
+            format_table1,
+            run_comparison,
+            run_figure1,
+            run_figure2,
+            run_figure34,
+            run_table1,
+        )
+
+        outputs = [
+            format_table1(run_table1(small_trace)),
+            format_figure1(run_figure1(predictor)),
+            format_figure2(run_figure2(predictor)),
+            format_figure34(run_figure34(predictor)),
+            format_comparison(run_comparison(predictor)),
+        ]
+        for text in outputs:
+            assert isinstance(text, str) and len(text) > 40
+            text.encode("utf-8")
+
+
+class TestFormatGoodness:
+    def test_renders(self, predictor):
+        from repro.evaluation import format_goodness, temporal_goodness_report
+
+        text = format_goodness(temporal_goodness_report(predictor, n_families=3))
+        assert "GOODNESS OF FIT" in text
+        assert "R^2" in text
+        assert text.count("\n") >= 4

@@ -1,0 +1,44 @@
+"""Tests for splitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.split import split_series_at, split_time_of
+from tests.test_dataset_records import make_attack
+
+
+class TestSplitTimeOf:
+    def test_matches_train_test_split_boundary(self, small_trace):
+        from repro.dataset.loader import train_test_split
+
+        train, test = train_test_split(small_trace.attacks)
+        boundary = split_time_of(small_trace.attacks)
+        assert boundary == test[0].start_time
+        assert all(a.start_time < boundary for a in train)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            split_time_of([])
+
+    def test_custom_fraction(self):
+        attacks = [make_attack(ddos_id=i, start_time=float(i) * 100)
+                   for i in range(10)]
+        assert split_time_of(attacks, 0.5) == 500.0
+
+
+class TestSplitSeriesAt:
+    def test_basic(self):
+        series = np.arange(10.0)
+        train, test = split_series_at(series, first_day=5, split_day=8)
+        assert train.tolist() == [0.0, 1.0, 2.0]
+        assert test.tolist() == list(np.arange(3.0, 10.0))
+
+    def test_split_before_start(self):
+        train, test = split_series_at(np.arange(5.0), first_day=10, split_day=3)
+        assert train.size == 0
+        assert test.size == 5
+
+    def test_split_after_end(self):
+        train, test = split_series_at(np.arange(5.0), first_day=0, split_day=99)
+        assert train.size == 5
+        assert test.size == 0

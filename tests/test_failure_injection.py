@@ -1,0 +1,145 @@
+"""Failure-injection and degenerate-input tests.
+
+A production library has to fail loudly and informatively -- or degrade
+gracefully where the paper's protocol allows it -- when handed broken
+files, too-small traces, or pathological series.
+"""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.core import AttackPredictor, SpatialModel, TemporalModel
+from repro.dataset import DatasetConfig, TraceGenerator, load_trace
+from repro.dataset.records import AttackTrace, TraceMetadata
+from repro.features import FeatureExtractor
+from repro.topology import TopologyConfig
+from tests.test_dataset_records import make_attack
+
+
+class TestCorruptPersistence:
+    def test_truncated_gzip_raises(self, small_trace, tmp_path):
+        from repro.dataset import save_trace
+
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises((EOFError, OSError, ValueError)):
+            load_trace(path)
+
+    def test_non_gzip_raises(self, tmp_path):
+        path = tmp_path / "bogus.jsonl.gz"
+        path.write_text("this is not gzip")
+        with pytest.raises((OSError, gzip.BadGzipFile)):
+            load_trace(path)
+
+    def test_malformed_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("{not json}\n")
+        with pytest.raises(Exception):
+            load_trace(path)
+
+
+class TestDegenerateTraces:
+    def _trace(self, attacks, n_days=30):
+        meta = TraceMetadata(n_days=n_days, seed=0, families=["F"],
+                             n_targets=1, topology_seed=0)
+        return AttackTrace(attacks=attacks, snapshots=[], metadata=meta)
+
+    def test_temporal_model_skips_sparse_families(self, fx):
+        """A family with three attacks cannot support the series models
+        and must simply be absent, not crash."""
+        trace = self._trace([
+            make_attack(ddos_id=i, family="Rare", start_time=i * 9000.0)
+            for i in range(3)
+        ])
+
+        class _FakeFx:
+            def families(self):
+                return ["Rare"]
+
+            def family_attacks(self, family):
+                return trace.attacks
+
+        model = TemporalModel().fit(_FakeFx(), split_time=1e9)
+        assert model.get("Rare") is None
+
+    def test_spatial_model_empty_when_no_history(self, small_trace_env):
+        trace, env = small_trace_env
+        fx = FeatureExtractor(trace, env)
+        model = SpatialModel().fit(fx, split_time=0.0)  # nothing before t=0
+        assert model.ases() == []
+
+    def test_predictor_on_tiny_trace_raises_cleanly(self):
+        config = DatasetConfig(
+            n_days=2, n_targets=5, scale=0.05, seed=1,
+            topology=TopologyConfig(n_tier1=2, n_transit=4, n_stub=12, seed=1),
+        )
+        trace, env = TraceGenerator(config).generate()
+        if len(trace) < 4:
+            pytest.skip("trace too tiny to even split")
+        predictor = AttackPredictor(trace, env)
+        with pytest.raises((ValueError, RuntimeError)):
+            predictor.fit()
+
+
+class TestPathologicalSeries:
+    def test_arima_on_constant_plus_spike(self):
+        from repro.timeseries import ARIMA
+
+        y = np.zeros(100)
+        y[50] = 1000.0
+        model = ARIMA((1, 0, 0)).fit(y)
+        assert np.isfinite(model.forecast(3)).all()
+
+    def test_nar_on_near_constant_series(self):
+        from repro.neural import NARModel
+
+        y = np.ones(60) + np.linspace(0, 1e-9, 60)
+        # The scaler maps a (numerically) constant series to zeros; the
+        # model must fit and predict without blowing up.
+        model = NARModel(n_delays=2, n_hidden=2, seed=0).fit(y)
+        assert np.isfinite(model.forecast(3)).all()
+
+    def test_model_tree_on_duplicated_rows(self, rng):
+        from repro.tree import ModelTree
+
+        x = np.tile(rng.normal(0, 1, (5, 2)), (20, 1))
+        y = np.tile(rng.normal(0, 1, 5), 20)
+        tree = ModelTree(max_depth=4).fit(x, y)
+        assert np.isfinite(tree.predict(x)).all()
+
+    def test_source_coefficient_single_bot(self, fx):
+        attack = make_attack(bot_ips=np.array([fx.trace.attacks[0].bot_ips[0]]))
+        from repro.features.source_dist import source_distribution_coefficient
+
+        coefficient = source_distribution_coefficient(
+            attack.bot_ips, fx.env.allocator, fx.env.oracle
+        )
+        assert coefficient > 0.0
+
+
+class TestHostileInputsToDefense:
+    def test_middlebox_simulation_short_window_raises(self, predictor):
+        from repro.defense.middlebox import run_middlebox_usecase
+
+        # Force an empty test window by lying about the split.
+        original = predictor.split_time
+        try:
+            predictor.split_time = predictor.fx.trace.n_hours * 3600.0
+            with pytest.raises(ValueError):
+                run_middlebox_usecase(predictor)
+        finally:
+            predictor.split_time = original
+
+    def test_filtering_with_no_test_attacks_raises(self, small_trace_env):
+        from repro.defense.sdn import run_filtering_usecase
+
+        trace, env = small_trace_env
+        fresh = AttackPredictor(trace, env)
+        fresh.test_attacks = []
+        with pytest.raises(ValueError):
+            run_filtering_usecase(fresh)

@@ -1,0 +1,75 @@
+"""Tests for activity features (Table I statistics, Eq. 1)."""
+
+import numpy as np
+
+from repro.dataset.records import DAY
+from repro.features.activity import activity_table, attack_rate_feature, daily_attack_counts
+from tests.test_dataset_records import make_attack
+
+
+def attacks_on_days(family, days):
+    return [
+        make_attack(ddos_id=i, family=family, start_time=d * DAY + 3600.0)
+        for i, d in enumerate(days)
+    ]
+
+
+class TestDailyCounts:
+    def test_counts(self):
+        attacks = attacks_on_days("A", [0, 0, 1, 3, 3, 3])
+        assert daily_attack_counts(attacks) == {0: 2, 1: 1, 3: 3}
+
+    def test_family_filter(self):
+        attacks = attacks_on_days("A", [0]) + attacks_on_days("B", [0, 1])
+        assert daily_attack_counts(attacks, family="B") == {0: 1, 1: 1}
+
+
+class TestActivityTable:
+    def test_average_over_active_days(self):
+        attacks = attacks_on_days("A", [0, 0, 2, 2, 2, 9])
+        (row,) = activity_table(attacks)
+        assert row.active_days == 3
+        assert row.avg_per_day == 2.0  # (2 + 3 + 1) / 3
+
+    def test_cv_zero_for_constant(self):
+        attacks = attacks_on_days("A", [0, 1, 2, 3])
+        (row,) = activity_table(attacks)
+        assert row.cv == 0.0
+
+    def test_cv_positive_for_variation(self):
+        attacks = attacks_on_days("A", [0] * 10 + [1])
+        (row,) = activity_table(attacks)
+        assert row.cv > 0.5
+
+    def test_families_sorted(self):
+        attacks = attacks_on_days("Z", [0]) + attacks_on_days("A", [0])
+        rows = activity_table(attacks)
+        assert [r.family for r in rows] == ["A", "Z"]
+
+    def test_realistic_trace(self, small_trace):
+        rows = activity_table(small_trace.attacks)
+        assert all(r.avg_per_day > 0 for r in rows)
+        assert all(0 < r.active_days <= 35 for r in rows)
+
+
+class TestAttackRateFeature:
+    def test_cumulative_average(self):
+        attacks = attacks_on_days("A", [0, 0, 1, 2])
+        series = attack_rate_feature(attacks, "A")
+        assert np.allclose(series, [2.0, 3 / 2, 4 / 3])
+
+    def test_empty_for_unknown_family(self):
+        attacks = attacks_on_days("A", [0])
+        assert attack_rate_feature(attacks, "B").size == 0
+
+    def test_monotone_for_constant_rate(self):
+        """With one attack per day, A^f is constant at 1."""
+        attacks = attacks_on_days("A", list(range(10)))
+        series = attack_rate_feature(attacks, "A")
+        assert np.allclose(series, 1.0)
+
+    def test_rate_decays_after_burst(self):
+        attacks = attacks_on_days("A", [0] * 10 + [5])
+        series = attack_rate_feature(attacks, "A")
+        assert series[0] == 10.0
+        assert series[-1] < series[0]

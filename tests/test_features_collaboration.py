@@ -1,0 +1,76 @@
+"""Tests for botnet collaboration analysis."""
+
+import pytest
+
+from repro.dataset.records import DAY, HOUR
+from repro.features.collaboration import (
+    co_targeting_counts,
+    collaboration_graph,
+    collaboration_summary,
+    family_target_sets,
+    target_overlap_jaccard,
+)
+from tests.test_dataset_records import make_attack
+
+
+def two_family_stream():
+    return [
+        make_attack(ddos_id=1, family="A", target_ip=10, start_time=0.0),
+        make_attack(ddos_id=2, family="B", target_ip=10, start_time=2 * HOUR),
+        make_attack(ddos_id=3, family="A", target_ip=20, start_time=4 * HOUR),
+        make_attack(ddos_id=4, family="B", target_ip=30, start_time=5 * HOUR),
+        make_attack(ddos_id=5, family="A", target_ip=10, start_time=2 * DAY),
+    ]
+
+
+class TestCollaborationFeatures:
+    def test_family_target_sets(self):
+        sets = family_target_sets(two_family_stream())
+        assert sets["A"] == {10, 20}
+        assert sets["B"] == {10, 30}
+
+    def test_jaccard(self):
+        overlap = target_overlap_jaccard(two_family_stream())
+        assert overlap[("A", "B")] == pytest.approx(1 / 3)
+
+    def test_co_targeting_within_window(self):
+        counts = co_targeting_counts(two_family_stream(), window=DAY)
+        assert counts[("A", "B")] == 1  # only the hour-2 pair on target 10
+
+    def test_co_targeting_window_excludes_distant(self):
+        counts = co_targeting_counts(two_family_stream(), window=HOUR)
+        assert ("A", "B") not in counts
+
+    def test_same_family_not_counted(self):
+        attacks = [
+            make_attack(ddos_id=1, family="A", target_ip=10, start_time=0.0),
+            make_attack(ddos_id=2, family="A", target_ip=10, start_time=HOUR),
+        ]
+        assert co_targeting_counts(attacks) == {}
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            co_targeting_counts([], window=0.0)
+
+    def test_graph_structure(self):
+        graph = collaboration_graph(two_family_stream())
+        assert set(graph.nodes) == {"A", "B"}
+        assert graph["A"]["B"]["weight"] == 1
+        assert graph.nodes["A"]["n_attacks"] == 3
+
+    def test_min_weight_filters_edges(self):
+        graph = collaboration_graph(two_family_stream(), min_weight=5)
+        assert graph.number_of_edges() == 0
+
+    def test_summary_keys(self):
+        summary = collaboration_summary(two_family_stream())
+        assert summary["n_families"] == 2.0
+        assert summary["n_collaborating_pairs"] == 1.0
+        assert 0.0 <= summary["graph_density"] <= 1.0
+
+    def test_real_trace_shows_co_targeting(self, small_trace):
+        """Shared target preferences must produce cross-family strikes
+        (the §I collaboration phenomenology)."""
+        summary = collaboration_summary(small_trace.attacks[:4000])
+        assert summary["n_collaborating_pairs"] >= 3
+        assert summary["max_co_targeting"] >= 5

@@ -1,0 +1,98 @@
+"""Tests for magnitude features (Eq. 2)."""
+
+import numpy as np
+
+from repro.dataset.records import HOUR, HourlySnapshot
+from repro.features.magnitude import (
+    active_bot_series,
+    attack_magnitudes,
+    hourly_attacking_magnitude,
+    magnitude_at,
+    normalized_active_bots,
+)
+from tests.test_dataset_records import make_attack
+
+
+def snapshots(family, actives, cumulatives):
+    return [
+        HourlySnapshot(family=family, hour_index=i, n_active_bots=a,
+                       n_cumulative_bots=c, n_attacks_running=0)
+        for i, (a, c) in enumerate(zip(actives, cumulatives))
+    ]
+
+
+class TestAttackMagnitudes:
+    def test_chronological(self):
+        a = make_attack(ddos_id=1, start_time=5 * HOUR,
+                        bot_ips=np.arange(3))
+        b = make_attack(ddos_id=2, start_time=2 * HOUR,
+                        bot_ips=np.arange(7))
+        assert attack_magnitudes([a, b]).tolist() == [7.0, 3.0]
+
+    def test_family_filter(self):
+        a = make_attack(ddos_id=1, family="A", bot_ips=np.arange(3))
+        b = make_attack(ddos_id=2, family="B", bot_ips=np.arange(5))
+        assert attack_magnitudes([a, b], family="B").tolist() == [5.0]
+
+
+class TestHourlyAttackingMagnitude:
+    def test_sums_overlapping_attacks(self):
+        a = make_attack(ddos_id=1, family="A", start_time=0.0,
+                        hourly_magnitude=np.array([10, 5]))
+        b = make_attack(ddos_id=2, family="A", start_time=HOUR,
+                        hourly_magnitude=np.array([4]))
+        series = hourly_attacking_magnitude([a, b], "A", n_hours=3)
+        assert series.tolist() == [10.0, 9.0, 0.0]
+
+    def test_clamps_to_window(self):
+        a = make_attack(ddos_id=1, family="A", start_time=0.0,
+                        hourly_magnitude=np.array([1, 1, 1, 1, 1]))
+        series = hourly_attacking_magnitude([a], "A", n_hours=2)
+        assert series.tolist() == [1.0, 1.0]
+
+    def test_rejects_bad_window(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            hourly_attacking_magnitude([], "A", n_hours=0)
+
+
+class TestNormalizedActiveBots:
+    def test_eq2_ratio(self):
+        snaps = snapshots("F", actives=[10, 20], cumulatives=[100, 200])
+        out = normalized_active_bots(snaps, "F")
+        assert np.allclose(out, [0.1, 0.1])
+
+    def test_zero_cumulative_guarded(self):
+        snaps = snapshots("F", actives=[5], cumulatives=[0])
+        assert normalized_active_bots(snaps, "F")[0] == 5.0  # denominator floored at 1
+
+    def test_active_series_sorted_by_hour(self):
+        snaps = [
+            HourlySnapshot("F", 2, 7, 10, 0),
+            HourlySnapshot("F", 0, 3, 10, 0),
+        ]
+        assert active_bot_series(snaps, "F").tolist() == [3.0, 7.0]
+
+    def test_family_filtered(self):
+        snaps = snapshots("F", [1], [1]) + snapshots("G", [9], [9])
+        assert active_bot_series(snaps, "F").tolist() == [1.0]
+
+    def test_on_real_trace(self, small_trace):
+        series = normalized_active_bots(small_trace.snapshots, "DirtJumper")
+        assert series.size == small_trace.n_hours
+        assert (series >= 0).all()
+        assert (series <= 1.5).all()  # ratio of active to cumulative
+
+
+class TestMagnitudeAt:
+    def test_within_hours(self):
+        attack = make_attack(start_time=0.0, duration=2 * HOUR,
+                             hourly_magnitude=np.array([10, 4]))
+        assert magnitude_at(attack, 30 * 60.0) == 10
+        assert magnitude_at(attack, HOUR + 1) == 4
+
+    def test_outside_interval(self):
+        attack = make_attack(start_time=HOUR, duration=HOUR)
+        assert magnitude_at(attack, 0.0) == 0
+        assert magnitude_at(attack, 3 * HOUR) == 0

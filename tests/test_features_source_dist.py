@@ -1,0 +1,114 @@
+"""Tests for the Eq. 3-4 source-distribution coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.features.source_dist import (
+    PairDistanceCache,
+    as_histogram,
+    as_share_matrix,
+    inter_as_distance,
+    intra_as_score,
+    source_distribution_coefficient,
+)
+from repro.topology.distance import DistanceOracle
+from tests.test_dataset_records import make_attack
+
+
+@pytest.fixture()
+def oracle(topo):
+    return DistanceOracle(topo)
+
+
+class TestAsHistogram:
+    def test_counts_by_as(self, allocator, topo, rng):
+        a, b = topo.asns[-1], topo.asns[-2]
+        ips = np.concatenate([
+            allocator.sample_ips(a, 5, rng),
+            allocator.sample_ips(b, 3, rng),
+        ])
+        histogram = as_histogram(ips, allocator)
+        assert histogram[a] == 5
+        assert histogram[b] == 3
+
+    def test_unallocated_dropped(self, allocator):
+        histogram = as_histogram(np.array([1]), allocator)  # 0.0.0.1 unallocated
+        assert histogram == {}
+
+
+class TestIntraAsScore:
+    def test_density_sum(self, allocator, topo):
+        a = topo.asns[-1]
+        _, size = allocator.block(a)
+        assert intra_as_score({a: 10}, allocator) == pytest.approx(10 / size)
+
+    def test_more_concentrated_scores_higher(self, allocator, topo):
+        """Same bot count in fewer ASes -> higher intra score iff the
+        block sizes are comparable; use the same AS twice vs split."""
+        a, b = topo.asns[-1], topo.asns[-2]
+        _, size_a = allocator.block(a)
+        concentrated = intra_as_score({a: 10}, allocator)
+        split = intra_as_score({a: 5, b: 5}, allocator)
+        # concentrated = 10/size_a; split = 5/size_a + 5/size_b.
+        expected_split = 5 / size_a + 5 / allocator.block(b)[1]
+        assert split == pytest.approx(expected_split)
+        assert concentrated == pytest.approx(10 / size_a)
+
+
+class TestInterAsDistance:
+    def test_single_as_floors_at_one(self, oracle, topo):
+        assert inter_as_distance({topo.asns[0]: 5}, oracle) == 1.0
+
+    def test_matches_oracle_mean(self, oracle, topo):
+        asns = topo.asns[:4]
+        histogram = {a: 1 for a in asns}
+        expected = max(1.0, oracle.mean_pairwise_distance(asns))
+        assert inter_as_distance(histogram, oracle) == pytest.approx(expected)
+
+    def test_cache_equivalent(self, oracle, topo):
+        histogram = {a: 1 for a in topo.asns[:5]}
+        cached = PairDistanceCache(oracle)
+        assert inter_as_distance(histogram, oracle, cached) == pytest.approx(
+            inter_as_distance(histogram, oracle)
+        )
+
+
+class TestCoefficient:
+    def test_concentration_raises_coefficient(self, allocator, oracle, topo, rng):
+        """More bots in fewer ASes -> larger A^s (§IV-A3)."""
+        stub_ases = topo.asns[-10:]
+        concentrated = allocator.sample_ips(stub_ases[0], 30, rng)
+        spread = np.concatenate(
+            [allocator.sample_ips(a, 3, rng) for a in stub_ases]
+        )
+        a_conc = source_distribution_coefficient(concentrated, allocator, oracle)
+        a_spread = source_distribution_coefficient(spread, allocator, oracle)
+        assert a_conc > a_spread
+
+    def test_empty_bots_zero(self, allocator, oracle):
+        assert source_distribution_coefficient(
+            np.array([], dtype=np.int64), allocator, oracle
+        ) == 0.0
+
+    def test_positive_for_real_attack(self, fx, small_trace):
+        attack = small_trace.attacks[0]
+        assert fx.source_coefficient(attack) > 0
+
+
+class TestShareMatrix:
+    def test_rows_sum_to_at_most_one(self, small_trace, small_env):
+        attacks = small_trace.by_family("DirtJumper")[:200]
+        asns, shares = as_share_matrix(attacks, small_env.allocator, top_k=5)
+        assert shares.shape == (len(attacks), len(asns))
+        assert (shares.sum(axis=1) <= 1.0 + 1e-9).all()
+
+    def test_top_k_ordering(self, small_trace, small_env):
+        attacks = small_trace.by_family("DirtJumper")[:200]
+        asns, shares = as_share_matrix(attacks, small_env.allocator, top_k=5)
+        totals = shares.sum(axis=0)
+        assert (np.diff(totals) <= 1e-9).all()  # columns ordered by mass
+
+    def test_empty_attacks(self, small_env):
+        asns, shares = as_share_matrix([], small_env.allocator)
+        assert asns == []
+        assert shares.shape == (0, 0)

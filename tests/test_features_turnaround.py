@@ -1,0 +1,133 @@
+"""Tests for turnaround features and multistage linking."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.records import DAY, HOUR
+from repro.features.turnaround import (
+    durations,
+    inter_launch_times,
+    link_multistage,
+    turnaround_times,
+)
+from tests.test_dataset_records import make_attack
+
+
+class TestDurations:
+    def test_chronological(self):
+        a = make_attack(ddos_id=1, start_time=2 * HOUR, duration=100.0)
+        b = make_attack(ddos_id=2, start_time=1 * HOUR, duration=50.0)
+        assert durations([a, b]).tolist() == [50.0, 100.0]
+
+
+class TestInterLaunchTimes:
+    def test_family_grouping(self):
+        attacks = [
+            make_attack(ddos_id=1, family="A", start_time=0.0),
+            make_attack(ddos_id=2, family="A", start_time=100.0),
+            make_attack(ddos_id=3, family="B", start_time=50.0),
+        ]
+        gaps = inter_launch_times(attacks, by="family")
+        assert gaps["A"].tolist() == [100.0]
+        assert "B" not in gaps  # singleton groups dropped
+
+    def test_target_grouping(self):
+        attacks = [
+            make_attack(ddos_id=1, target_ip=5, start_time=0.0),
+            make_attack(ddos_id=2, target_ip=5, start_time=70.0),
+        ]
+        gaps = inter_launch_times(attacks, by="target")
+        assert gaps["5"].tolist() == [70.0]
+
+    def test_unknown_grouping_rejected(self):
+        with pytest.raises(ValueError):
+            inter_launch_times([], by="color")
+
+
+class TestMultistageLinking:
+    def test_links_within_window(self):
+        attacks = [
+            make_attack(ddos_id=1, target_ip=5, start_time=0.0),
+            make_attack(ddos_id=2, target_ip=5, start_time=2 * HOUR),
+            make_attack(ddos_id=3, target_ip=5, start_time=5 * HOUR),
+        ]
+        campaigns = link_multistage(attacks)
+        assert len(campaigns) == 1
+        assert [a.ddos_id for a in campaigns[0]] == [1, 2, 3]
+
+    def test_simultaneous_launches_do_not_link(self):
+        """Gaps below 30 s are 'launched at the same time' (§III-A2)."""
+        attacks = [
+            make_attack(ddos_id=1, target_ip=5, start_time=0.0),
+            make_attack(ddos_id=2, target_ip=5, start_time=10.0),
+        ]
+        campaigns = link_multistage(attacks)
+        assert len(campaigns) == 2
+
+    def test_gap_over_24h_breaks_chain(self):
+        attacks = [
+            make_attack(ddos_id=1, target_ip=5, start_time=0.0),
+            make_attack(ddos_id=2, target_ip=5, start_time=DAY + HOUR),
+        ]
+        assert len(link_multistage(attacks)) == 2
+
+    def test_different_targets_never_link(self):
+        attacks = [
+            make_attack(ddos_id=1, target_ip=5, start_time=0.0),
+            make_attack(ddos_id=2, target_ip=6, start_time=HOUR),
+        ]
+        assert len(link_multistage(attacks)) == 2
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            link_multistage([], min_gap=100.0, max_gap=50.0)
+
+    def test_recovers_generator_campaigns(self, small_trace):
+        """Recall against ground truth: consecutive stages of a true
+        multistage campaign (same campaign id, gap inside the 30 s..24 h
+        window) must land in the same linked chain.  Precision is
+        inherently low on hot targets -- independent campaigns
+        interleave within the window, and the paper's rule links them
+        by design -- so only recall is asserted."""
+        attacks = small_trace.attacks[:3000]
+        campaigns = link_multistage(attacks)
+        chain_of = {}
+        for i, campaign in enumerate(campaigns):
+            for attack in campaign:
+                chain_of[attack.ddos_id] = i
+        by_true: dict[int, list] = {}
+        for attack in attacks:
+            by_true.setdefault(attack.campaign_id, []).append(attack)
+        linked = total = 0
+        for stages in by_true.values():
+            stages.sort(key=lambda a: a.start_time)
+            for a, b in zip(stages, stages[1:]):
+                gap = b.start_time - a.start_time
+                if 30.0 <= gap <= DAY:
+                    total += 1
+                    if chain_of[a.ddos_id] == chain_of[b.ddos_id]:
+                        linked += 1
+        assert total > 50
+        # Chains legitimately break where an interleaved attack lands
+        # within 30 s of a stage (the rule's same-launch exclusion), so
+        # recall is high but not perfect.
+        assert linked / total > 0.85
+
+    def test_campaigns_sorted_chronologically(self, small_trace):
+        campaigns = link_multistage(small_trace.attacks[:500])
+        starts = [c[0].start_time for c in campaigns]
+        assert starts == sorted(starts)
+
+
+class TestTurnaroundTimes:
+    def test_single_attack(self):
+        a = make_attack(start_time=100.0, duration=60.0)
+        assert turnaround_times([[a]])[0] == 60.0
+
+    def test_multistage_spans_waiting_and_execution(self):
+        a = make_attack(ddos_id=1, start_time=0.0, duration=60.0)
+        b = make_attack(ddos_id=2, start_time=HOUR, duration=120.0)
+        assert turnaround_times([[a, b]])[0] == HOUR + 120.0
+
+    def test_empty_campaigns_skipped(self):
+        assert turnaround_times([[]]).size == 0

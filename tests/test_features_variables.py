@@ -1,0 +1,87 @@
+"""Tests for the FeatureExtractor facade."""
+
+import numpy as np
+
+
+class TestFeatureExtractor:
+    def test_families_by_volume(self, fx):
+        families = fx.families()
+        counts = [len(fx.family_attacks(f)) for f in families]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_table1_covers_families(self, fx):
+        rows = fx.table1()
+        assert {r.family for r in rows} == set(fx.families())
+
+    def test_daily_magnitude_grid_uniform(self, fx):
+        family = fx.families()[0]
+        series = fx.daily_magnitude_series(family)
+        attacks = fx.family_attacks(family)
+        expected_len = attacks[-1].start_day - attacks[0].start_day + 1
+        assert series.size == expected_len
+        assert series.sum() == sum(a.magnitude for a in attacks)
+
+    def test_daily_count_series_total(self, fx):
+        family = fx.families()[1]
+        series = fx.daily_attack_count_series(family)
+        assert series.sum() == len(fx.family_attacks(family))
+
+    def test_empty_family_series(self, fx):
+        assert fx.daily_magnitude_series("NoSuchFamily").size == 0
+        assert fx.daily_attack_count_series("NoSuchFamily").size == 0
+        assert fx.source_coefficient_series("NoSuchFamily").size == 0
+
+    def test_source_coefficient_cached(self, fx):
+        attack = fx.trace.attacks[0]
+        first = fx.source_coefficient(attack)
+        second = fx.source_coefficient(attack)
+        assert first == second
+        assert attack.ddos_id in fx._a_s_cache
+
+    def test_source_series_forward_filled(self, fx):
+        family = fx.families()[0]
+        series = fx.source_coefficient_series(family)
+        assert (series > 0).all()  # no artificial zeros on quiet days
+
+    def test_observations_sorted_with_gaps(self, fx):
+        asn = fx.target_ases()[0]
+        observations = fx.observations_for_asn(asn)
+        assert observations[0].inter_launch is None
+        times = [o.start_time for o in observations]
+        assert times == sorted(times)
+        for prev, obs in zip(observations, observations[1:]):
+            assert obs.inter_launch == obs.start_time - prev.start_time
+
+    def test_observations_cached(self, fx):
+        asn = fx.target_ases()[0]
+        assert fx.observations_for_asn(asn) is fx.observations_for_asn(asn)
+
+    def test_observations_for_target_subset_of_asn(self, fx):
+        asn = fx.target_ases()[0]
+        asn_obs = fx.observations_for_asn(asn)
+        target_ip = asn_obs[0].target_ip
+        target_obs = fx.observations_for_target(target_ip)
+        assert all(o.target_ip == target_ip for o in target_obs)
+        assert len(target_obs) <= len(asn_obs)
+
+    def test_recent_attacks_strictly_before(self, fx):
+        t = fx.trace.attacks[100].start_time
+        recent = fx.recent_attacks(t, 10)
+        assert len(recent) == 10
+        assert all(a.start_time < t for a in recent)
+
+    def test_attack_rate_series_positive(self, fx):
+        series = fx.attack_rate_series(fx.families()[0])
+        assert (series >= 0).all()
+        assert series.size > 0
+
+    def test_normalized_bots_series_in_unit_range(self, fx):
+        series = fx.normalized_bots_series(fx.families()[0])
+        assert (series >= 0).all()
+        assert (series <= 1.0 + 1e-9).all()
+
+    def test_source_shares_shapes(self, fx):
+        family = fx.families()[0]
+        asns, shares = fx.source_shares(family, top_k=6)
+        assert len(asns) <= 6
+        assert shares.shape[0] == len(fx.family_attacks(family))

@@ -1,0 +1,76 @@
+"""End-to-end integration tests: trace -> features -> models ->
+predictions -> defense, all through the public API."""
+
+import numpy as np
+
+from repro import (
+    AttackPredictor,
+    DatasetConfig,
+    FeatureExtractor,
+    TraceGenerator,
+    load_trace,
+    save_trace,
+    train_test_split,
+)
+from repro.topology import TopologyConfig
+
+
+class TestFullPipeline:
+    def test_quickstart_path(self, small_trace_env):
+        """The README quickstart must work verbatim."""
+        trace, env = small_trace_env
+        predictor = AttackPredictor(trace, env).fit()
+        pairs = predictor.predict_test_set()
+        assert pairs
+        attack, prediction = pairs[0]
+        assert prediction.duration > 0
+        assert 0 <= prediction.hour < 24
+
+    def test_persisted_trace_reproduces_predictions(self, small_trace_env, tmp_path):
+        """Save + load + refit gives the same split and a working model."""
+        trace, env = small_trace_env
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        train_a, test_a = train_test_split(trace.attacks)
+        train_b, test_b = train_test_split(loaded.attacks)
+        assert [a.ddos_id for a in test_a] == [a.ddos_id for a in test_b]
+
+    def test_models_have_predictive_signal(self, predictor):
+        """Aggregate sanity: the spatiotemporal predictions are closer
+        to truth than a shuffled control."""
+        rng = np.random.default_rng(0)
+        pairs = predictor.predict_test_set()
+        actual = np.array([a.start_time % 86400.0 / 3600.0 for a, _ in pairs])
+        predicted = np.array([p.hour for _, p in pairs])
+
+        def circ_rmse(a, b):
+            d = np.abs(a - b) % 24
+            d = np.minimum(d, 24 - d)
+            return float(np.sqrt(np.mean(d**2)))
+
+        real = circ_rmse(actual, predicted)
+        shuffled = circ_rmse(actual, rng.permutation(predicted))
+        assert real < shuffled
+
+    def test_tiny_trace_end_to_end(self):
+        """A fresh, very small configuration end to end (no fixtures)."""
+        config = DatasetConfig(
+            n_days=20, n_targets=20, scale=0.8, seed=3,
+            topology=TopologyConfig(n_tier1=3, n_transit=15, n_stub=60, seed=2),
+        )
+        trace, env = TraceGenerator(config).generate()
+        assert len(trace) > 100
+        fx = FeatureExtractor(trace, env)
+        assert fx.table1()
+        predictor = AttackPredictor(trace, env).fit()
+        assert predictor.predict_test_set()
+
+    def test_environment_shared_between_features_and_models(self, predictor):
+        """The feature extractor and defense sims use the same
+        allocator; spot-check consistency via AS histograms."""
+        from repro.features.source_dist import as_histogram
+
+        attack = predictor.test_attacks[0]
+        histogram = as_histogram(attack.bot_ips, predictor.fx.env.allocator)
+        assert sum(histogram.values()) == attack.bot_ips.size

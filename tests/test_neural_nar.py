@@ -1,0 +1,106 @@
+"""Tests for the NAR model and its grid search."""
+
+import numpy as np
+import pytest
+
+from repro.neural.gridsearch import grid_search_nar
+from repro.neural.nar import NARModel
+
+
+def bounded_nonlinear_series(rng, n, noise=0.1):
+    s = np.zeros(n)
+    for t in range(1, n):
+        s[t] = np.sin(2.5 * s[t - 1]) + rng.normal(0, noise)
+    return s
+
+
+class TestEmbedding:
+    def test_shapes(self):
+        x, y = NARModel.embed(np.arange(10.0), 3)
+        assert x.shape == (7, 3)
+        assert y.shape == (7,)
+
+    def test_lag_ordering(self):
+        """Column j holds lag j+1: x[t] = [y_{t-1}, y_{t-2}, ...]."""
+        x, y = NARModel.embed(np.arange(6.0), 2)
+        assert y.tolist() == [2.0, 3.0, 4.0, 5.0]
+        assert x[0].tolist() == [1.0, 0.0]
+        assert x[-1].tolist() == [4.0, 3.0]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            NARModel.embed(np.arange(3.0), 3)
+
+
+class TestNARModel:
+    def test_one_step_hits_noise_floor(self, rng):
+        s = bounded_nonlinear_series(rng, 700)
+        model = NARModel(n_delays=2, n_hidden=6, seed=0).fit(s[:600])
+        predictions = model.predict_continuation(s[600:])
+        rmse = np.sqrt(np.mean((predictions - s[600:]) ** 2))
+        assert rmse < 0.2  # noise sigma is 0.1
+
+    def test_beats_persistence_on_nonlinear_series(self, rng):
+        s = bounded_nonlinear_series(rng, 400)
+        model = NARModel(n_delays=2, n_hidden=8, seed=1).fit(s[:350])
+        test = s[350:]
+        predictions = model.predict_continuation(test)
+        persistence = np.concatenate([[s[349]], test[:-1]])
+        assert np.mean((predictions - test) ** 2) < np.mean((persistence - test) ** 2)
+
+    def test_forecast_bounded(self, rng):
+        s = bounded_nonlinear_series(rng, 200)
+        model = NARModel(n_delays=2, n_hidden=4, seed=0).fit(s)
+        forecast = model.forecast(20)
+        assert forecast.shape == (20,)
+        assert np.all(np.abs(forecast) < 3.0)  # scaler keeps it in range
+
+    def test_predict_next_consistent_with_continuation(self, rng):
+        s = bounded_nonlinear_series(rng, 150)
+        model = NARModel(n_delays=3, n_hidden=4, seed=2).fit(s[:140])
+        continuation = model.predict_continuation(s[140:])
+        assert model.predict_next(s[:140]) == pytest.approx(continuation[0], abs=1e-9)
+
+    def test_predict_next_needs_enough_lags(self, rng):
+        model = NARModel(n_delays=3, seed=0).fit(bounded_nonlinear_series(rng, 100))
+        with pytest.raises(ValueError):
+            model.predict_next(np.array([1.0, 2.0]))
+
+    def test_unfitted_raises(self):
+        model = NARModel()
+        with pytest.raises(RuntimeError):
+            model.forecast(1)
+        with pytest.raises(RuntimeError):
+            model.predict_continuation(np.zeros(3))
+
+    def test_residual_std_positive(self, rng):
+        model = NARModel(n_delays=2, seed=0).fit(bounded_nonlinear_series(rng, 200))
+        assert model.residual_std() > 0
+
+    def test_deterministic_given_seed(self, rng):
+        s = bounded_nonlinear_series(rng, 150)
+        a = NARModel(n_delays=2, n_hidden=4, seed=5).fit(s)
+        b = NARModel(n_delays=2, n_hidden=4, seed=5).fit(s)
+        assert a.predict_next(s) == b.predict_next(s)
+
+    def test_rejects_zero_delays(self):
+        with pytest.raises(ValueError):
+            NARModel(n_delays=0)
+
+
+class TestGridSearch:
+    def test_finds_reasonable_config(self, rng):
+        s = bounded_nonlinear_series(rng, 300)
+        result = grid_search_nar(s, delay_grid=(1, 2, 3), hidden_grid=(2, 4, 8), seed=0)
+        assert (result.n_delays, result.n_hidden) in result.scores
+        assert result.val_mse <= min(result.scores.values()) + 1e-12
+
+    def test_winner_refit_on_full_series(self, rng):
+        s = bounded_nonlinear_series(rng, 200)
+        result = grid_search_nar(s, delay_grid=(2,), hidden_grid=(4,), seed=0)
+        # history length equals the full series
+        assert result.model._history.size == s.size
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search_nar(np.arange(5.0))

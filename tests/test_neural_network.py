@@ -1,0 +1,98 @@
+"""Tests for activations and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.neural.activations import ACTIVATIONS, logsig, purelin, tansig
+from repro.neural.network import MLP
+
+
+class TestActivations:
+    def test_registry_complete(self):
+        assert set(ACTIVATIONS) == {"tansig", "logsig", "purelin"}
+
+    def test_tansig_range(self):
+        x = np.linspace(-10, 10, 101)
+        y = tansig.fn(x)
+        assert (np.abs(y) <= 1.0).all()
+
+    def test_logsig_range(self):
+        y = logsig.fn(np.linspace(-700, 700, 101))
+        assert (y >= 0).all() and (y <= 1).all()
+        assert not np.isnan(y).any()
+
+    def test_purelin_identity(self):
+        x = np.array([-2.0, 3.0])
+        assert purelin.fn(x).tolist() == [-2.0, 3.0]
+
+    @pytest.mark.parametrize("activation", [tansig, logsig])
+    def test_derivative_matches_finite_difference(self, activation):
+        x = np.linspace(-2, 2, 21)
+        eps = 1e-6
+        numeric = (activation.fn(x + eps) - activation.fn(x - eps)) / (2 * eps)
+        analytic = activation.derivative(activation.fn(x))
+        assert np.allclose(numeric, analytic, atol=1e-5)
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        net = MLP(3, 5, 2, rng=rng)
+        out = net.forward(rng.normal(0, 1, (7, 3)))
+        assert out.shape == (7, 2)
+
+    def test_param_roundtrip(self, rng):
+        net = MLP(2, 4, 1, rng=rng)
+        params = net.get_params()
+        assert params.size == net.n_params == 2 * 4 + 4 + 4 + 1
+        x = rng.normal(0, 1, (5, 2))
+        before = net.forward(x)
+        net.set_params(params)
+        assert np.allclose(net.forward(x), before)
+
+    def test_set_params_wrong_length(self, rng):
+        net = MLP(2, 3, rng=rng)
+        with pytest.raises(ValueError):
+            net.set_params(np.zeros(3))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            MLP(0, 3)
+        with pytest.raises(ValueError):
+            MLP(2, 3, hidden_activation="relu")
+
+    def test_jacobian_matches_finite_difference(self, rng):
+        net = MLP(2, 3, 1, rng=rng)
+        x = rng.normal(0, 1, (4, 2))
+        jac = net.jacobian(x)
+        params = net.get_params()
+        eps = 1e-6
+        for j in range(net.n_params):
+            bumped = params.copy()
+            bumped[j] += eps
+            net.set_params(bumped)
+            up = net.forward(x).ravel()
+            bumped[j] -= 2 * eps
+            net.set_params(bumped)
+            down = net.forward(x).ravel()
+            net.set_params(params)
+            numeric = (up - down) / (2 * eps)
+            assert np.allclose(jac[:, j], numeric, atol=1e-4)
+
+    def test_jacobian_requires_single_output(self, rng):
+        net = MLP(2, 3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            net.jacobian(np.zeros((1, 2)))
+
+    def test_copy_independent(self, rng):
+        net = MLP(2, 3, rng=rng)
+        clone = net.copy()
+        x = rng.normal(0, 1, (3, 2))
+        assert np.allclose(net.forward(x), clone.forward(x))
+        clone.set_params(clone.get_params() + 1.0)
+        assert not np.allclose(net.forward(x), clone.forward(x))
+
+    def test_mse(self, rng):
+        net = MLP(1, 2, rng=rng)
+        x = rng.normal(0, 1, (10, 1))
+        y = net.forward(x).ravel()
+        assert net.mse(x, y) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,122 @@
+"""Tests for Levenberg-Marquardt training and mapminmax."""
+
+import numpy as np
+import pytest
+
+from repro.neural.network import MLP
+from repro.neural.training import MinMaxScaler, train_levenberg_marquardt
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        x = rng.normal(5, 3, (50, 2))
+        scaler = MinMaxScaler()
+        z = scaler.fit_transform(x)
+        assert z.min() == pytest.approx(-1.0)
+        assert z.max() == pytest.approx(1.0)
+
+    def test_roundtrip(self, rng):
+        x = rng.normal(0, 10, (30, 3))
+        scaler = MinMaxScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = MinMaxScaler().fit_transform(x)
+        assert np.all(z[:, 0] == 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestLevenbergMarquardt:
+    def test_fits_linear_function_exactly(self, rng):
+        x = rng.uniform(-1, 1, (100, 2))
+        y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5
+        net = MLP(2, 4, rng=rng)
+        train_levenberg_marquardt(net, x, y, max_epochs=100, val_fraction=0.0,
+                                  rng=rng)
+        assert net.mse(x, y) < 1e-6
+
+    def test_fits_sine(self, rng):
+        x = rng.uniform(-3, 3, (200, 1))
+        y = np.sin(x).ravel()
+        net = MLP(1, 8, rng=rng)
+        result = train_levenberg_marquardt(net, x, y, max_epochs=200, rng=rng)
+        assert net.mse(x, y) < 1e-3
+        assert result.n_epochs > 1
+
+    def test_early_stopping_restores_best(self, rng):
+        x = rng.uniform(-1, 1, (60, 1))
+        y = np.sin(3 * x).ravel() + rng.normal(0, 0.3, 60)
+        net = MLP(1, 20, rng=rng)  # overparameterized on purpose
+        result = train_levenberg_marquardt(net, x, y, max_epochs=300,
+                                           val_fraction=0.3, max_fail=3, rng=rng)
+        assert np.isfinite(result.val_mse)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        net = MLP(2, 3, rng=rng)
+        with pytest.raises(ValueError):
+            train_levenberg_marquardt(net, np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_tiny_dataset(self, rng):
+        net = MLP(1, 2, rng=rng)
+        with pytest.raises(ValueError):
+            train_levenberg_marquardt(net, np.zeros((2, 1)), np.zeros(2))
+
+    def test_goal_short_circuits(self, rng):
+        x = rng.uniform(-1, 1, (50, 1))
+        net = MLP(1, 2, rng=rng)
+        y = net.forward(x).ravel()  # already perfect
+        result = train_levenberg_marquardt(net, x, y, max_epochs=50,
+                                           val_fraction=0.0, goal=1e-6, rng=rng)
+        assert result.n_epochs <= 2
+
+    def test_deterministic_given_rng(self):
+        x = np.linspace(-1, 1, 80).reshape(-1, 1)
+        y = (x**2).ravel()
+
+        def train():
+            net = MLP(1, 5, rng=np.random.default_rng(3))
+            train_levenberg_marquardt(net, x, y, max_epochs=50,
+                                      rng=np.random.default_rng(4))
+            return net.get_params()
+
+        assert np.allclose(train(), train())
+
+
+class TestGradientTraining:
+    def test_fits_sine(self, rng):
+        from repro.neural.training import train_gradient
+
+        x = rng.uniform(-3, 3, (300, 1))
+        y = np.sin(x).ravel()
+        net = MLP(1, 16, rng=rng)
+        result = train_gradient(net, x, y, max_epochs=300, rng=rng)
+        assert net.mse(x, y) < 0.05
+        assert result.n_epochs > 1
+
+    def test_handles_wide_network(self, rng):
+        """The regime LM is too slow for: a wide hidden layer."""
+        from repro.neural.training import train_gradient
+
+        x = rng.uniform(-1, 1, (200, 2))
+        y = (x[:, 0] * x[:, 1]).ravel()
+        net = MLP(2, 64, rng=rng)
+        train_gradient(net, x, y, max_epochs=120, rng=rng)
+        assert net.mse(x, y) < 0.05
+
+    def test_rejects_multi_output(self, rng):
+        from repro.neural.training import train_gradient
+
+        net = MLP(2, 4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            train_gradient(net, np.zeros((10, 2)), np.zeros((10, 2)))
+
+    def test_rejects_tiny_dataset(self, rng):
+        from repro.neural.training import train_gradient
+
+        net = MLP(1, 2, rng=rng)
+        with pytest.raises(ValueError):
+            train_gradient(net, np.zeros((2, 1)), np.zeros(2))

@@ -1,0 +1,167 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* valid input, not just the fixtures:
+topology routing laws, record round-trips, scaler/NAR algebra, ARIMA
+numerical sanity, and metric inequalities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dataset.records import AttackRecord
+from repro.neural.nar import NARModel
+from repro.neural.training import MinMaxScaler
+from repro.timeseries.arima import ARIMA
+from repro.timeseries.stationarity import difference, undifference
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.routing import valley_free_distances, valley_free_path
+
+
+@st.composite
+def topology_configs(draw):
+    return TopologyConfig(
+        n_tier1=draw(st.integers(2, 5)),
+        n_transit=draw(st.integers(3, 12)),
+        n_stub=draw(st.integers(5, 30)),
+        max_providers=draw(st.integers(1, 3)),
+        peer_fraction=draw(st.floats(0.0, 0.8)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+class TestTopologyProperties:
+    @given(topology_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_generated_topologies_always_valid(self, config):
+        topo = generate_topology(config)
+        topo.validate()  # raises on any violated invariant
+        assert len(topo.asns) == config.n_ases
+
+    @given(topology_configs(), st.integers(0, 1_000_000))
+    @settings(max_examples=15, deadline=None)
+    def test_every_pair_routable(self, config, pick):
+        """In a validated topology every AS can reach every other via a
+        valley-free path (all stubs have providers up to the tier-1
+        clique)."""
+        topo = generate_topology(config)
+        asns = topo.asns
+        dst = asns[pick % len(asns)]
+        distances = valley_free_distances(topo, dst)
+        assert all(d >= 0 for d in distances.values())
+
+    @given(topology_configs(), st.integers(0, 10**6), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_path_endpoints_and_edges(self, config, a, b):
+        topo = generate_topology(config)
+        asns = topo.asns
+        src, dst = asns[a % len(asns)], asns[b % len(asns)]
+        path = valley_free_path(topo, src, dst)
+        assert path is not None
+        assert path[0] == src and path[-1] == dst
+        for u, v in zip(path, path[1:]):
+            adjacent = (
+                v in topo.providers[u] or v in topo.customers[u]
+                or v in topo.peers[u]
+            )
+            assert adjacent, f"{u}->{v} not an edge"
+
+
+class TestRecordProperties:
+    @given(
+        st.integers(1, 10**6),
+        st.floats(0.0, 1e7),
+        st.floats(60.0, 1e5),
+        st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_attack_record_roundtrip(self, ddos_id, start, duration, bots):
+        record = AttackRecord(
+            ddos_id=ddos_id, family="F", target_ip=1, target_asn=1,
+            start_time=start, duration=duration,
+            bot_ips=np.array(bots, dtype=np.int64),
+            hourly_magnitude=np.array([len(bots)], dtype=np.int64),
+        )
+        clone = AttackRecord.from_dict(record.to_dict())
+        assert clone.start_time == record.start_time
+        assert clone.duration == record.duration
+        assert np.array_equal(clone.bot_ips, record.bot_ips)
+        assert 0 <= record.start_hour < 24
+        assert record.end_time >= record.start_time
+
+
+class TestScalerProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(2, 40), st.integers(1, 4)),
+                  elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_roundtrip(self, x):
+        scaler = MinMaxScaler()
+        z = scaler.fit_transform(x)
+        assert z.min() >= -1.0 - 1e-9 and z.max() <= 1.0 + 1e-9
+        back = scaler.inverse_transform(z)
+        # Constant columns cannot be inverted (mapped to 0); check the rest.
+        span = x.max(axis=0) - x.min(axis=0)
+        varying = span > 0
+        assert np.allclose(back[:, varying], x[:, varying],
+                           rtol=1e-6, atol=max(1.0, float(np.abs(x).max())) * 1e-9)
+
+
+class TestDifferencingProperties:
+    @given(arrays(np.float64, st.integers(6, 40), elements=st.floats(-1e4, 1e4)),
+           st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_difference_reduces_length_by_d(self, x, d):
+        if x.size <= d:
+            return
+        assert difference(x, d).size == x.size - d
+
+    @given(arrays(np.float64, st.integers(8, 30), elements=st.floats(-1e3, 1e3)))
+    @settings(max_examples=60, deadline=None)
+    def test_undifference_is_right_inverse(self, x):
+        w = difference(x, 1)
+        rebuilt = undifference(w, x[:1], 1)
+        assert np.allclose(rebuilt, x[1:], atol=1e-6)
+
+
+class TestNarProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_forecast_stays_in_training_range_halo(self, seed, n_delays):
+        """The min-max scaler clamps the NAR's reachable outputs to a
+        bounded halo around the training range."""
+        rng = np.random.default_rng(seed)
+        s = np.sin(np.linspace(0, 20, 120)) + rng.normal(0, 0.05, 120)
+        model = NARModel(n_delays=n_delays, n_hidden=3, seed=seed).fit(s)
+        forecast = model.forecast(30)
+        span = s.max() - s.min()
+        assert forecast.min() >= s.min() - 3 * span
+        assert forecast.max() <= s.max() + 3 * span
+
+
+class TestArimaProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 3), st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_fit_never_produces_nan(self, seed, p, q):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(0, 1, 200).cumsum() * 0.1 + rng.normal(0, 1, 200)
+        model = ARIMA((p, 0, q)).fit(y)
+        assert np.isfinite(model.sigma2)
+        assert np.isfinite(model.phi).all()
+        assert np.isfinite(model.theta).all()
+        assert np.isfinite(model.forecast(5)).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_one_step_prediction_is_causal(self, seed):
+        """Changing future values must not change earlier predictions."""
+        rng = np.random.default_rng(seed)
+        y = rng.normal(0, 1, 150)
+        model = ARIMA((1, 0, 0)).fit(y[:100])
+        future_a = y[100:130].copy()
+        future_b = future_a.copy()
+        future_b[15:] += 100.0
+        pred_a = model.predict_continuation(future_a)
+        pred_b = model.predict_continuation(future_b)
+        assert np.allclose(pred_a[:15], pred_b[:15])

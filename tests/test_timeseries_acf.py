@@ -1,0 +1,87 @@
+"""Tests for ACF/PACF/Ljung-Box."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries.acf import acf, ljung_box, pacf
+
+
+class TestAcf:
+    def test_lag_zero_is_one(self, rng):
+        x = rng.normal(0, 1, 200)
+        assert acf(x, 5)[0] == 1.0
+
+    def test_white_noise_small_correlations(self, rng):
+        x = rng.normal(0, 1, 2000)
+        rho = acf(x, 10)
+        assert np.all(np.abs(rho[1:]) < 0.1)
+
+    def test_ar1_geometric_decay(self, rng):
+        n, phi = 5000, 0.8
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + rng.normal()
+        rho = acf(x, 5)
+        for k in range(1, 6):
+            assert rho[k] == pytest.approx(phi**k, abs=0.08)
+
+    def test_constant_series(self):
+        rho = acf(np.ones(50), 5)
+        assert rho[0] == 1.0
+        assert np.all(rho[1:] == 0.0)
+
+    def test_rejects_bad_nlags(self, rng):
+        x = rng.normal(0, 1, 10)
+        with pytest.raises(ValueError):
+            acf(x, 0)
+        with pytest.raises(ValueError):
+            acf(x, 10)
+
+    @given(arrays(np.float64, st.integers(20, 80),
+                  elements=st.floats(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_acf_bounded(self, x):
+        rho = acf(x, 5)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+
+class TestPacf:
+    def test_ar1_cuts_off_after_lag_one(self, rng):
+        n, phi = 5000, 0.7
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + rng.normal()
+        p = pacf(x, 5)
+        assert p[1] == pytest.approx(phi, abs=0.06)
+        assert np.all(np.abs(p[2:]) < 0.08)
+
+    def test_ar2_cuts_off_after_lag_two(self, rng):
+        n = 5000
+        x = np.zeros(n)
+        for t in range(2, n):
+            x[t] = 0.5 * x[t - 1] - 0.3 * x[t - 2] + rng.normal()
+        p = pacf(x, 5)
+        assert abs(p[2]) > 0.2
+        assert np.all(np.abs(p[3:]) < 0.08)
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self, rng):
+        x = rng.normal(0, 1, 1000)
+        _, p_value = ljung_box(x, 10)
+        assert p_value > 0.01
+
+    def test_correlated_series_rejected(self, rng):
+        n = 1000
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.8 * x[t - 1] + rng.normal()
+        _, p_value = ljung_box(x, 10)
+        assert p_value < 1e-6
+
+    def test_q_nonnegative(self, rng):
+        q, _ = ljung_box(rng.normal(0, 1, 100), 5)
+        assert q >= 0

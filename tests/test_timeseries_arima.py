@@ -1,0 +1,204 @@
+"""Tests for the ARIMA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.arima import ARIMA, ARIMAOrder, _max_root_modulus
+
+
+def simulate_arma(rng, n, phi=(), theta=(), const=0.0, sigma=1.0):
+    phi, theta = np.asarray(phi, dtype=float), np.asarray(theta, dtype=float)
+    e = rng.normal(0.0, sigma, n)
+    y = np.zeros(n)
+    burn = max(len(phi), len(theta))
+    for t in range(burn, n):
+        ar = phi @ y[t - len(phi):t][::-1] if len(phi) else 0.0
+        ma = theta @ e[t - len(theta):t][::-1] if len(theta) else 0.0
+        y[t] = const + ar + ma + e[t]
+    return y
+
+
+class TestOrder:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ARIMAOrder(-1, 0, 0)
+
+    def test_rejects_trivial(self):
+        with pytest.raises(ValueError):
+            ARIMAOrder(0, 0, 0)
+
+    def test_n_params(self):
+        assert ARIMAOrder(2, 1, 3).n_params == 5
+
+    def test_tuple_coercion(self):
+        model = ARIMA((1, 0, 0))
+        assert model.order == ARIMAOrder(1, 0, 0)
+
+
+class TestRootModulus:
+    def test_empty_is_zero(self):
+        assert _max_root_modulus(np.zeros(0)) == 0.0
+
+    def test_stationary_ar1(self):
+        assert _max_root_modulus(np.array([0.5])) == pytest.approx(0.5)
+
+    def test_unit_root(self):
+        assert _max_root_modulus(np.array([1.0])) == pytest.approx(1.0)
+
+
+class TestEstimation:
+    def test_recovers_ar2(self, rng):
+        y = simulate_arma(rng, 3000, phi=(0.6, -0.2), const=1.0)
+        model = ARIMA((2, 0, 0)).fit(y)
+        assert model.phi == pytest.approx([0.6, -0.2], abs=0.06)
+        assert model.sigma2 == pytest.approx(1.0, rel=0.1)
+
+    def test_recovers_ma1(self, rng):
+        y = simulate_arma(rng, 3000, theta=(0.5,))
+        model = ARIMA((0, 0, 1)).fit(y)
+        assert model.theta[0] == pytest.approx(0.5, abs=0.07)
+
+    def test_recovers_arma11(self, rng):
+        y = simulate_arma(rng, 4000, phi=(0.7,), theta=(0.4,))
+        model = ARIMA((1, 0, 1)).fit(y)
+        assert model.phi[0] == pytest.approx(0.7, abs=0.08)
+        assert model.theta[0] == pytest.approx(0.4, abs=0.1)
+
+    def test_fitted_models_invertible_and_stationary(self, rng):
+        """The sign convention matters: the MA polynomial is 1+theta(z),
+        so invertibility is a root condition on -theta."""
+        y = simulate_arma(rng, 800, phi=(0.5,), theta=(0.9,))
+        model = ARIMA((1, 0, 1)).fit(y)
+        assert _max_root_modulus(model.phi) < 1.0
+        assert _max_root_modulus(-model.theta) < 1.0
+
+    def test_d1_handles_random_walk(self, rng):
+        y = rng.normal(0.1, 1.0, 800).cumsum()
+        model = ARIMA((1, 1, 0)).fit(y)
+        assert abs(model.phi[0]) < 0.3  # differenced walk is white
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            ARIMA((3, 1, 3)).fit(np.arange(8, dtype=float))
+
+    def test_residuals_white_after_fit(self, rng):
+        from repro.timeseries.acf import ljung_box
+
+        y = simulate_arma(rng, 2000, phi=(0.7,))
+        model = ARIMA((1, 0, 0)).fit(y)
+        _, p_value = ljung_box(model.residuals[1:], 10, n_params=1)
+        assert p_value > 0.001
+
+    def test_aic_bic_finite_and_ordered(self, rng):
+        y = simulate_arma(rng, 500, phi=(0.6,))
+        model = ARIMA((1, 0, 0)).fit(y)
+        assert np.isfinite(model.aic)
+        assert model.bic > model.aic  # log(n) > 2 for n > 7
+
+
+class TestForecasting:
+    def test_forecast_converges_to_mean(self, rng):
+        y = simulate_arma(rng, 2000, phi=(0.5,), const=2.0)
+        model = ARIMA((1, 0, 0)).fit(y)
+        far = model.forecast(200)[-1]
+        assert far == pytest.approx(2.0 / (1 - 0.5), rel=0.2)
+
+    def test_forecast_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            ARIMA((1, 0, 0)).forecast(3)
+
+    def test_forecast_rejects_zero_steps(self, rng):
+        model = ARIMA((1, 0, 0)).fit(rng.normal(0, 1, 100))
+        with pytest.raises(ValueError):
+            model.forecast(0)
+
+    def test_one_step_continuation_beats_mean(self, rng):
+        y = simulate_arma(rng, 1200, phi=(0.85,))
+        train, test = y[:1000], y[1000:]
+        model = ARIMA((1, 0, 0)).fit(train)
+        predictions = model.predict_continuation(test)
+        rmse_model = np.sqrt(np.mean((predictions - test) ** 2))
+        rmse_mean = np.sqrt(np.mean((train.mean() - test) ** 2))
+        assert rmse_model < 0.8 * rmse_mean
+
+    def test_continuation_matches_next_window_prediction(self, rng):
+        y = simulate_arma(rng, 500, phi=(0.6,))
+        train, test = y[:450], y[450:]
+        model = ARIMA((1, 0, 0), include_constant=False).fit(train)
+        continuation = model.predict_continuation(test)
+        # predict_next on the pure-AR model uses only the last p values,
+        # so it must agree with the continuation at each step.
+        for i in range(3):
+            window = np.concatenate([train, test[:i]])
+            assert model.predict_next(window[-50:]) == pytest.approx(
+                continuation[i], abs=1e-6
+            )
+
+    def test_predict_next_with_d1(self, rng):
+        y = rng.normal(0.5, 1.0, 400).cumsum()
+        model = ARIMA((0, 1, 0)).fit(y)
+        nxt = model.predict_next(y[-10:])
+        # random walk with drift: next ~ last + drift
+        assert nxt == pytest.approx(y[-1] + model.const, abs=1.0)
+
+    def test_predict_next_rejects_short_window(self, rng):
+        model = ARIMA((1, 1, 0)).fit(rng.normal(0, 1, 100).cumsum())
+        with pytest.raises(ValueError):
+            model.predict_next(np.array([1.0]))
+
+    def test_forecast_with_d1_continues_level(self, rng):
+        y = rng.normal(0.0, 0.1, 300).cumsum() + 100.0
+        model = ARIMA((1, 1, 0)).fit(y)
+        forecast = model.forecast(5)
+        assert np.all(np.abs(forecast - y[-1]) < 5.0)
+
+
+class TestForecastIntervals:
+    def test_psi_weights_ar1(self, rng):
+        y = simulate_arma(rng, 2000, phi=(0.6,))
+        model = ARIMA((1, 0, 0), include_constant=False).fit(y)
+        psi = model.psi_weights(5)
+        phi = model.phi[0]
+        assert psi[0] == 1.0
+        for j in range(1, 5):
+            assert psi[j] == pytest.approx(phi**j, rel=1e-9)
+
+    def test_psi_weights_random_walk(self, rng):
+        y = rng.normal(0, 1, 500).cumsum()
+        model = ARIMA((0, 1, 0), include_constant=False).fit(y)
+        assert np.allclose(model.psi_weights(6), 1.0)
+
+    def test_interval_widens_with_horizon(self, rng):
+        y = simulate_arma(rng, 1000, phi=(0.7,))
+        model = ARIMA((1, 0, 0)).fit(y)
+        forecast, lower, upper = model.forecast_interval(10)
+        widths = upper - lower
+        assert (np.diff(widths) >= -1e-9).all()
+        assert (lower <= forecast).all() and (forecast <= upper).all()
+
+    def test_coverage_approximately_nominal(self, rng):
+        """One-step 95% intervals should cover ~95% of realizations."""
+        y = simulate_arma(rng, 3000, phi=(0.6,))
+        train, test = y[:2500], y[2500:]
+        model = ARIMA((1, 0, 0)).fit(train)
+        covered = 0
+        history = list(train)
+        for value in test:
+            refit_free = ARIMA((1, 0, 0))
+            refit_free.phi = model.phi
+            refit_free.theta = model.theta
+            refit_free.const = model.const
+            refit_free.sigma2 = model.sigma2
+            refit_free._history = np.asarray(history)
+            forecast, lower, upper = refit_free.forecast_interval(1)
+            if lower[0] <= value <= upper[0]:
+                covered += 1
+            history.append(value)
+        assert 0.88 <= covered / test.size <= 0.99
+
+    def test_validation(self, rng):
+        model = ARIMA((1, 0, 0)).fit(simulate_arma(rng, 200, phi=(0.5,)))
+        with pytest.raises(ValueError):
+            model.psi_weights(0)
+        with pytest.raises(ValueError):
+            model.forecast_interval(3, alpha=1.5)

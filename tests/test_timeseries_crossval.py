@@ -1,0 +1,64 @@
+"""Tests for cross-validated order selection."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.crossval import one_step_validation_rmse, select_order_cv
+from tests.test_timeseries_arima import simulate_arma
+
+
+class TestValidationRmse:
+    def test_good_order_scores_near_noise(self, rng):
+        y = simulate_arma(rng, 600, phi=(0.7,))
+        score = one_step_validation_rmse((1, 0, 0), y[:500], y[500:])
+        assert 0.8 <= score <= 1.3  # noise sigma is 1
+
+    def test_unfittable_order_is_inf(self):
+        assert one_step_validation_rmse((3, 1, 3), np.arange(8.0),
+                                        np.arange(3.0)) == float("inf")
+
+    def test_empty_validation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            one_step_validation_rmse((1, 0, 0), rng.normal(0, 1, 50),
+                                     np.zeros(0))
+
+
+class TestSelectOrderCv:
+    def test_returns_fitted_model(self, rng):
+        y = simulate_arma(rng, 400, phi=(0.6,))
+        model = select_order_cv(y)
+        assert np.isfinite(model.sigma2)
+        assert model.order.d == 0
+
+    def test_integrated_series_gets_d1(self, rng):
+        y = rng.normal(0.2, 1.0, 400).cumsum()
+        model = select_order_cv(y)
+        assert model.order.d == 1
+
+    def test_cv_at_least_matches_aic_on_bursty_series(self, rng):
+        """The motivation: on regime-switching series, CV-selected
+        orders should not lose to AIC on out-of-sample one-step RMSE."""
+        from repro.timeseries.selection import select_order
+
+        # Bursty series: AR(1) with occasional level shifts.
+        n = 500
+        y = np.zeros(n)
+        level = 0.0
+        for t in range(1, n):
+            if rng.random() < 0.02:
+                level = rng.normal(0, 5)
+            y[t] = level + 0.5 * (y[t - 1] - level) + rng.normal()
+        train, test = y[:400], y[400:]
+        cv_model = select_order_cv(train)
+        aic_model = select_order(train)
+        cv_rmse = np.sqrt(np.mean((cv_model.predict_continuation(test) - test) ** 2))
+        aic_rmse = np.sqrt(np.mean((aic_model.predict_continuation(test) - test) ** 2))
+        assert cv_rmse <= aic_rmse * 1.15
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            select_order_cv(np.arange(10.0))
+
+    def test_bad_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            select_order_cv(rng.normal(0, 1, 100), val_fraction=0.9)

@@ -1,0 +1,89 @@
+"""Tests for seasonal decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.seasonal import (
+    SeasonalARIMA,
+    deseasonalize,
+    reseasonalize,
+    seasonal_profile,
+)
+
+
+def seasonal_series(rng, n=240, period=24, amplitude=5.0, noise=0.5):
+    t = np.arange(n)
+    return amplitude * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestSeasonalProfile:
+    def test_recovers_sine(self, rng):
+        series = seasonal_series(rng)
+        profile = seasonal_profile(series, 24)
+        expected = 5.0 * np.sin(2 * np.pi * np.arange(24) / 24.0)
+        assert np.allclose(profile, expected, atol=0.6)
+
+    def test_zero_mean(self, rng):
+        profile = seasonal_profile(seasonal_series(rng), 24)
+        assert abs(profile.mean()) < 0.3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            seasonal_profile(np.zeros(10), 1)
+        with pytest.raises(ValueError):
+            seasonal_profile(np.zeros(5), 10)
+
+
+class TestRoundtrip:
+    def test_deseasonalize_then_reseasonalize(self, rng):
+        series = seasonal_series(rng)
+        rest, profile = deseasonalize(series, 24)
+        rebuilt = reseasonalize(rest, profile, 0)
+        assert np.allclose(rebuilt, series)
+
+    def test_deseasonalized_has_no_period(self, rng):
+        series = seasonal_series(rng)
+        rest, _ = deseasonalize(series, 24)
+        # Lag-24 autocorrelation should collapse.
+        from repro.timeseries.acf import acf
+
+        assert abs(acf(rest, 30)[24]) < 0.3
+        assert acf(series, 30)[24] > 0.6
+
+    def test_phase_offset(self):
+        profile = np.array([1.0, -1.0])
+        out = reseasonalize(np.zeros(4), profile, start_index=1)
+        assert out.tolist() == [-1.0, 1.0, -1.0, 1.0]
+
+
+class TestSeasonalARIMA:
+    def test_beats_plain_arima_on_seasonal_data(self, rng):
+        from repro.timeseries.selection import select_order
+
+        series = seasonal_series(rng, n=360)
+        train, test = series[:300], series[300:]
+        seasonal = SeasonalARIMA(period=24).fit(train)
+        plain = select_order(train, max_p=3, max_q=2, max_d=1)
+        seasonal_rmse = np.sqrt(np.mean(
+            (seasonal.predict_continuation(test) - test) ** 2))
+        plain_rmse = np.sqrt(np.mean(
+            (plain.predict_continuation(test) - test) ** 2))
+        assert seasonal_rmse < plain_rmse * 1.05
+
+    def test_forecast_continues_cycle(self, rng):
+        series = seasonal_series(rng, n=240)
+        model = SeasonalARIMA(period=24).fit(series)
+        forecast = model.forecast(24)
+        expected_phase = 5.0 * np.sin(2 * np.pi * np.arange(240, 264) / 24.0)
+        assert np.corrcoef(forecast, expected_phase)[0, 1] > 0.8
+
+    def test_unfitted_raises(self):
+        model = SeasonalARIMA(period=24)
+        with pytest.raises(RuntimeError):
+            model.forecast(2)
+        with pytest.raises(RuntimeError):
+            _ = model.profile
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            SeasonalARIMA(period=1)

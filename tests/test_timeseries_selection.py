@@ -1,0 +1,65 @@
+"""Tests for ARIMA order selection."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.selection import choose_differencing, select_order
+from tests.test_timeseries_arima import simulate_arma
+
+
+class TestChooseDifferencing:
+    def test_stationary_needs_none(self, rng):
+        y = simulate_arma(rng, 500, phi=(0.5,))
+        assert choose_differencing(y) == 0
+
+    def test_random_walk_needs_one(self, rng):
+        y = rng.normal(0, 1, 500).cumsum()
+        assert choose_differencing(y) == 1
+
+    def test_double_integrated_needs_two(self, rng):
+        y = rng.normal(0, 1, 500).cumsum().cumsum()
+        assert choose_differencing(y, max_d=2) == 2
+
+    def test_constant_series_is_trivially_stationary(self):
+        assert choose_differencing(np.ones(100)) == 0
+
+    def test_short_series_stops_early(self, rng):
+        y = rng.normal(0, 1, 12)
+        assert choose_differencing(y) <= 2
+
+
+class TestSelectOrder:
+    def test_prefers_ar_for_ar_process(self, rng):
+        y = simulate_arma(rng, 2000, phi=(0.75,))
+        model = select_order(y, max_p=3, max_q=2)
+        assert model.order.d == 0
+        assert model.order.p >= 1
+
+    def test_selected_model_predicts_well(self, rng):
+        y = simulate_arma(rng, 1200, phi=(0.6, 0.2))
+        train, test = y[:1000], y[1000:]
+        model = select_order(train)
+        predictions = model.predict_continuation(test)
+        rmse = np.sqrt(np.mean((predictions - test) ** 2))
+        assert rmse < 1.3  # noise floor is 1.0
+
+    def test_bic_selects_sparser_or_equal(self, rng):
+        y = simulate_arma(rng, 800, phi=(0.6,))
+        aic_model = select_order(y, criterion="aic")
+        bic_model = select_order(y, criterion="bic")
+        assert bic_model.order.n_params <= aic_model.order.n_params + 1
+
+    def test_rejects_unknown_criterion(self, rng):
+        with pytest.raises(ValueError):
+            select_order(rng.normal(0, 1, 100), criterion="mdl")
+
+    def test_integrated_series_gets_d1(self, rng):
+        y = rng.normal(0.2, 1.0, 600).cumsum()
+        model = select_order(y, max_d=1)
+        assert model.order.d == 1
+
+    def test_always_returns_model(self, rng):
+        """Even on awkward series there is always a fitted fallback."""
+        y = np.concatenate([np.zeros(20), rng.normal(0, 1e-8, 20)]) + 5.0
+        model = select_order(y)
+        assert model is not None

@@ -1,0 +1,97 @@
+"""Tests for differencing and the ADF test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries.stationarity import adf_test, difference, undifference
+
+
+class TestDifference:
+    def test_first_difference(self):
+        assert difference(np.array([1.0, 3.0, 6.0])).tolist() == [2.0, 3.0]
+
+    def test_zero_order_identity(self):
+        x = np.array([1.0, 2.0])
+        assert difference(x, 0).tolist() == [1.0, 2.0]
+
+    def test_second_order(self):
+        x = np.array([1.0, 3.0, 6.0, 10.0])
+        assert difference(x, 2).tolist() == [1.0, 1.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            difference(np.array([1.0, 2.0]), -1)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            difference(np.array([1.0]), 1)
+
+
+class TestUndifference:
+    def test_inverts_first_difference(self):
+        history = np.array([2.0, 5.0, 4.0])
+        future = np.array([6.0, 9.0])
+        diffs = np.array([2.0, 3.0])  # 4->6->9
+        assert np.allclose(undifference(diffs, history, 1), future)
+
+    def test_inverts_second_difference(self, rng):
+        x = rng.normal(0, 1, 30).cumsum().cumsum()
+        history, future = x[:20], x[20:]
+        w = difference(x, 2)
+        future_diffs = w[18:]
+        assert np.allclose(undifference(future_diffs, history, 2), future)
+
+    def test_d0_copy(self):
+        out = undifference(np.array([1.0]), np.array([5.0]), 0)
+        assert out.tolist() == [1.0]
+
+    @given(arrays(np.float64, st.integers(5, 20), elements=st.floats(-50, 50)),
+           st.integers(1, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, x, d):
+        """difference then undifference reconstructs the tail exactly."""
+        if x.size <= d + 2:
+            return
+        head, tail = x[: d + 2], x[d + 2 :]
+        if tail.size == 0:
+            return
+        w = difference(x, d)
+        tail_diffs = w[2:]
+        rebuilt = undifference(tail_diffs, head, d)
+        assert np.allclose(rebuilt, tail, atol=1e-6)
+
+
+class TestAdf:
+    def test_stationary_ar1(self, rng):
+        n = 600
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.5 * x[t - 1] + rng.normal()
+        assert adf_test(x).is_stationary()
+
+    def test_random_walk_not_stationary(self, rng):
+        x = rng.normal(0, 1, 600).cumsum()
+        assert not adf_test(x).is_stationary()
+
+    def test_trend_plus_noise_not_flagged_stationary(self, rng):
+        """A strong deterministic trend with a constant-only ADF looks
+        like a unit root."""
+        x = np.arange(400) * 0.5 + rng.normal(0, 1, 400)
+        assert not adf_test(x).is_stationary()
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            adf_test(np.arange(5, dtype=float))
+
+    def test_critical_values_present(self, rng):
+        result = adf_test(rng.normal(0, 1, 100))
+        assert set(result.critical_values) == {"1%", "5%", "10%"}
+        assert result.critical_values["1%"] < result.critical_values["10%"]
+
+    def test_explicit_lag_override(self, rng):
+        x = rng.normal(0, 1, 200)
+        result = adf_test(x, n_lags=3)
+        assert result.n_lags == 3

@@ -1,0 +1,90 @@
+"""Tests for topology analysis (path inflation, cones, degrees)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.analysis import (
+    customer_cone_sizes,
+    degree_histogram,
+    path_inflation,
+    undirected_distances,
+)
+from repro.topology.generator import ASRole
+from repro.topology.routing import valley_free_distances
+
+
+class TestUndirectedDistances:
+    def test_self_zero(self, topo):
+        distances = undirected_distances(topo, topo.asns[0])
+        assert distances[topo.asns[0]] == 0
+
+    def test_all_reachable(self, topo):
+        distances = undirected_distances(topo, topo.asns[5])
+        assert all(d >= 0 for d in distances.values())
+
+    def test_never_longer_than_policy_paths(self, topo):
+        """Physical shortest paths lower-bound valley-free paths."""
+        dst = topo.asns[10]
+        physical = undirected_distances(topo, dst)
+        policy = valley_free_distances(topo, dst)
+        for asn in topo.asns:
+            assert physical[asn] <= policy[asn]
+
+    def test_unknown_asn(self, topo):
+        with pytest.raises(KeyError):
+            undirected_distances(topo, 999999)
+
+
+class TestPathInflation:
+    def test_inflation_at_least_one(self, topo):
+        stats = path_inflation(topo, n_destinations=8, seed=1)
+        assert stats["mean_inflation"] >= 1.0
+        assert stats["max_inflation"] >= stats["mean_inflation"]
+        assert 0.0 <= stats["inflated_fraction"] <= 1.0
+
+    def test_some_inflation_exists(self, topo):
+        """Valley-free policy must inflate at least a few pairs (the
+        Gao & Wang [44] phenomenon)."""
+        stats = path_inflation(topo, n_destinations=20, seed=0)
+        assert stats["inflated_fraction"] > 0.0
+
+    def test_deterministic(self, topo):
+        a = path_inflation(topo, n_destinations=5, seed=3)
+        b = path_inflation(topo, n_destinations=5, seed=3)
+        assert a == b
+
+
+class TestCustomerCones:
+    def test_tier1_cone_largest(self, topo):
+        cones = customer_cone_sizes(topo)
+        tier1 = [a for a, r in topo.roles.items() if r is ASRole.TIER1]
+        stubs = [a for a, r in topo.roles.items() if r is ASRole.STUB]
+        assert max(cones[a] for a in tier1) > max(cones[a] for a in stubs)
+
+    def test_stub_cone_is_itself(self, topo):
+        cones = customer_cone_sizes(topo)
+        stubs = [a for a, r in topo.roles.items() if r is ASRole.STUB]
+        # Stubs have no customers, so their cone is exactly themselves.
+        assert all(cones[a] == 1 for a in stubs)
+
+    def test_provider_cone_contains_customers(self, topo):
+        cones = customer_cone_sizes(topo)
+        for provider in topo.asns[:10]:
+            for customer in topo.customers[provider]:
+                assert cones[provider] > cones[customer] - 1
+
+
+class TestDegreeHistogram:
+    def test_total_matches(self, topo):
+        histogram = degree_histogram(topo)
+        assert sum(histogram.values()) == len(topo.asns)
+
+    def test_heavy_tail(self, topo):
+        histogram = degree_histogram(topo)
+        max_degree = max(histogram)
+        # Degree of the typical AS (weighted by count).
+        degrees = np.repeat(
+            np.fromiter(histogram.keys(), dtype=int),
+            np.fromiter(histogram.values(), dtype=int),
+        )
+        assert max_degree > 3 * int(np.median(degrees))

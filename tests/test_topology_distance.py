@@ -1,0 +1,65 @@
+"""Tests for the distance oracle."""
+
+import numpy as np
+import pytest
+
+from repro.topology.distance import DistanceOracle
+from repro.topology.routing import valley_free_distances
+
+
+@pytest.fixture()
+def oracle(topo):
+    return DistanceOracle(topo)
+
+
+class TestDistanceOracle:
+    def test_zero_self_distance(self, oracle, topo):
+        assert oracle.distance(topo.asns[0], topo.asns[0]) == 0
+
+    def test_matches_routing(self, oracle, topo):
+        dst = topo.asns[10]
+        truth = valley_free_distances(topo, dst)
+        for src in topo.asns[:20]:
+            assert oracle.distance(src, dst) == truth[src]
+
+    def test_cache_grows_per_destination(self, oracle, topo):
+        assert oracle.cache_size() == 0
+        oracle.distance(topo.asns[0], topo.asns[5])
+        assert oracle.cache_size() == 1
+        oracle.distance(topo.asns[1], topo.asns[5])
+        assert oracle.cache_size() == 1  # same destination: cache hit
+
+    def test_cache_bound_respected(self, topo):
+        oracle = DistanceOracle(topo, max_cached_destinations=2)
+        for dst in topo.asns[:5]:
+            oracle.distance(topo.asns[-1], dst)
+        assert oracle.cache_size() <= 2
+
+    def test_mean_pairwise_singleton_is_zero(self, oracle, topo):
+        assert oracle.mean_pairwise_distance([topo.asns[0]]) == 0.0
+        assert oracle.mean_pairwise_distance([]) == 0.0
+
+    def test_mean_pairwise_deduplicates(self, oracle, topo):
+        a, b = topo.asns[0], topo.asns[1]
+        single = oracle.mean_pairwise_distance([a, b])
+        duplicated = oracle.mean_pairwise_distance([a, a, b, b])
+        assert single == duplicated
+
+    def test_mean_pairwise_is_positive_for_distinct(self, oracle, topo):
+        assert oracle.mean_pairwise_distance(topo.asns[:5]) > 0
+
+    def test_distance_matrix_symmetric_ish(self, oracle, topo):
+        """Valley-free distance is symmetric in our topology because
+        every path can be traversed in reverse (up* peer? down* both
+        ways for the same endpoints)."""
+        asns = topo.asns[:8]
+        matrix = oracle.distance_matrix(asns)
+        assert matrix.shape == (8, 8)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_triangle_like_sanity(self, oracle, topo):
+        """Distances are at least 1 between distinct ASes."""
+        for a in topo.asns[:5]:
+            for b in topo.asns[5:10]:
+                assert oracle.distance(a, b) >= 1

@@ -1,0 +1,150 @@
+"""Tests for the AS topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generator import (
+    ASRole,
+    ASTopology,
+    Relationship,
+    TopologyConfig,
+    generate_topology,
+)
+
+
+class TestTopologyConfig:
+    def test_defaults_valid(self):
+        config = TopologyConfig()
+        assert config.n_ases == config.n_tier1 + config.n_transit + config.n_stub
+
+    def test_rejects_too_few_tier1(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_tier1=1)
+
+    def test_rejects_zero_transit(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_transit=0)
+
+    def test_rejects_bad_peer_fraction(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(peer_fraction=1.5)
+
+    def test_rejects_zero_max_providers(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(max_providers=0)
+
+
+class TestGeneration:
+    def test_counts(self, topo):
+        roles = list(topo.roles.values())
+        assert roles.count(ASRole.TIER1) == 4
+        assert roles.count(ASRole.TRANSIT) == 20
+        assert roles.count(ASRole.STUB) == 60
+
+    def test_asns_consecutive_from_one(self, topo):
+        assert topo.asns == list(range(1, 85))
+
+    def test_tier1_clique(self, topo):
+        tier1 = [a for a, r in topo.roles.items() if r is ASRole.TIER1]
+        for a in tier1:
+            for b in tier1:
+                if a != b:
+                    assert b in topo.peers[a]
+
+    def test_tier1_has_no_providers(self, topo):
+        for asn, role in topo.roles.items():
+            if role is ASRole.TIER1:
+                assert not topo.providers[asn]
+
+    def test_every_non_tier1_has_provider(self, topo):
+        for asn, role in topo.roles.items():
+            if role is not ASRole.TIER1:
+                assert topo.providers[asn]
+
+    def test_deterministic_given_seed(self):
+        config = TopologyConfig(n_tier1=3, n_transit=10, n_stub=20, seed=11)
+        a = generate_topology(config)
+        b = generate_topology(config)
+        assert a.edges() == b.edges()
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(TopologyConfig(n_tier1=3, n_transit=10, n_stub=30, seed=1))
+        b = generate_topology(TopologyConfig(n_tier1=3, n_transit=10, n_stub=30, seed=2))
+        assert a.edges() != b.edges()
+
+    def test_validate_passes(self, topo):
+        topo.validate()
+
+    def test_degree_heavy_tail(self):
+        """Preferential attachment should concentrate customers."""
+        topo = generate_topology(TopologyConfig(n_tier1=5, n_transit=40, n_stub=300, seed=3))
+        degrees = sorted((topo.degree(a) for a in topo.asns), reverse=True)
+        # The busiest AS should dwarf the median.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+
+class TestASTopologyInvariants:
+    def _tiny(self) -> ASTopology:
+        roles = {1: ASRole.TIER1, 2: ASRole.TRANSIT, 3: ASRole.STUB}
+        topo = ASTopology(roles=roles)
+        topo.add_c2p(2, 1)
+        topo.add_c2p(3, 2)
+        return topo
+
+    def test_relationship_lookup(self):
+        topo = self._tiny()
+        assert topo.relationship(2, 1) is Relationship.CUSTOMER_TO_PROVIDER
+        assert topo.relationship(1, 2) is None
+        assert topo.relationship(1, 3) is None
+
+    def test_peering_symmetric(self):
+        roles = {1: ASRole.TIER1, 2: ASRole.TRANSIT, 3: ASRole.TRANSIT}
+        topo = ASTopology(roles=roles)
+        topo.add_c2p(2, 1)
+        topo.add_c2p(3, 1)
+        topo.add_peering(2, 3)
+        assert topo.relationship(2, 3) is Relationship.PEER_TO_PEER
+        assert topo.relationship(3, 2) is Relationship.PEER_TO_PEER
+
+    def test_self_loop_rejected(self):
+        topo = self._tiny()
+        with pytest.raises(ValueError):
+            topo.add_c2p(1, 1)
+        with pytest.raises(ValueError):
+            topo.add_peering(2, 2)
+
+    def test_cycle_detected(self):
+        roles = {1: ASRole.TIER1, 2: ASRole.TRANSIT, 3: ASRole.TRANSIT}
+        topo = ASTopology(roles=roles)
+        topo.add_c2p(2, 3)
+        topo.add_c2p(3, 2)
+        with pytest.raises(ValueError, match="cycle"):
+            topo.validate()
+
+    def test_orphan_detected(self):
+        roles = {1: ASRole.TIER1, 2: ASRole.STUB}
+        topo = ASTopology(roles=roles)
+        with pytest.raises(ValueError, match="no provider"):
+            topo.validate()
+
+    def test_topological_order_providers_first(self, topo):
+        order = topo.provider_topological_order()
+        position = {asn: i for i, asn in enumerate(order)}
+        for customer, providers in topo.providers.items():
+            for provider in providers:
+                assert position[provider] < position[customer]
+
+    def test_edges_listing_complete(self):
+        topo = self._tiny()
+        topo.add_peering(2, 3)
+        edges = topo.edges()
+        assert (2, 1, Relationship.CUSTOMER_TO_PROVIDER) in edges
+        assert (3, 2, Relationship.CUSTOMER_TO_PROVIDER) in edges
+        assert (2, 3, Relationship.PEER_TO_PEER) in edges
+        # peering listed once
+        assert (3, 2, Relationship.PEER_TO_PEER) not in edges
+
+    def test_degree_counts_all_edge_kinds(self):
+        topo = self._tiny()
+        topo.add_peering(2, 3)
+        assert topo.degree(2) == 3  # provider 1, customer 3, peer 3

@@ -1,0 +1,92 @@
+"""Tests for IP allocation and mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.ipmap import IPAllocator, format_ip, parse_ip
+
+
+class TestIpFormatting:
+    def test_roundtrip_known(self):
+        assert format_ip(parse_ip("11.22.33.44")) == "11.22.33.44"
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            parse_ip("1.2.3.256")
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ip("1.2.3")
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(-1)
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, ip):
+        assert parse_ip(format_ip(ip)) == ip
+
+
+class TestIPAllocator:
+    def test_blocks_disjoint_and_sorted(self, allocator, topo):
+        blocks = sorted(allocator.block(a) for a in topo.asns)
+        for (s1, z1), (s2, _) in zip(blocks, blocks[1:]):
+            assert s1 + z1 <= s2
+
+    def test_asn_roundtrip(self, allocator, topo, rng):
+        for asn in topo.asns[::7]:
+            ips = allocator.sample_ips(asn, 5, rng)
+            for ip in ips:
+                assert allocator.asn_of(int(ip)) == asn
+
+    def test_asn_of_many_matches_scalar(self, allocator, topo, rng):
+        ips = np.concatenate(
+            [allocator.sample_ips(a, 3, rng) for a in topo.asns[:10]]
+        )
+        vector = allocator.asn_of_many(ips)
+        scalar = np.array([allocator.asn_of(int(ip)) for ip in ips])
+        assert np.array_equal(vector, scalar)
+
+    def test_unallocated_lookup_raises(self, allocator):
+        with pytest.raises(KeyError):
+            allocator.asn_of(parse_ip("1.0.0.1"))
+
+    def test_asn_of_many_marks_unallocated(self, allocator):
+        out = allocator.asn_of_many(np.array([parse_ip("1.0.0.1")]))
+        assert out[0] == -1
+
+    def test_sample_within_block(self, allocator, topo, rng):
+        asn = topo.asns[3]
+        start, size = allocator.block(asn)
+        ips = allocator.sample_ips(asn, 50, rng)
+        assert ((ips >= start) & (ips < start + size)).all()
+
+    def test_sample_distinct(self, allocator, topo, rng):
+        ips = allocator.sample_ips(topo.asns[0], 100, rng)
+        assert len(set(int(i) for i in ips)) == len(ips)
+
+    def test_sample_capped_at_block_size(self, topo, rng):
+        allocator = IPAllocator(topo, seed=1, min_block=64, max_block=128)
+        asn = topo.asns[0]
+        _, size = allocator.block(asn)
+        ips = allocator.sample_ips(asn, size + 1000, rng)
+        assert ips.size == size
+
+    def test_deterministic(self, topo):
+        a = IPAllocator(topo, seed=3)
+        b = IPAllocator(topo, seed=3)
+        assert a.block(topo.asns[5]) == b.block(topo.asns[5])
+
+    def test_bad_bounds_rejected(self, topo):
+        with pytest.raises(ValueError):
+            IPAllocator(topo, min_block=0)
+        with pytest.raises(ValueError):
+            IPAllocator(topo, min_block=1024, max_block=512)
+
+    def test_total_allocated_positive(self, allocator):
+        assert allocator.total_allocated > 0

@@ -1,0 +1,89 @@
+"""Tests for Gao relationship inference."""
+
+import pytest
+
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.relationships import GaoInference, InferredRelationship, score_inference
+from repro.topology.routing import RouteViewsCollector
+
+
+@pytest.fixture(scope="module")
+def inference(topo):
+    collector = RouteViewsCollector(topo)
+    tables = collector.collect(n_vantages=6, seed=1)
+    return GaoInference().fit(collector.as_paths(tables))
+
+
+class TestGaoInference:
+    def test_requires_paths(self):
+        with pytest.raises(ValueError):
+            GaoInference().fit([])
+
+    def test_ignores_singleton_paths(self):
+        with pytest.raises(ValueError):
+            GaoInference().fit([[1], [2]])
+
+    def test_simple_chain_inference(self):
+        # Paths through a clear hierarchy: 1 is the hub (highest degree),
+        # 2 a mid-tier, 3/4 leaf customers of 2, 5..8 other customers of 1.
+        # The hub's degree must clearly dominate its customers', else
+        # Gao's phase-3 degree-ratio heuristic (correctly, per the
+        # algorithm) reclassifies the top-adjacent edge as peering.
+        paths = [
+            [3, 2, 1], [4, 2, 1], [2, 1], [5, 1], [6, 1], [7, 1], [8, 1],
+            [9, 1], [10, 1], [11, 1], [12, 1], [13, 1],
+            [3, 2, 1, 5], [4, 2, 1, 6], [5, 1, 2, 3],
+        ]
+        inference = GaoInference().fit(paths)
+        assert inference.relationship(3, 2) is InferredRelationship.CUSTOMER_TO_PROVIDER
+        assert inference.relationship(2, 1) is InferredRelationship.CUSTOMER_TO_PROVIDER
+
+    def test_relationship_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaoInference().relationship(1, 2)
+
+    def test_unseen_pair_is_none(self, inference):
+        assert inference.relationship(100001, 100002) is None
+
+    def test_degree_reflects_paths(self, inference, topo):
+        # Tier-1s see the most neighbors.
+        tier1_degree = max(inference.degree(a) for a in topo.asns[:4])
+        stub_degree = inference.degree(topo.asns[-1])
+        assert tier1_degree > stub_degree
+
+    def test_accuracy_on_ground_truth(self, inference, topo):
+        scores = score_inference(inference, topo)
+        assert scores["n_scored"] > 50
+        assert scores["accuracy"] >= 0.85
+        assert scores["c2p_accuracy"] >= 0.9
+
+    def test_peering_detection_nontrivial(self, inference, topo):
+        scores = score_inference(inference, topo)
+        # Peering inference is the hard part of Gao's algorithm; demand
+        # at least some hits rather than near-perfection.
+        assert scores["p2p_accuracy"] >= 0.3
+
+    def test_more_vantages_do_not_hurt_much(self, topo):
+        collector = RouteViewsCollector(topo)
+        few = GaoInference().fit(collector.as_paths(collector.collect(n_vantages=2, seed=3)))
+        many = GaoInference().fit(collector.as_paths(collector.collect(n_vantages=10, seed=3)))
+        s_few = score_inference(few, topo)
+        s_many = score_inference(many, topo)
+        assert s_many["n_scored"] >= s_few["n_scored"]
+        assert s_many["accuracy"] >= 0.8
+
+    def test_edges_are_consistent(self, inference):
+        for (a, b), label in inference.edges().items():
+            if label is InferredRelationship.PEER_TO_PEER:
+                assert inference.relationship(b, a) is InferredRelationship.PEER_TO_PEER
+            if label is InferredRelationship.SIBLING:
+                assert inference.relationship(b, a) is InferredRelationship.SIBLING
+
+    def test_scales_to_larger_topology(self):
+        topo = generate_topology(TopologyConfig(n_tier1=6, n_transit=50, n_stub=250, seed=17))
+        collector = RouteViewsCollector(topo)
+        inference = GaoInference().fit(
+            collector.as_paths(collector.collect(n_vantages=5, seed=17))
+        )
+        scores = score_inference(inference, topo)
+        assert scores["accuracy"] >= 0.85

@@ -1,0 +1,234 @@
+"""Tests for MLR, CART and the model tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.cart import RegressionTree, _best_split
+from repro.tree.linear import LinearRegression
+from repro.tree.model_tree import ModelTree
+
+
+class TestLinearRegression:
+    def test_exact_recovery(self, rng):
+        x = rng.normal(0, 1, (200, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(x, y)
+        assert np.allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0)
+        assert model.r2(x, y) == pytest.approx(1.0)
+
+    def test_ridge_shrinks(self, rng):
+        x = rng.normal(0, 1, (50, 2))
+        y = x @ np.array([5.0, 5.0])
+        plain = LinearRegression().fit(x, y)
+        ridged = LinearRegression(ridge=100.0).fit(x, y)
+        assert np.linalg.norm(ridged.coef_) < np.linalg.norm(plain.coef_)
+
+    def test_collinear_features_survive_with_ridge(self):
+        x = np.column_stack([np.arange(10.0), np.arange(10.0)])
+        y = np.arange(10.0)
+        model = LinearRegression(ridge=1e-6).fit(x, y)
+        assert np.isfinite(model.predict(x)).all()
+
+    def test_no_intercept(self, rng):
+        x = rng.normal(0, 1, (100, 1))
+        y = 2.0 * x[:, 0]
+        model = LinearRegression(fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_constant_target_r2(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = np.full(10, 3.0)
+        model = LinearRegression().fit(x, y)
+        assert model.r2(x, y) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_negative_ridge(self):
+        with pytest.raises(ValueError):
+            LinearRegression(ridge=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+
+class TestBestSplit:
+    def test_finds_obvious_split(self):
+        x = np.arange(20.0).reshape(-1, 1)
+        y = np.where(x[:, 0] < 10, 0.0, 10.0)
+        feature, threshold, reduction = _best_split(x, y, min_samples_leaf=2)
+        assert feature == 0
+        assert threshold == pytest.approx(9.5)
+        assert reduction > 0
+
+    def test_no_split_for_constant_target(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        assert _best_split(x, np.ones(10), 2) is None
+
+    def test_respects_min_samples_leaf(self):
+        x = np.arange(6.0).reshape(-1, 1)
+        y = np.array([0.0, 0, 0, 0, 0, 100.0])
+        # with min_samples_leaf=3 the only allowed split is at index 2
+        result = _best_split(x, y, min_samples_leaf=3)
+        if result is not None:
+            assert result[1] == pytest.approx(2.5)
+
+
+class TestRegressionTree:
+    def test_perfect_fit_on_step_function(self):
+        x = np.arange(40.0).reshape(-1, 1)
+        y = np.where(x[:, 0] < 20, 1.0, 5.0)
+        tree = RegressionTree(max_depth=3, min_samples_split=4).fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+        assert tree.n_leaves == 2
+
+    def test_max_depth_respected(self, rng):
+        x = rng.normal(0, 1, (300, 4))
+        y = rng.normal(0, 1, 300)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=2,
+                              min_samples_split=4).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_sd_stop_prunes(self, rng):
+        x = rng.normal(0, 1, (400, 2))
+        y = 3.0 * x[:, 0] + rng.normal(0, 0.1, 400)
+        full = RegressionTree(max_depth=8, sd_stop_fraction=0.0).fit(x, y)
+        pruned = RegressionTree(max_depth=8, sd_stop_fraction=0.5).fit(x, y)
+        assert pruned.n_leaves < full.n_leaves
+
+    def test_apply_returns_leaves(self, rng):
+        x = rng.normal(0, 1, (100, 2))
+        y = x[:, 0]
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        leaves = tree.apply(x[:5])
+        assert all(leaf.is_leaf for leaf in leaves)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            RegressionTree(sd_stop_fraction=1.5)
+
+    def test_single_sample(self):
+        tree = RegressionTree().fit(np.zeros((1, 1)), np.array([7.0]))
+        assert tree.predict(np.zeros((3, 1))).tolist() == [7.0, 7.0, 7.0]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_within_target_range(self, seed):
+        """Mean-of-leaf predictions can never leave [min(y), max(y)]."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, (60, 2))
+        y = rng.normal(0, 5, 60)
+        tree = RegressionTree(max_depth=4).fit(x, y)
+        predictions = tree.predict(rng.normal(0, 2, (30, 2)))
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+
+class TestModelTree:
+    def test_piecewise_linear_recovery(self, rng):
+        x = rng.uniform(-2, 2, (800, 3))
+        y = np.where(x[:, 0] > 0, 2 * x[:, 1] + 1, -3 * x[:, 2])
+        tree = ModelTree(max_depth=4, keep_sd=1.0).fit(x, y)
+        x_test = rng.uniform(-2, 2, (200, 3))
+        y_test = np.where(x_test[:, 0] > 0, 2 * x_test[:, 1] + 1, -3 * x_test[:, 2])
+        rmse = np.sqrt(np.mean((tree.predict(x_test) - y_test) ** 2))
+        assert rmse < 0.5
+
+    def test_beats_global_mlr_on_piecewise_data(self, rng):
+        from repro.tree.linear import LinearRegression
+
+        x = rng.uniform(-2, 2, (600, 2))
+        y = np.where(x[:, 0] > 0, 4 * x[:, 1], -4 * x[:, 1])
+        tree = ModelTree(max_depth=4).fit(x, y)
+        mlr = LinearRegression().fit(x, y)
+        assert np.mean((tree.predict(x) - y) ** 2) < np.mean((mlr.predict(x) - y) ** 2)
+
+    def test_keep_sd_controls_size(self, rng):
+        x = rng.normal(0, 1, (500, 2))
+        y = x[:, 0] ** 2 + rng.normal(0, 0.1, 500)
+        light = ModelTree(max_depth=8, keep_sd=0.5).fit(x, y)
+        heavy = ModelTree(max_depth=8, keep_sd=1.0).fit(x, y)
+        assert light.n_leaves <= heavy.n_leaves
+
+    def test_paper_default_is_88(self):
+        assert ModelTree().keep_sd == 0.88
+
+    def test_small_leaves_fall_back_to_mean(self, rng):
+        x = rng.normal(0, 1, (12, 6))  # fewer samples than needed for MLR
+        y = rng.normal(0, 1, 12)
+        tree = ModelTree(max_depth=2, min_samples_leaf=2, min_samples_split=4).fit(x, y)
+        assert np.isfinite(tree.predict(x)).all()
+
+    def test_leaf_model_inspection(self, rng):
+        x = rng.normal(0, 1, (100, 2))
+        y = x[:, 0]
+        tree = ModelTree(max_depth=3).fit(x, y)
+        leaf, model = tree.leaf_model(x[0])
+        assert leaf.is_leaf
+        assert model.coef_ is not None
+
+    def test_invalid_keep_sd(self):
+        with pytest.raises(ValueError):
+            ModelTree(keep_sd=1.2)
+
+
+class TestReducedErrorPruning:
+    def test_prunes_noise_splits(self, rng):
+        """A tree grown on pure noise should collapse toward the root
+        under validation pruning."""
+        x = rng.normal(0, 1, (300, 3))
+        y = rng.normal(0, 1, 300)
+        tree = RegressionTree(max_depth=8, min_samples_leaf=2,
+                              min_samples_split=4).fit(x, y)
+        before = tree.n_leaves
+        collapsed = tree.prune_reduced_error(rng.normal(0, 1, (200, 3)),
+                                             rng.normal(0, 1, 200))
+        assert collapsed > 0
+        assert tree.n_leaves < before
+
+    def test_keeps_real_structure(self, rng):
+        x = rng.uniform(-1, 1, (400, 1))
+        y = np.where(x[:, 0] > 0, 10.0, -10.0) + rng.normal(0, 0.1, 400)
+        tree = RegressionTree(max_depth=6).fit(x, y)
+        x_val = rng.uniform(-1, 1, (200, 1))
+        y_val = np.where(x_val[:, 0] > 0, 10.0, -10.0)
+        tree.prune_reduced_error(x_val, y_val)
+        assert tree.n_leaves >= 2  # the true split survives
+        predictions = tree.predict(np.array([[-0.5], [0.5]]))
+        assert predictions[0] < 0 < predictions[1]
+
+    def test_pruned_never_worse_on_validation(self, rng):
+        x = rng.normal(0, 1, (300, 2))
+        y = x[:, 0] + rng.normal(0, 1.0, 300)
+        x_val = rng.normal(0, 1, (150, 2))
+        y_val = x_val[:, 0] + rng.normal(0, 1.0, 150)
+        tree = RegressionTree(max_depth=8, min_samples_leaf=2,
+                              min_samples_split=4).fit(x, y)
+        before = float(np.mean((tree.predict(x_val) - y_val) ** 2))
+        tree.prune_reduced_error(x_val, y_val)
+        after = float(np.mean((tree.predict(x_val) - y_val) ** 2))
+        assert after <= before + 1e-9
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().prune_reduced_error(np.zeros((2, 1)), np.zeros(2))
+
+    def test_validates_shapes(self, rng):
+        tree = RegressionTree().fit(rng.normal(0, 1, (20, 1)),
+                                    rng.normal(0, 1, 20))
+        with pytest.raises(ValueError):
+            tree.prune_reduced_error(np.zeros((3, 1)), np.zeros(4))
