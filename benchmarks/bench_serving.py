@@ -1,0 +1,96 @@
+"""Benchmark S1: the forecast-serving subsystem.
+
+Measures what the serving layer exists to buy:
+
+* **cache-hit speedup** -- a repeated per-target forecast query against
+  the warm registry + prediction cache must be >= 5x cheaper than the
+  cold path (fit the pipeline, then answer), and
+* **throughput** -- batched queries/second through the engine's thread
+  pool, with batched answers identical to one-at-a-time answers.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.serving import ForecastEngine, ForecastRequest
+
+SERVING_CONFIG = DatasetConfig(n_days=25, scale=0.6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serving_engine():
+    trace, env = TraceGenerator(SERVING_CONFIG).generate()
+    engine = ForecastEngine(trace, env, max_workers=8)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def serving_requests(serving_engine):
+    model = serving_engine.warm()
+    asns = model.predictor.spatial.ases()[:8]
+    families = serving_engine.trace.families()[:4]
+    return [ForecastRequest(asn=asn, family=family)
+            for asn in asns for family in families]
+
+
+def test_warm_cache_speedup(serving_engine, serving_requests):
+    """Warm per-target queries >= 5x faster than the cold fit path."""
+    model = serving_engine.warm()
+    cold_s = model.fit_seconds  # what every query would pay without the registry
+
+    # Populate the prediction cache, then time repeated queries.
+    for request in serving_requests:
+        serving_engine.query(request)
+    t0 = time.perf_counter()
+    rounds = 20
+    for _ in range(rounds):
+        for request in serving_requests:
+            forecast = serving_engine.query(request)
+            assert forecast.ok
+    warm_s = (time.perf_counter() - t0) / (rounds * len(serving_requests))
+
+    speedup = cold_s / warm_s
+    snapshot = serving_engine.metrics_snapshot()
+    emit_report("serving_speedup", "\n".join([
+        "SERVING -- WARM-CACHE SPEEDUP",
+        f"  cold fit           : {cold_s:.3f} s",
+        f"  warm query (mean)  : {warm_s * 1e3:.3f} ms",
+        f"  speedup            : {speedup:.0f}x",
+        f"  prediction cache   : {snapshot['caches']['predictions']}",
+    ]))
+    assert speedup >= 5.0, f"warm cache only {speedup:.1f}x faster than cold fit"
+
+
+def test_batched_matches_sequential(serving_engine, serving_requests):
+    """Batched and one-at-a-time answers are bit-identical."""
+    batch = serving_engine.query_batch(serving_requests)
+    sequential = [serving_engine.query(r) for r in serving_requests]
+    for batched, single in zip(batch, sequential):
+        assert batched.request == single.request
+        assert batched.prediction.hour == single.prediction.hour
+        assert batched.prediction.day == single.prediction.day
+        assert batched.prediction.duration == single.prediction.duration
+        assert batched.prediction.magnitude == single.prediction.magnitude
+
+
+def test_batch_throughput(benchmark, serving_engine, serving_requests):
+    """Queries/second through the warm engine's batch path."""
+    serving_engine.query_batch(serving_requests)  # warm every cache first
+    result = benchmark.pedantic(
+        serving_engine.query_batch, args=(serving_requests,),
+        rounds=10, iterations=1,
+    )
+    assert len(result) == len(serving_requests)
+    assert all(f.ok and f.source == "model" for f in result)
+    qps = len(serving_requests) / benchmark.stats.stats.mean
+    emit_report("serving_throughput", "\n".join([
+        "SERVING -- BATCH THROUGHPUT",
+        f"  batch size        : {len(serving_requests)}",
+        f"  mean batch time   : {benchmark.stats.stats.mean * 1e3:.2f} ms",
+        f"  throughput        : {qps:,.0f} queries/s",
+    ]))
+    assert qps > 100.0, f"engine served only {qps:.0f} queries/s"

@@ -1,29 +1,36 @@
 """Operating a predictive threat-intelligence service.
 
 The cloud-defense story the paper motivates (§I, §VI-B): a mitigation
-provider fits the global models, studies the botnet ecosystem, streams
-DOTS-style predictions to customers, and tunes entropy detectors from
-predicted source distributions -- all from one fitted pipeline.
+provider stands up the serving engine over its verified-attack trace,
+studies the botnet ecosystem, answers batched customer forecast
+queries from the model registry's cached fit, and watches the
+service's own telemetry -- all in one process.
 
     python examples/threat_intel_service.py
 """
 
 from __future__ import annotations
 
-from repro import AttackPredictor, DatasetConfig, TraceGenerator
-from repro.core.online import OnlinePredictor
+import json
+
+from repro import DatasetConfig, TraceGenerator
 from repro.defense.detection import run_detection_usecase
 from repro.defense.signaling import run_signaling_usecase
 from repro.evaluation.goodness import temporal_goodness_report
 from repro.features.collaboration import collaboration_summary, target_overlap_jaccard
+from repro.serving import ForecastEngine, ForecastRequest
 
 
 def main() -> None:
     config = DatasetConfig(n_days=70, seed=11)
     trace, env = TraceGenerator(config).generate()
-    predictor = AttackPredictor(trace, env).fit()
+
+    engine = ForecastEngine(trace, env, max_workers=4)
+    model = engine.warm()  # one registry fit; every query below reuses it
+    predictor = model.predictor
     print(f"provider view: {len(trace)} verified attacks, "
-          f"{len(predictor.temporal.families())} modeled families\n")
+          f"{len(predictor.temporal.families())} modeled families, "
+          f"model v{model.version} fitted in {model.fit_seconds:.1f}s\n")
 
     print("== ecosystem analysis: family collaboration (§I) ==")
     summary = collaboration_summary(trace.attacks)
@@ -41,6 +48,28 @@ def main() -> None:
         print(f"  {quality.name:<12s} R^2={quality.r2:5.2f}  residuals {whiteness}")
     print()
 
+    print("== customer feed: batched forecast queries ==")
+    busiest = sorted(
+        {a.target_asn for a in trace.attacks},
+        key=lambda asn: -len(trace.by_target_asn(asn)),
+    )[:4]
+    families = trace.families()[:3]
+    # Customers ask overlapping questions; the engine coalesces the
+    # duplicates and answers the rest from the prediction cache.
+    requests = [ForecastRequest(asn=asn, family=family)
+                for asn in busiest for family in families] * 2
+    for forecast in engine.query_batch(requests)[: len(busiest) * len(families)]:
+        p = forecast.prediction
+        tag = forecast.source + (" DEGRADED" if forecast.degraded else "")
+        if p is None:
+            print(f"  AS{forecast.request.asn:<6d} {forecast.request.family:<12s} "
+                  f"[{tag}] {forecast.error}")
+            continue
+        print(f"  AS{forecast.request.asn:<6d} {forecast.request.family:<12s} "
+              f"[{tag}] day {p.day:6.2f}  hour {p.hour:4.1f}  "
+              f"{p.magnitude:5.0f} bots")
+    print()
+
     print("== customer feed: DOTS threat signaling (§VI-B) ==")
     signaling = run_signaling_usecase(predictor, n_networks=4, tick_hours=6)
     print(f"  signals published  : {signaling['signals_published']:.0f}")
@@ -56,12 +85,19 @@ def main() -> None:
     print(f"  false alarms            : "
           f"{detection['informed_false_alarm_rate']:.1%}\n")
 
-    print("== operations: does accuracy improve as history accrues? ==")
-    online = OnlinePredictor(trace, env, initial_days=30, window_days=10)
-    for window in online.run(max_windows=3):
-        print(f"  days {window.window_start_day:3.0f}-{window.window_end_day:3.0f}: "
-              f"hour RMSE {window.hour_rmse:.2f} over "
-              f"{window.n_predicted} attacks")
+    print("== operations: versioned refresh as history accrues ==")
+    for origin_day in (40, 55):
+        rolled = engine.registry.roll(trace, env, origin_day)
+        if rolled is None:
+            print(f"  origin day {origin_day}: too little history, skipped")
+            continue
+        print(f"  origin day {origin_day}: model v{rolled.version} on "
+              f"{rolled.n_attacks} attacks ({rolled.fit_seconds:.1f}s fit)")
+    print()
+
+    print("== operations: serving telemetry snapshot ==")
+    print(json.dumps(engine.metrics_snapshot(), indent=2))
+    engine.close()
 
 
 if __name__ == "__main__":

@@ -40,8 +40,15 @@ from repro.core import (
     TemporalModel,
 )
 from repro.topology import TopologyConfig, generate_topology
+from repro.serving import (
+    Forecast,
+    ForecastEngine,
+    ForecastRequest,
+    ModelRegistry,
+    ServingMetrics,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttackRecord",
@@ -63,5 +70,10 @@ __all__ = [
     "TemporalModel",
     "TopologyConfig",
     "generate_topology",
+    "Forecast",
+    "ForecastEngine",
+    "ForecastRequest",
+    "ModelRegistry",
+    "ServingMetrics",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Commands:
 * ``table1`` -- print the Table I activity statistics of a trace.
 * ``evaluate`` -- fit the models and print the paper's tables/figures.
 * ``predict`` -- forecast the next attack on a network.
+* ``serve`` -- run the in-process forecast service over a batch of
+  queries and print answers plus a metrics snapshot.
 
 Every command accepts either ``--trace path`` (a persisted trace; the
 environment is rebuilt from its metadata) or generation parameters.
@@ -66,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_generation_args(predict)
     predict.add_argument("--asn", type=int, help="target network (default: busiest)")
     predict.add_argument("--family", help="botnet family (default: most active)")
+    predict.add_argument("--json", action="store_true",
+                         help="emit the forecast as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="answer a batch of forecast queries via the serving engine"
+    )
+    serve.add_argument("--trace", help="persisted trace path")
+    add_generation_args(serve)
+    serve.add_argument("--queries", type=int, default=32,
+                       help="number of forecast queries to issue")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="engine thread-pool size")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request timeout in seconds")
+    serve.add_argument("--json", action="store_true",
+                       help="emit forecasts + metrics as JSON")
     return parser
 
 
@@ -166,6 +184,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evaluation.reporting import prediction_to_dict
+
     trace, env = _load_or_generate(args)
     predictor = AttackPredictor(trace, env).fit()
     asn = args.asn if args.asn is not None else (
@@ -180,6 +202,11 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print(f"AS{asn} has too little history for the §VI-B protocol",
               file=sys.stderr)
         return 1
+    if args.json:
+        payload = {"asn": asn, "family": family,
+                   "forecast": prediction_to_dict(prediction)}
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"next {family} attack on AS{asn}:")
     print(f"  date      : day {prediction.day:.2f} of the trace")
     print(f"  hour      : {prediction.hour:.1f}")
@@ -188,11 +215,65 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import ForecastEngine, ForecastRequest
+
+    trace, env = _load_or_generate(args)
+    if not trace.attacks:
+        print("empty trace: nothing to serve", file=sys.stderr)
+        return 1
+    with ForecastEngine(trace, env, max_workers=args.workers,
+                        timeout_s=args.timeout) as engine:
+        print("fitting model (warm-up) ...", file=sys.stderr)
+        engine.warm()
+        # Busiest networks x most active families, cycled until the
+        # requested batch size -- duplicates exercise coalescing just
+        # like repeated customer queries would.
+        asns = sorted(
+            {a.target_asn for a in trace.attacks},
+            key=lambda asn: -len(trace.by_target_asn(asn)),
+        )[:8]
+        families = trace.families()[:4]
+        pairs = [(asn, family) for asn in asns for family in families]
+        requests = [
+            ForecastRequest(asn=pair[0], family=pair[1])
+            for pair in (pairs[i % len(pairs)] for i in range(args.queries))
+        ]
+        forecasts = engine.query_batch(requests)
+        snapshot = engine.metrics_snapshot()
+
+    if args.json:
+        print(json.dumps(
+            {"forecasts": [f.to_dict() for f in forecasts], "metrics": snapshot},
+            indent=2,
+        ))
+        return 0
+    print(f"served {len(forecasts)} queries "
+          f"({snapshot['counters'].get('engine.coalesced', 0)} coalesced)")
+    for forecast in forecasts:
+        request = forecast.request
+        tag = forecast.source + (" DEGRADED" if forecast.degraded else "")
+        if forecast.prediction is None:
+            print(f"  AS{request.asn:<6d} {request.family:<12s} [{tag}] "
+                  f"no answer: {forecast.error}")
+            continue
+        p = forecast.prediction
+        print(f"  AS{request.asn:<6d} {request.family:<12s} [{tag}] "
+              f"day {p.day:7.2f}  hour {p.hour:4.1f}  "
+              f"{p.duration:6.0f}s  {p.magnitude:5.0f} bots")
+    print("\nmetrics snapshot:")
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "table1": _cmd_table1,
     "evaluate": _cmd_evaluate,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
 }
 
 

@@ -7,11 +7,22 @@ Same* and *Always Mean* predictors our models are compared against.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
 
-__all__ = ["NaivePredictor", "AlwaysSame", "AlwaysMean"]
+if TYPE_CHECKING:  # avoid a load-time cycle with spatiotemporal
+    from repro.core.spatiotemporal import AttackPrediction
+    from repro.dataset.records import AttackRecord
+
+__all__ = [
+    "NaivePredictor",
+    "AlwaysSame",
+    "AlwaysMean",
+    "BASELINES",
+    "resolve_baseline",
+    "naive_attack_forecast",
+]
 
 
 class NaivePredictor(Protocol):
@@ -70,3 +81,58 @@ class AlwaysMean:
         counts = np.arange(1, full.size + 1, dtype=float)
         running_mean = cumulative / counts
         return running_mean[history.size - 1 : -1].copy()
+
+
+BASELINES: dict[str, type] = {"always_same": AlwaysSame, "always_mean": AlwaysMean}
+
+
+def resolve_baseline(name: str) -> NaivePredictor:
+    """Instantiate a baseline by its registry name."""
+    try:
+        return BASELINES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {name!r}; choose from {sorted(BASELINES)}"
+        ) from None
+
+
+def naive_attack_forecast(history: "Sequence[AttackRecord]",
+                          hour_strategy: str = "always_same",
+                          scalar_strategy: str = "always_mean") -> "AttackPrediction":
+    """§VII-A-style forecast of the next attack from raw history alone.
+
+    This is the degraded-mode answer the serving engine falls back to
+    when the fitted models are unavailable (fit failure, timeout, or a
+    target below the §VI-B history floor): launch hour by persistence,
+    date by the mean inter-launch gap, duration and magnitude by the
+    running mean.  ``history`` must be chronological and non-empty.
+    """
+    from repro.core.spatiotemporal import AttackPrediction
+    from repro.dataset.records import DAY
+
+    if not history:
+        raise ValueError("need at least one historical attack")
+    hour_model = resolve_baseline(hour_strategy)
+    scalar_model = resolve_baseline(scalar_strategy)
+
+    hours = np.array([a.start_time % DAY / 3600.0 for a in history])
+    starts = np.array([a.start_time for a in history])
+    durations = np.array([a.duration for a in history], dtype=float)
+    magnitudes = np.array([float(a.magnitude) for a in history])
+
+    hour = float(hour_model.predict_next(hours))
+    gaps = np.diff(starts)
+    day_gap = float(scalar_model.predict_next(gaps)) / DAY if gaps.size else 1.0
+    day = float(starts[-1]) / DAY + max(0.0, day_gap)
+    duration = float(scalar_model.predict_next(durations))
+    magnitude = float(scalar_model.predict_next(magnitudes))
+    return AttackPrediction(
+        hour=hour,
+        day=day,
+        duration=duration,
+        magnitude=magnitude,
+        temporal_hour=hour,
+        spatial_hour=hour,
+        temporal_day=day,
+        spatial_day=day,
+    )

@@ -48,6 +48,26 @@ class OnlinePredictor:
         self.window_days = window_days
         self.config = config
 
+    def predictor_at(self, origin_day: float) -> AttackPredictor | None:
+        """Fit a predictor on everything observed before ``origin_day``.
+
+        This is one refit step of the rolling-origin protocol, exposed
+        on its own so other layers (the serving registry's versioned
+        refresh in particular) can reuse it.  Returns ``None`` when the
+        origin leaves too little history on either side of the split or
+        the fit fails for lack of usable training attacks.
+        """
+        fraction = self._fraction_before(origin_day * DAY)
+        if not 0.0 < fraction < 1.0:
+            return None
+        predictor = AttackPredictor(
+            self.trace, self.env, train_fraction=fraction, config=self.config
+        )
+        try:
+            return predictor.fit()
+        except ValueError:
+            return None
+
     def run(self, max_windows: int | None = None) -> list[WindowResult]:
         """Execute the loop; one :class:`WindowResult` per window."""
         trace_end = self.trace.metadata.n_days
@@ -58,16 +78,8 @@ class OnlinePredictor:
                 break
             split_time = origin * DAY
             window_end = (origin + self.window_days) * DAY
-            fraction = self._fraction_before(split_time)
-            if not 0.0 < fraction < 1.0:
-                origin += self.window_days
-                continue
-            predictor = AttackPredictor(
-                self.trace, self.env, train_fraction=fraction, config=self.config
-            )
-            try:
-                predictor.fit()
-            except ValueError:
+            predictor = self.predictor_at(origin)
+            if predictor is None:
                 origin += self.window_days
                 continue
             window_attacks = [

@@ -9,6 +9,8 @@ predictions of the next attack.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.spatial import SpatialModel
@@ -49,13 +51,21 @@ class AttackPredictor:
         )
         self.index: HistoryIndex | None = None
         self._fitted = False
+        self.fit_seconds = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._fitted
 
     def fit(self) -> "AttackPredictor":
         """Fit temporal -> spatial -> spatiotemporal on the train split."""
+        t0 = time.perf_counter()
         self.temporal.fit(self.fx, self.split_time)
         self.spatial.fit(self.fx, self.split_time)
         self.index = HistoryIndex(self.fx)
         self.spatiotemporal.fit(self.fx, self.train_attacks, index=self.index)
+        self.fit_seconds = time.perf_counter() - t0
         self._fitted = True
         return self
 

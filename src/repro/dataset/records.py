@@ -10,6 +10,8 @@ trailing 24 hours.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -240,3 +242,20 @@ class AttackTrace:
         return sorted(
             (s for s in self.snapshots if s.family == family), key=lambda s: s.hour_index
         )
+
+    def fingerprint(self) -> str:
+        """Stable content identity of the trace.
+
+        Hashes the generation metadata together with the attack count
+        and the first/last attack identities, so that the same trace
+        always maps to the same key while a trace extended with newly
+        verified attacks maps to a new one.  Used by the serving layer
+        to key fitted models without hashing every record.
+        """
+        parts: dict = {"metadata": self.metadata.to_dict(), "n": len(self.attacks)}
+        if self.attacks:
+            first, last = self.attacks[0], self.attacks[-1]
+            parts["first"] = [first.ddos_id, first.start_time]
+            parts["last"] = [last.ddos_id, last.start_time]
+        blob = json.dumps(parts, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]

@@ -42,6 +42,7 @@ from repro.evaluation.reporting import (
     format_table,
     format_table1,
     format_usecases,
+    prediction_to_dict,
     sparkline,
 )
 
@@ -75,5 +76,6 @@ __all__ = [
     "format_comparison",
     "format_goodness",
     "format_usecases",
+    "prediction_to_dict",
     "sparkline",
 ]

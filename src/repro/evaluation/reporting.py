@@ -28,6 +28,7 @@ __all__ = [
     "format_comparison",
     "format_usecases",
     "format_goodness",
+    "prediction_to_dict",
 ]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -193,3 +194,22 @@ def format_goodness(report) -> str:
         ["Family", "R^2", "LjungBox p", "Residuals", "n"], rows,
         title="GOODNESS OF FIT -- temporal magnitude models (in-sample)",
     )
+
+
+def prediction_to_dict(prediction) -> dict:
+    """JSON-safe view of an :class:`AttackPrediction`.
+
+    The shared machine-readable forecast schema: the CLI ``predict
+    --json`` output and the serving layer's response payloads both go
+    through here, so downstream consumers see one format.
+    """
+    return {
+        "hour": round(float(prediction.hour), 4),
+        "day": round(float(prediction.day), 4),
+        "duration_s": round(float(prediction.duration), 2),
+        "magnitude_bots": round(float(prediction.magnitude), 2),
+        "temporal_hour": round(float(prediction.temporal_hour), 4),
+        "spatial_hour": round(float(prediction.spatial_hour), 4),
+        "temporal_day": round(float(prediction.temporal_day), 4),
+        "spatial_day": round(float(prediction.spatial_day), 4),
+    }

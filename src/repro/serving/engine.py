@@ -1,0 +1,290 @@
+"""Concurrent forecast query engine.
+
+The operational front door of the reproduction: a mitigation provider
+process holds one :class:`ForecastEngine` per trace and answers
+"when/how big is the next ``family`` attack on AS ``asn``" queries --
+singly or in batches -- without refitting anything on the hot path.
+
+Request flow::
+
+    query --> prediction cache --(miss)--> registry (fitted pipeline)
+                                              |  fit failure / timeout /
+                                              v  thin history
+                                     baseline fallback (§VII-A),
+                                     answer flagged ``degraded``
+
+Batches coalesce duplicate (asn, family, now) work, fan the distinct
+work across a thread pool, and apply a per-request timeout.  Every
+path is counted in :class:`~repro.serving.metrics.ServingMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.baselines import naive_attack_forecast
+from repro.core.spatiotemporal import AttackPrediction, SpatiotemporalConfig
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.records import AttackRecord, AttackTrace
+from repro.evaluation.reporting import prediction_to_dict
+from repro.serving.cache import LRUTTLCache
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import ModelRegistry, RegisteredModel
+
+__all__ = ["ForecastRequest", "Forecast", "ForecastEngine"]
+
+
+@dataclass(frozen=True)
+class ForecastRequest:
+    """One forecast question: the next ``family`` attack on ``asn``.
+
+    ``now`` is the query time in seconds since the trace epoch; ``None``
+    means "end of the observed trace", matching
+    :meth:`AttackPredictor.predict_next_for_network`.
+    """
+
+    asn: int
+    family: str
+    now: float | None = None
+
+    @property
+    def work_key(self) -> tuple:
+        """Coalescing identity: requests with equal keys share work."""
+        return (self.asn, self.family, self.now)
+
+
+@dataclass
+class Forecast:
+    """Answer to a :class:`ForecastRequest`.
+
+    ``source`` records which layer produced the numbers (``model``,
+    ``baseline``, or ``none`` when there is no history at all);
+    ``degraded`` is True whenever the fitted model did not answer.
+    """
+
+    request: ForecastRequest
+    prediction: AttackPrediction | None
+    source: str
+    degraded: bool
+    model_version: int = 0
+    cached: bool = False
+    error: str | None = None
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether any prediction (model or baseline) was produced."""
+        return self.prediction is not None
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the CLI's ``--json`` schema)."""
+        payload = {
+            "asn": self.request.asn,
+            "family": self.request.family,
+            "now": self.request.now,
+            "source": self.source,
+            "degraded": self.degraded,
+            "model_version": self.model_version,
+            "cached": self.cached,
+            "latency_s": round(self.latency_s, 6),
+            "forecast": (
+                prediction_to_dict(self.prediction) if self.prediction else None
+            ),
+        }
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+class ForecastEngine:
+    """Batched, cached, degradation-aware forecast service for one trace."""
+
+    def __init__(self, trace: AttackTrace, env: SimulationEnvironment,
+                 config: SpatiotemporalConfig | None = None,
+                 registry: ModelRegistry | None = None,
+                 metrics: ServingMetrics | None = None,
+                 prediction_cache: LRUTTLCache | None = None,
+                 max_workers: int = 4,
+                 timeout_s: float | None = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.trace = trace
+        self.env = env
+        self.config = config
+        self.metrics = metrics or ServingMetrics()
+        self.registry = registry or ModelRegistry(metrics=self.metrics)
+        self.prediction_cache = prediction_cache or LRUTTLCache(max_entries=4096)
+        self.timeout_s = timeout_s
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="forecast"
+        )
+        self._closed = False
+
+    # ----- lifecycle -----
+
+    def warm(self) -> RegisteredModel | None:
+        """Eagerly fit the model so the first query pays nothing.
+
+        Returns ``None`` (and counts a fit failure) when fitting is
+        impossible; queries will then serve baseline answers.
+        """
+        try:
+            return self.registry.get(self.trace, self.env, self.config)
+        except Exception:
+            self.metrics.incr("engine.fit_failures")
+            return None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ForecastEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----- queries -----
+
+    def query(self, request: ForecastRequest | None = None, *,
+              asn: int | None = None, family: str | None = None,
+              now: float | None = None) -> Forecast:
+        """Answer one forecast request (built from kwargs if omitted)."""
+        if request is None:
+            if asn is None or family is None:
+                raise ValueError("need a ForecastRequest or asn= and family=")
+            request = ForecastRequest(asn=asn, family=family, now=now)
+        self.metrics.incr("engine.queries")
+        t0 = time.perf_counter()
+        if self.timeout_s is not None:
+            future = self._pool.submit(self._answer, request)
+            forecast = self._await(request, future, self.timeout_s)
+        else:
+            forecast = self._answer(request)
+        forecast.latency_s = time.perf_counter() - t0
+        self.metrics.observe("engine.query", forecast.latency_s)
+        return forecast
+
+    def query_batch(self, requests: Sequence[ForecastRequest]) -> list[Forecast]:
+        """Answer many requests, coalescing duplicates across the pool.
+
+        Results come back in request order; duplicate requests share
+        one computation (and therefore one answer object).
+        """
+        self.metrics.incr("engine.batches")
+        self.metrics.incr("engine.queries", len(requests))
+        t0 = time.perf_counter()
+        distinct: dict[tuple, ForecastRequest] = {}
+        for request in requests:
+            distinct.setdefault(request.work_key, request)
+        self.metrics.incr("engine.coalesced", len(requests) - len(distinct))
+
+        futures: dict[tuple, Future] = {
+            key: self._pool.submit(self._answer, request)
+            for key, request in distinct.items()
+        }
+        answers = {
+            key: self._await(distinct[key], future, self.timeout_s)
+            for key, future in futures.items()
+        }
+        elapsed = time.perf_counter() - t0
+        for forecast in answers.values():
+            forecast.latency_s = elapsed
+        self.metrics.observe("engine.batch", elapsed)
+        return [answers[request.work_key] for request in requests]
+
+    def metrics_snapshot(self) -> dict:
+        """Full serving telemetry: engine, caches, registry lineages."""
+        return self.metrics.snapshot(cache_stats={
+            "predictions": self.prediction_cache.stats.to_dict(),
+            "registry": self.registry.snapshot(),
+        })
+
+    # ----- internals -----
+
+    def _await(self, request: ForecastRequest, future: Future,
+               timeout_s: float | None) -> Forecast:
+        try:
+            return future.result(timeout=timeout_s)
+        except TimeoutError:
+            self.metrics.incr("engine.timeouts")
+            return self._fallback(request, error=f"timeout after {timeout_s}s")
+        except Exception as exc:  # defensive: _answer should not raise
+            self.metrics.incr("engine.errors")
+            return self._fallback(request, error=str(exc))
+
+    def _answer(self, request: ForecastRequest) -> Forecast:
+        try:
+            model = self.registry.get(self.trace, self.env, self.config)
+        except Exception as exc:
+            self.metrics.incr("engine.fit_failures")
+            return self._fallback(request, error=f"model fit failed: {exc}")
+
+        cache_key = (model.key, model.version, request.work_key)
+        cached = self.prediction_cache.get(cache_key)
+        if cached is not None:
+            self.metrics.incr("engine.prediction_cache_hits")
+            return Forecast(
+                request=request, prediction=cached, source="model",
+                degraded=False, model_version=model.version, cached=True,
+            )
+        try:
+            prediction = model.predictor.predict_next_for_network(
+                request.asn, request.family, now=request.now
+            )
+        except Exception as exc:
+            self.metrics.incr("engine.predict_failures")
+            return self._fallback(request, error=f"prediction failed: {exc}")
+        if prediction is None:
+            self.metrics.incr("engine.thin_history")
+            return self._fallback(
+                request,
+                error=(f"AS{request.asn} below the §VI-B history floor "
+                       "for the fitted model"),
+            )
+        self.prediction_cache.put(cache_key, prediction)
+        self.metrics.incr("engine.model_answers")
+        return Forecast(
+            request=request, prediction=prediction, source="model",
+            degraded=False, model_version=model.version,
+        )
+
+    def _fallback(self, request: ForecastRequest,
+                  error: str | None = None) -> Forecast:
+        """Baseline-backed degraded answer (§VII-A naive predictors)."""
+        history = self._history_for(request)
+        if not history:
+            self.metrics.incr("engine.unanswerable")
+            return Forecast(
+                request=request, prediction=None, source="none",
+                degraded=True, error=error or "no observable history",
+            )
+        prediction = naive_attack_forecast(history)
+        self.metrics.incr("engine.fallbacks")
+        return Forecast(
+            request=request, prediction=prediction, source="baseline",
+            degraded=True, error=error,
+        )
+
+    def _history_for(self, request: ForecastRequest) -> list[AttackRecord]:
+        """Most specific non-empty raw history for a baseline answer.
+
+        Same-AS attacks first (what the target itself observed), then
+        the family's global attacks, then everything -- truncated to
+        strictly before the query time.
+        """
+        horizon = request.now if request.now is not None else float("inf")
+        for pool in (
+            self.trace.by_target_asn(request.asn),
+            self.trace.by_family(request.family),
+            self.trace.attacks,
+        ):
+            history = [a for a in pool if a.start_time < horizon]
+            if history:
+                return history
+        return []

@@ -1,0 +1,210 @@
+"""Model registry: fitted pipelines keyed by trace identity + config.
+
+The registry is the serving layer's source of truth for *which fitted
+model answers a query*.  Keys combine the trace's content fingerprint
+(:meth:`AttackTrace.fingerprint`) with the spatiotemporal config, so a
+trace extended with newly verified attacks -- the feedback loop of
+§III-B3 -- maps to a new key, refits, and bumps the lineage version
+while the previous model keeps serving until eviction.  ``roll`` wraps
+the :class:`~repro.core.online.OnlinePredictor` rolling-refit protocol
+for origin-bounded refreshes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.online import OnlinePredictor
+from repro.core.pipeline import AttackPredictor
+from repro.core.spatiotemporal import SpatiotemporalConfig
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.records import AttackTrace
+from repro.serving.cache import LRUTTLCache
+from repro.serving.metrics import ServingMetrics
+
+__all__ = ["ModelKey", "RegisteredModel", "ModelRegistry"]
+
+# factory(trace, env, config) -> fitted AttackPredictor
+PredictorFactory = Callable[
+    [AttackTrace, SimulationEnvironment, SpatiotemporalConfig | None],
+    AttackPredictor,
+]
+
+
+def _default_factory(trace: AttackTrace, env: SimulationEnvironment,
+                     config: SpatiotemporalConfig | None) -> AttackPredictor:
+    return AttackPredictor(trace, env, config=config).fit()
+
+
+def _config_key(config: SpatiotemporalConfig | None) -> str:
+    return repr(config or SpatiotemporalConfig())
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of a fitted model: trace content + protocol config."""
+
+    fingerprint: str
+    config: str
+
+    @property
+    def lineage(self) -> str:
+        """Version lineage: same config across trace refreshes."""
+        return self.config
+
+
+@dataclass
+class RegisteredModel:
+    """A fitted pipeline plus its serving provenance."""
+
+    key: ModelKey
+    version: int
+    predictor: AttackPredictor
+    n_attacks: int
+    fitted_at: float
+    fit_seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe provenance (the predictor itself is omitted)."""
+        return {
+            "fingerprint": self.key.fingerprint,
+            "version": self.version,
+            "n_attacks": self.n_attacks,
+            "fitted_at": self.fitted_at,
+            "fit_seconds": round(self.fit_seconds, 3),
+        }
+
+
+class ModelRegistry:
+    """Versioned store of fitted predictors behind an LRU+TTL cache.
+
+    ``factory`` is injectable so tests (and the engine's fault-
+    injection paths) can substitute cheap or failing fits.
+    """
+
+    def __init__(self, factory: PredictorFactory | None = None,
+                 cache: LRUTTLCache | None = None,
+                 metrics: ServingMetrics | None = None) -> None:
+        self.factory = factory or _default_factory
+        self.cache = cache or LRUTTLCache(max_entries=8)
+        self.metrics = metrics or ServingMetrics()
+        self._lock = threading.Lock()
+        self._versions: dict[str, int] = {}
+        self._latest: dict[str, RegisteredModel] = {}
+
+    # ----- lookup / fit -----
+
+    def key_for(self, trace: AttackTrace,
+                config: SpatiotemporalConfig | None = None) -> ModelKey:
+        """The registry key a (trace, config) pair resolves to."""
+        return ModelKey(fingerprint=trace.fingerprint(),
+                        config=_config_key(config))
+
+    def get(self, trace: AttackTrace, env: SimulationEnvironment,
+            config: SpatiotemporalConfig | None = None) -> RegisteredModel:
+        """Fetch the fitted model for this trace, fitting on first use.
+
+        Concurrent callers missing on the same key share one fit.  A
+        factory failure propagates to every waiter (the engine turns it
+        into a degraded baseline answer).
+        """
+        key = self.key_for(trace, config)
+
+        def fit() -> RegisteredModel:
+            self.metrics.incr("registry.fits")
+            t0 = time.perf_counter()
+            predictor = self.factory(trace, env, config)
+            fit_seconds = time.perf_counter() - t0
+            with self._lock:
+                version = self._versions.get(key.lineage, 0) + 1
+                self._versions[key.lineage] = version
+                model = RegisteredModel(
+                    key=key,
+                    version=version,
+                    predictor=predictor,
+                    n_attacks=len(trace),
+                    fitted_at=time.time(),
+                    fit_seconds=fit_seconds,
+                )
+                self._latest[key.lineage] = model
+            return model
+
+        with self.metrics.timer("registry.get"):
+            model, hit = self.cache.get_or_create(key, fit)
+        self.metrics.incr("registry.hits" if hit else "registry.misses")
+        return model
+
+    def refresh(self, trace: AttackTrace, env: SimulationEnvironment,
+                config: SpatiotemporalConfig | None = None) -> RegisteredModel:
+        """Force a refit (even for a known trace) and bump the version.
+
+        The operational entry point for "new verified attacks arrived":
+        call with the extended trace and the lineage advances.
+        """
+        key = self.key_for(trace, config)
+        self.cache.invalidate(key)
+        self.metrics.incr("registry.refreshes")
+        return self.get(trace, env, config)
+
+    def roll(self, trace: AttackTrace, env: SimulationEnvironment,
+             origin_day: float,
+             config: SpatiotemporalConfig | None = None) -> RegisteredModel | None:
+        """Versioned refresh at a rolling origin (wraps OnlinePredictor).
+
+        Fits on everything observed before ``origin_day`` via
+        :meth:`OnlinePredictor.predictor_at`; returns ``None`` when the
+        origin leaves too little usable history, mirroring the online
+        protocol's skip behavior.
+        """
+        online = OnlinePredictor(trace, env, config=config)
+        predictor = online.predictor_at(origin_day)
+        if predictor is None:
+            self.metrics.incr("registry.roll_skips")
+            return None
+        key = ModelKey(
+            fingerprint=f"{trace.fingerprint()}@d{origin_day:g}",
+            config=_config_key(config),
+        )
+        with self._lock:
+            version = self._versions.get(key.lineage, 0) + 1
+            self._versions[key.lineage] = version
+            model = RegisteredModel(
+                key=key,
+                version=version,
+                predictor=predictor,
+                n_attacks=len(predictor.train_attacks),
+                fitted_at=time.time(),
+                fit_seconds=predictor.fit_seconds,
+            )
+            self._latest[key.lineage] = model
+        self.cache.put(key, model)
+        self.metrics.incr("registry.rolls")
+        return model
+
+    # ----- introspection -----
+
+    def latest(self, config: SpatiotemporalConfig | None = None) -> RegisteredModel | None:
+        """Most recently fitted model of a config lineage, if any."""
+        with self._lock:
+            return self._latest.get(_config_key(config))
+
+    def version_of(self, config: SpatiotemporalConfig | None = None) -> int:
+        """Current version counter of a config lineage (0 = never fitted)."""
+        with self._lock:
+            return self._versions.get(_config_key(config), 0)
+
+    def snapshot(self) -> dict:
+        """JSON-safe registry state for the metrics endpoint."""
+        with self._lock:
+            latest = {
+                lineage: model.to_dict()
+                for lineage, model in self._latest.items()
+            }
+        return {
+            "lineages": latest,
+            "cache": self.cache.stats.to_dict(),
+            "cached_models": len(self.cache),
+        }

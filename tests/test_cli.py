@@ -19,6 +19,17 @@ class TestParser:
         assert args.days == 60
         assert args.seed == 0
 
+    def test_predict_json_flag_defaults_off(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.json is False
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.queries == 32
+        assert args.workers == 4
+        assert args.timeout is None
+        assert args.json is False
+
 
 class TestCommands:
     def test_generate_and_table1_roundtrip(self, tmp_path, capsys):
@@ -63,6 +74,43 @@ class TestCommands:
         if code == 0:
             assert "next" in captured.out
             assert "magnitude" in captured.out
+
+    @pytest.mark.slow
+    def test_predict_json_output(self, capsys):
+        import json
+
+        code = main(["predict", "--days", "25", "--scale", "0.6", "--seed", "3",
+                     "--json"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        if code == 0:
+            payload = json.loads(captured.out)
+            assert {"asn", "family", "forecast"} <= set(payload)
+            assert {"hour", "day", "duration_s", "magnitude_bots"} <= set(
+                payload["forecast"]
+            )
+            assert 0.0 <= payload["forecast"]["hour"] < 24.0
+
+    @pytest.mark.slow
+    def test_serve_command(self, capsys):
+        code = main(["serve", "--days", "12", "--scale", "0.5", "--seed", "8",
+                     "--queries", "10", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "served 10 queries" in captured.out
+        assert "metrics snapshot" in captured.out
+
+    @pytest.mark.slow
+    def test_serve_command_json(self, capsys):
+        import json
+
+        code = main(["serve", "--days", "12", "--scale", "0.5", "--seed", "8",
+                     "--queries", "6", "--workers", "2", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert len(payload["forecasts"]) == 6
+        assert "counters" in payload["metrics"]
 
 
 class TestExtendedEvaluate:

@@ -6,7 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.baselines import AlwaysMean, AlwaysSame
+from repro.core.baselines import (
+    BASELINES,
+    AlwaysMean,
+    AlwaysSame,
+    naive_attack_forecast,
+    resolve_baseline,
+)
 
 
 class TestAlwaysSame:
@@ -56,3 +62,38 @@ class TestAlwaysMean:
         # first prediction depends only on history
         assert same[0] == history[-1]
         assert mean[0] == pytest.approx(history.mean(), rel=1e-9, abs=1e-9)
+
+
+class TestRegistry:
+    def test_names_resolve(self):
+        assert isinstance(resolve_baseline("always_same"), AlwaysSame)
+        assert isinstance(resolve_baseline("always_mean"), AlwaysMean)
+        assert set(BASELINES) == {"always_same", "always_mean"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            resolve_baseline("oracle")
+
+
+class TestNaiveAttackForecast:
+    def test_forecast_from_history(self, small_trace):
+        from repro.dataset.records import DAY
+
+        history = small_trace.attacks[:20]
+        prediction = naive_attack_forecast(history)
+        last = history[-1]
+        # Hour by persistence, date after the last observed attack.
+        assert prediction.hour == pytest.approx(last.start_time % DAY / 3600.0)
+        assert prediction.day >= last.start_time / DAY
+        assert prediction.duration > 0.0
+        assert prediction.magnitude > 0.0
+        # Degraded answers carry the same value in every model slot.
+        assert prediction.temporal_hour == prediction.spatial_hour == prediction.hour
+
+    def test_single_attack_history(self, small_trace):
+        prediction = naive_attack_forecast(small_trace.attacks[:1])
+        assert prediction.day > 0.0
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError, match="historical attack"):
+            naive_attack_forecast([])

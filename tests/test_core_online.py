@@ -36,3 +36,22 @@ class TestOnlinePredictor:
         trace, env = small_trace_env
         online = OnlinePredictor(trace, env, initial_days=20, window_days=5)
         assert len(online.run(max_windows=1)) <= 1
+
+
+class TestPredictorAt:
+    def test_impossible_origins_return_none(self, small_trace_env):
+        trace, env = small_trace_env
+        online = OnlinePredictor(trace, env, initial_days=20, window_days=5)
+        assert online.predictor_at(0.0) is None          # nothing to train on
+        assert online.predictor_at(10_000.0) is None     # nothing left to test
+
+    def test_run_delegates_to_predictor_at(self, small_trace_env, monkeypatch):
+        trace, env = small_trace_env
+        online = OnlinePredictor(trace, env, initial_days=20, window_days=5)
+        origins = []
+        monkeypatch.setattr(
+            OnlinePredictor, "predictor_at",
+            lambda self, origin_day: origins.append(origin_day) or None,
+        )
+        assert online.run(max_windows=2) == []
+        assert origins and origins[0] == 20

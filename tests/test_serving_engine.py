@@ -1,0 +1,236 @@
+"""Tests for the forecast query engine.
+
+The expensive model fit is shared: the engines here are fed the
+session-scoped fitted ``predictor`` through an injected registry
+factory, so no test refits the pipeline.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serving import (
+    Forecast,
+    ForecastEngine,
+    ForecastRequest,
+    ModelRegistry,
+    ServingMetrics,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(small_trace, small_env, predictor):
+    registry = ModelRegistry(factory=lambda trace, env, config: predictor)
+    eng = ForecastEngine(small_trace, small_env, registry=registry, max_workers=4)
+    yield eng
+    eng.close()
+
+
+@pytest.fixture(scope="module")
+def served_requests(small_trace, predictor):
+    """Requests the fitted model can actually answer."""
+    asns = predictor.spatial.ases()[:4]
+    families = small_trace.families()[:3]
+    return [ForecastRequest(asn=asn, family=family)
+            for asn in asns for family in families]
+
+
+class TestModelPath:
+    def test_query_answers_from_model(self, engine, served_requests):
+        forecast = engine.query(served_requests[0])
+        assert forecast.source == "model"
+        assert not forecast.degraded
+        assert forecast.ok
+        assert forecast.model_version == 1
+        prediction = forecast.prediction
+        assert 0.0 <= prediction.hour < 24.0
+        assert prediction.duration >= 0.0
+
+    def test_repeat_query_hits_prediction_cache(self, engine, served_requests):
+        request = served_requests[1]
+        first = engine.query(request)
+        again = engine.query(request)
+        assert not first.cached or again.cached  # second identical query cached
+        assert again.prediction.hour == first.prediction.hour
+        assert engine.metrics.counter("engine.prediction_cache_hits") >= 1
+
+    def test_kwargs_form(self, engine, served_requests):
+        request = served_requests[0]
+        forecast = engine.query(asn=request.asn, family=request.family)
+        assert forecast.request == request
+
+    def test_query_requires_target(self, engine):
+        with pytest.raises(ValueError):
+            engine.query()
+
+
+class TestBatching:
+    def test_batched_equals_sequential(self, engine, served_requests):
+        batch = engine.query_batch(served_requests)
+        sequential = [engine.query(r) for r in served_requests]
+        assert len(batch) == len(sequential) == len(served_requests)
+        for b, s in zip(batch, sequential):
+            assert b.request == s.request
+            assert b.source == s.source == "model"
+            assert b.prediction.hour == s.prediction.hour
+            assert b.prediction.day == s.prediction.day
+            assert b.prediction.duration == s.prediction.duration
+            assert b.prediction.magnitude == s.prediction.magnitude
+
+    def test_duplicates_coalesce(self, engine, served_requests):
+        metrics_before = engine.metrics.counter("engine.coalesced")
+        request = served_requests[0]
+        batch = engine.query_batch([request] * 5)
+        assert len(batch) == 5
+        assert all(f is batch[0] for f in batch)  # one shared computation
+        assert engine.metrics.counter("engine.coalesced") - metrics_before == 4
+
+    def test_order_preserved(self, engine, served_requests):
+        reordered = list(reversed(served_requests))
+        batch = engine.query_batch(reordered)
+        assert [f.request for f in batch] == reordered
+
+
+class TestDegradation:
+    def test_fit_failure_falls_back_to_baseline(self, small_trace, small_env):
+        def failing_factory(trace, env, config):
+            raise RuntimeError("induced fit failure")
+
+        metrics = ServingMetrics()
+        with ForecastEngine(
+            small_trace, small_env, metrics=metrics,
+            registry=ModelRegistry(factory=failing_factory, metrics=metrics),
+        ) as engine:
+            request = ForecastRequest(
+                asn=small_trace.attacks[0].target_asn,
+                family=small_trace.families()[0],
+            )
+            forecast = engine.query(request)
+            assert forecast.degraded
+            assert forecast.source == "baseline"
+            assert forecast.ok  # baseline still produced numbers
+            assert "induced fit failure" in forecast.error
+            assert metrics.counter("engine.fit_failures") == 1
+            assert metrics.counter("engine.fallbacks") == 1
+
+    def test_warm_survives_fit_failure(self, small_trace, small_env):
+        def failing_factory(trace, env, config):
+            raise RuntimeError("boom")
+
+        with ForecastEngine(
+            small_trace, small_env,
+            registry=ModelRegistry(factory=failing_factory),
+        ) as engine:
+            assert engine.warm() is None
+
+    def test_thin_history_target_gets_baseline(self, engine, small_trace):
+        forecast = engine.query(
+            asn=10**9, family=small_trace.families()[0]
+        )
+        assert forecast.degraded
+        assert forecast.source == "baseline"
+        assert forecast.ok
+        assert "history floor" in forecast.error
+        assert engine.metrics.counter("engine.thin_history") >= 1
+
+    def test_empty_history_is_unanswerable(self, small_trace, small_env):
+        import copy
+
+        empty = copy.copy(small_trace)
+        empty.attacks = []
+        registry = ModelRegistry(
+            factory=lambda t, e, c: (_ for _ in ()).throw(RuntimeError("no fit"))
+        )
+        with ForecastEngine(empty, small_env, registry=registry) as engine:
+            forecast = engine.query(asn=1, family="DirtJumper")
+            assert forecast.degraded
+            assert forecast.source == "none"
+            assert not forecast.ok
+
+    def test_timeout_degrades_to_baseline(self, small_trace, small_env, predictor):
+        def slow_factory(trace, env, config):
+            time.sleep(0.5)
+            return predictor
+
+        with ForecastEngine(
+            small_trace, small_env, timeout_s=0.05,
+            registry=ModelRegistry(factory=slow_factory),
+        ) as engine:
+            request = ForecastRequest(
+                asn=small_trace.attacks[0].target_asn,
+                family=small_trace.families()[0],
+            )
+            forecast = engine.query(request)
+            assert forecast.degraded
+            assert forecast.source == "baseline"
+            assert "timeout" in forecast.error
+            assert engine.metrics.counter("engine.timeouts") == 1
+
+    def test_baseline_forecast_metrics_flagged(self, small_trace, small_env):
+        registry = ModelRegistry(
+            factory=lambda t, e, c: (_ for _ in ()).throw(RuntimeError("down"))
+        )
+        with ForecastEngine(small_trace, small_env, registry=registry) as engine:
+            batch = engine.query_batch([
+                ForecastRequest(asn=a.target_asn, family=a.family)
+                for a in small_trace.attacks[:6]
+            ])
+            assert all(f.degraded for f in batch)
+            snap = engine.metrics_snapshot()
+            assert snap["counters"]["engine.fallbacks"] >= 1
+
+
+class TestThreadSafety:
+    def test_hammer_from_many_threads(self, engine, served_requests):
+        queries_before = engine.metrics.counter("engine.queries")
+        n_threads, per_thread = 8, 12
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(seed):
+            barrier.wait()
+            try:
+                out = []
+                for i in range(per_thread):
+                    request = served_requests[(seed + i) % len(served_requests)]
+                    out.append(engine.query(request))
+                return out
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                return []
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(hammer, range(n_threads)))
+        assert not errors
+        flat = [f for chunk in results for f in chunk]
+        assert len(flat) == n_threads * per_thread
+        assert all(f.source == "model" and f.ok for f in flat)
+        # Identical requests answered identically regardless of thread.
+        by_key = {}
+        for f in flat:
+            key = f.request.work_key
+            hour = f.prediction.hour
+            assert by_key.setdefault(key, hour) == hour
+        assert (engine.metrics.counter("engine.queries") - queries_before
+                == n_threads * per_thread)
+
+
+class TestPayloads:
+    def test_to_dict_is_json_serializable(self, engine, served_requests):
+        forecast = engine.query(served_requests[0])
+        payload = json.loads(json.dumps(forecast.to_dict()))
+        assert payload["asn"] == served_requests[0].asn
+        assert payload["source"] == "model"
+        assert set(payload["forecast"]) >= {
+            "hour", "day", "duration_s", "magnitude_bots"
+        }
+
+    def test_metrics_snapshot_shape(self, engine):
+        snap = engine.metrics_snapshot()
+        assert {"uptime_s", "counters", "latency", "caches"} <= set(snap)
+        assert "predictions" in snap["caches"]
+        assert "registry" in snap["caches"]
+        json.dumps(snap)  # must be JSON-safe end to end

@@ -1,0 +1,140 @@
+"""Tests for the serving model registry (versioning, refresh, roll)."""
+
+import threading
+import time
+
+from repro.core.spatiotemporal import SpatiotemporalConfig
+from repro.dataset.records import AttackTrace
+from repro.serving.cache import LRUTTLCache
+from repro.serving.registry import ModelRegistry
+
+
+def counting_factory(log):
+    def factory(trace, env, config):
+        log.append(len(trace))
+        return object()  # stands in for a fitted AttackPredictor
+    return factory
+
+
+def truncated(trace, n):
+    return AttackTrace(attacks=list(trace.attacks[:n]),
+                       snapshots=trace.snapshots, metadata=trace.metadata)
+
+
+class TestKeys:
+    def test_fingerprint_is_stable(self, small_trace):
+        assert small_trace.fingerprint() == small_trace.fingerprint()
+
+    def test_fingerprint_tracks_new_attacks(self, small_trace):
+        shorter = truncated(small_trace, len(small_trace.attacks) - 1)
+        assert shorter.fingerprint() != small_trace.fingerprint()
+
+    def test_key_includes_config(self, small_trace):
+        registry = ModelRegistry(factory=counting_factory([]))
+        default = registry.key_for(small_trace)
+        tuned = registry.key_for(small_trace, SpatiotemporalConfig(n_recent=5))
+        assert default.fingerprint == tuned.fingerprint
+        assert default.config != tuned.config
+
+
+class TestVersioning:
+    def test_get_fits_once_and_caches(self, small_trace, small_env):
+        fits = []
+        registry = ModelRegistry(factory=counting_factory(fits))
+        first = registry.get(small_trace, small_env)
+        second = registry.get(small_trace, small_env)
+        assert first is second
+        assert first.version == 1
+        assert fits == [len(small_trace)]
+        assert registry.cache.stats.hits == 1
+
+    def test_new_attacks_bump_version_same_lineage(self, small_trace, small_env):
+        fits = []
+        registry = ModelRegistry(factory=counting_factory(fits))
+        old = registry.get(truncated(small_trace, len(small_trace) // 2), small_env)
+        new = registry.get(small_trace, small_env)
+        assert old.key.fingerprint != new.key.fingerprint
+        assert (old.version, new.version) == (1, 2)
+        assert registry.version_of() == 2
+        assert registry.latest() is new
+
+    def test_refresh_forces_refit(self, small_trace, small_env):
+        fits = []
+        registry = ModelRegistry(factory=counting_factory(fits))
+        first = registry.get(small_trace, small_env)
+        refreshed = registry.refresh(small_trace, small_env)
+        assert refreshed is not first
+        assert refreshed.version == first.version + 1
+        assert len(fits) == 2
+
+    def test_config_lineages_version_independently(self, small_trace, small_env):
+        registry = ModelRegistry(factory=counting_factory([]))
+        tuned = SpatiotemporalConfig(n_recent=5)
+        registry.get(small_trace, small_env)
+        registry.get(small_trace, small_env, tuned)
+        assert registry.version_of() == 1
+        assert registry.version_of(tuned) == 1
+
+    def test_concurrent_gets_share_one_fit(self, small_trace, small_env):
+        fits = []
+
+        def slow_factory(trace, env, config):
+            time.sleep(0.05)
+            fits.append(1)
+            return object()
+
+        registry = ModelRegistry(factory=slow_factory)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(registry.get(small_trace, small_env))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fits) == 1
+        assert all(r is results[0] for r in results)
+
+
+class TestRoll:
+    def test_roll_skips_impossible_origin(self, small_trace, small_env):
+        registry = ModelRegistry(factory=counting_factory([]))
+        assert registry.roll(small_trace, small_env, origin_day=0.0) is None
+        assert registry.metrics.counter("registry.roll_skips") == 1
+
+    def test_roll_wraps_online_refit(self, small_trace, small_env, monkeypatch):
+        from repro.core.online import OnlinePredictor
+
+        class FakePredictor:
+            train_attacks = small_trace.attacks[:100]
+            fit_seconds = 0.5
+
+        monkeypatch.setattr(OnlinePredictor, "predictor_at",
+                            lambda self, origin_day: FakePredictor())
+        registry = ModelRegistry(factory=counting_factory([]))
+        rolled = registry.roll(small_trace, small_env, origin_day=20)
+        assert rolled is not None
+        assert rolled.version == 1
+        assert rolled.n_attacks == 100
+        assert "@d20" in rolled.key.fingerprint
+        assert registry.metrics.counter("registry.rolls") == 1
+        # The rolled model is retrievable from the cache by its key.
+        assert registry.cache.get(rolled.key) is rolled
+
+
+class TestSnapshot:
+    def test_snapshot_reports_lineages_and_cache(self, small_trace, small_env):
+        registry = ModelRegistry(factory=counting_factory([]),
+                                 cache=LRUTTLCache(max_entries=2))
+        registry.get(small_trace, small_env)
+        snap = registry.snapshot()
+        assert snap["cached_models"] == 1
+        assert len(snap["lineages"]) == 1
+        (provenance,) = snap["lineages"].values()
+        assert provenance["version"] == 1
+        assert provenance["n_attacks"] == len(small_trace)
+        assert "cache" in snap
