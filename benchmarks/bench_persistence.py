@@ -1,0 +1,97 @@
+"""Benchmark P1: the persistent model store.
+
+Measures what persistence exists to buy:
+
+* **restore speedup** -- ``ModelRegistry.load()`` from a store must be
+  >= 10x cheaper than the cold refit it replaces, with the restored
+  model answering bit-identically, and
+* **warm refit speedup** -- an incremental ``refresh()`` seeded from
+  the previous fit (``warm_from``) versus fitting from scratch.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.serving import ForecastRequest, ModelRegistry
+
+PERSISTENCE_CONFIG = DatasetConfig(n_days=25, scale=0.6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fitted_world():
+    trace, env = TraceGenerator(PERSISTENCE_CONFIG).generate()
+    registry = ModelRegistry()
+    model = registry.get(trace, env)
+    return trace, env, registry, model
+
+
+def _sample_requests(trace, model):
+    asns = model.predictor.spatial.ases()[:8]
+    families = trace.families()[:4]
+    return [ForecastRequest(asn=asn, family=family)
+            for asn in asns for family in families]
+
+
+def test_restore_speedup(fitted_world, tmp_path_factory):
+    """Store restore >= 10x faster than the cold fit it replaces."""
+    trace, env, registry, model = fitted_world
+    cold_s = model.fit_seconds
+    store = tmp_path_factory.mktemp("persistence") / "store"
+
+    t0 = time.perf_counter()
+    registry.save(store)
+    save_s = time.perf_counter() - t0
+
+    restored_registry = ModelRegistry()
+    t0 = time.perf_counter()
+    restored = restored_registry.load(store, trace, env)
+    restore_s = time.perf_counter() - t0
+    assert len(restored) == 1
+
+    # Restored answers are bit-identical to the fitted model's.
+    diffs = 0
+    for request in _sample_requests(trace, model):
+        p = model.predictor.predict_next_for_network(request.asn, request.family)
+        q = restored[0].predictor.predict_next_for_network(
+            request.asn, request.family)
+        if (p is None) != (q is None):
+            diffs += 1
+        elif p is not None and (p.hour, p.day, p.duration, p.magnitude) != \
+                (q.hour, q.day, q.duration, q.magnitude):
+            diffs += 1
+
+    speedup = cold_s / restore_s
+    store_kb = sum(f.stat().st_size for f in store.iterdir()) / 1024
+    emit_report("persistence_restore", "\n".join([
+        "PERSISTENCE -- STORE RESTORE VS COLD REFIT",
+        f"  cold fit        : {cold_s:.3f} s",
+        f"  registry.save   : {save_s * 1e3:.1f} ms",
+        f"  registry.load   : {restore_s * 1e3:.1f} ms",
+        f"  speedup         : {speedup:.0f}x",
+        f"  store size      : {store_kb:.0f} KiB",
+        f"  forecast diffs  : {diffs} / {len(_sample_requests(trace, model))}",
+    ]))
+    assert diffs == 0, "restored model disagrees with the fitted one"
+    assert speedup >= 10.0, f"restore only {speedup:.1f}x faster than cold fit"
+
+
+def test_warm_refit_speedup(fitted_world):
+    """A warm_from-seeded refresh beats the cold fit it replaces."""
+    trace, env, registry, model = fitted_world
+    cold_s = model.fit_seconds
+
+    refreshed = registry.refresh(trace, env)
+    warm_s = refreshed.fit_seconds
+    counters = registry.metrics.snapshot()["counters"]
+    assert counters.get("registry.warm_starts", 0) >= 1
+
+    emit_report("persistence_warm_refit", "\n".join([
+        "PERSISTENCE -- WARM REFIT VS COLD FIT",
+        f"  cold fit   : {cold_s:.3f} s",
+        f"  warm refit : {warm_s:.3f} s",
+        f"  speedup    : {cold_s / warm_s:.1f}x",
+    ]))
+    assert warm_s < cold_s, "warm refit slower than fitting from scratch"

@@ -8,9 +8,12 @@ Commands:
 * ``predict`` -- forecast the next attack on a network.
 * ``serve`` -- run the in-process forecast service over a batch of
   queries and print answers plus a metrics snapshot.
+* ``export-models`` -- fit once and snapshot the fitted registry to a
+  model store directory for later ``predict``/``serve --store`` runs.
 
-Every command accepts either ``--trace path`` (a persisted trace; the
-environment is rebuilt from its metadata) or generation parameters.
+Every command accepts the same dataset options: either ``--trace path``
+(a persisted trace; the environment is rebuilt from its metadata) or
+generation parameters (``--days/--seed/--scale/--targets``).
 """
 
 from __future__ import annotations
@@ -39,23 +42,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_generation_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--days", type=int, default=60, help="observation window")
-        p.add_argument("--seed", type=int, default=0, help="world seed")
-        p.add_argument("--scale", type=float, default=1.0, help="rate multiplier")
-        p.add_argument("--targets", type=int, default=80, help="victim count")
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        """The one shared dataset options group every command gets.
+
+        ``--trace`` loads a persisted trace (its metadata rebuilds the
+        environment); otherwise the generation parameters synthesize
+        one.  ``--n-days``/``--n-targets`` are hidden deprecated
+        aliases kept for old scripts.
+        """
+        group = p.add_argument_group(
+            "dataset", "persisted trace or generation parameters"
+        )
+        group.add_argument("--trace", help="persisted trace path")
+        group.add_argument("--days", type=int, default=60,
+                           help="observation window")
+        group.add_argument("--seed", type=int, default=0, help="world seed")
+        group.add_argument("--scale", type=float, default=1.0,
+                           help="rate multiplier")
+        group.add_argument("--targets", type=int, default=80,
+                           help="victim count")
+        # Deprecated spellings from early revisions; SUPPRESS keeps them
+        # out of --help and off the namespace unless actually passed.
+        group.add_argument("--n-days", dest="days", type=int,
+                           default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        group.add_argument("--n-targets", dest="targets", type=int,
+                           default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     gen = sub.add_parser("generate", help="synthesize and persist a trace")
-    add_generation_args(gen)
+    add_dataset_args(gen)
     gen.add_argument("--out", required=True, help="output path (.jsonl.gz)")
 
     table = sub.add_parser("table1", help="print Table I statistics")
-    table.add_argument("--trace", help="persisted trace path")
-    add_generation_args(table)
+    add_dataset_args(table)
 
     evaluate = sub.add_parser("evaluate", help="fit models, print experiments")
-    evaluate.add_argument("--trace", help="persisted trace path")
-    add_generation_args(evaluate)
+    add_dataset_args(evaluate)
     evaluate.add_argument(
         "--experiments",
         default="table1,fig1,fig2,fig34,comparison",
@@ -64,26 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     predict = sub.add_parser("predict", help="forecast the next attack")
-    predict.add_argument("--trace", help="persisted trace path")
-    add_generation_args(predict)
+    add_dataset_args(predict)
     predict.add_argument("--asn", type=int, help="target network (default: busiest)")
     predict.add_argument("--family", help="botnet family (default: most active)")
+    predict.add_argument("--store",
+                         help="model store directory; restore the fitted "
+                              "model from it instead of refitting")
     predict.add_argument("--json", action="store_true",
                          help="emit the forecast as JSON")
 
     serve = sub.add_parser(
         "serve", help="answer a batch of forecast queries via the serving engine"
     )
-    serve.add_argument("--trace", help="persisted trace path")
-    add_generation_args(serve)
+    add_dataset_args(serve)
     serve.add_argument("--queries", type=int, default=32,
                        help="number of forecast queries to issue")
     serve.add_argument("--workers", type=int, default=4,
                        help="engine thread-pool size")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-request timeout in seconds")
+    serve.add_argument("--store",
+                       help="model store directory; warm-start the registry "
+                            "from it instead of fitting on first query")
     serve.add_argument("--json", action="store_true",
                        help="emit forecasts + metrics as JSON")
+
+    export = sub.add_parser(
+        "export-models",
+        help="fit the pipeline and snapshot it to a model store directory",
+    )
+    add_dataset_args(export)
+    export.add_argument("--store", required=True,
+                        help="model store directory to write")
     return parser
 
 
@@ -183,13 +216,40 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _restore_predictor(store_path: str, trace, env):
+    """Fitted predictor for ``trace`` from a model store, or ``None``.
+
+    ``None`` (with a stderr notice) means the caller should fit from
+    scratch: the store is absent or holds no entry for this trace.
+    """
+    from repro.persistence import ModelStore
+    from repro.serving import ModelRegistry
+
+    if not ModelStore(store_path).exists():
+        print(f"model store {store_path} not found; fitting from scratch",
+              file=sys.stderr)
+        return None
+    registry = ModelRegistry()
+    restored = registry.load(store_path, trace, env)
+    if not restored:
+        print(f"model store {store_path} has no model for this trace; "
+              "fitting from scratch", file=sys.stderr)
+        return None
+    model = restored[0]
+    print(f"restored fitted model v{model.version} from {store_path}",
+          file=sys.stderr)
+    return model.predictor
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     import json
 
-    from repro.evaluation.reporting import prediction_to_dict
+    from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, prediction_to_dict
 
     trace, env = _load_or_generate(args)
-    predictor = AttackPredictor(trace, env).fit()
+    predictor = _restore_predictor(args.store, trace, env) if args.store else None
+    if predictor is None:
+        predictor = AttackPredictor(trace, env).fit()
     asn = args.asn if args.asn is not None else (
         predictor.spatial.ases()[0] if predictor.spatial.ases() else None
     )
@@ -203,7 +263,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     if args.json:
-        payload = {"asn": asn, "family": family,
+        payload = {"schema_version": FORECAST_SCHEMA_VERSION,
+                   "asn": asn, "family": family,
                    "forecast": prediction_to_dict(prediction)}
         print(json.dumps(payload, indent=2))
         return 0
@@ -218,15 +279,33 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
-    from repro.serving import ForecastEngine, ForecastRequest
+    from repro.serving import ForecastEngine, ForecastRequest, ModelRegistry
+    from repro.serving.metrics import ServingMetrics
 
     trace, env = _load_or_generate(args)
     if not trace.attacks:
         print("empty trace: nothing to serve", file=sys.stderr)
         return 1
-    with ForecastEngine(trace, env, max_workers=args.workers,
+    metrics = ServingMetrics()
+    registry = ModelRegistry(metrics=metrics)
+    if args.store:
+        from repro.persistence import ModelStore
+
+        if ModelStore(args.store).exists():
+            restored = registry.load(args.store, trace, env)
+            if restored:
+                print(f"warm-started {len(restored)} model(s) from {args.store}",
+                      file=sys.stderr)
+            else:
+                print(f"model store {args.store} has no model for this trace; "
+                      "fitting on warm-up", file=sys.stderr)
+        else:
+            print(f"model store {args.store} not found; fitting on warm-up",
+                  file=sys.stderr)
+    with ForecastEngine(trace, env, registry=registry, metrics=metrics,
+                        max_workers=args.workers,
                         timeout_s=args.timeout) as engine:
-        print("fitting model (warm-up) ...", file=sys.stderr)
+        print("warming up ...", file=sys.stderr)
         engine.warm()
         # Busiest networks x most active families, cycled until the
         # requested batch size -- duplicates exercise coalescing just
@@ -245,8 +324,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot = engine.metrics_snapshot()
 
     if args.json:
+        from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
+
         print(json.dumps(
-            {"forecasts": [f.to_dict() for f in forecasts], "metrics": snapshot},
+            {"schema_version": FORECAST_SCHEMA_VERSION,
+             "forecasts": [f.to_dict() for f in forecasts],
+             "metrics": snapshot},
             indent=2,
         ))
         return 0
@@ -268,12 +351,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_models(args: argparse.Namespace) -> int:
+    from repro.serving import ModelRegistry
+
+    trace, env = _load_or_generate(args)
+    if not trace.attacks:
+        print("empty trace: nothing to fit", file=sys.stderr)
+        return 1
+    registry = ModelRegistry()
+    print("fitting models ...", file=sys.stderr)
+    t0 = time.time()
+    model = registry.get(trace, env)
+    manifest = registry.save(args.store)
+    print(f"exported {len(manifest['entries'])} model(s) "
+          f"(trace {model.key.fingerprint}, v{model.version}, "
+          f"fitted in {time.time() - t0:.1f}s) to {args.store}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "table1": _cmd_table1,
     "evaluate": _cmd_evaluate,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "export-models": _cmd_export_models,
 }
 
 

@@ -26,6 +26,7 @@ from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.loader import train_test_split
 from repro.dataset.records import AttackRecord, AttackTrace
 from repro.features.variables import FeatureExtractor
+from repro.persistence.state import pack_state, require_state
 
 __all__ = ["AttackPredictor"]
 
@@ -38,6 +39,8 @@ class AttackPredictor:
                  config: SpatiotemporalConfig | None = None,
                  use_grid_search: bool = False) -> None:
         self.fx = FeatureExtractor(trace, env)
+        self.train_fraction = train_fraction
+        self.use_grid_search = use_grid_search
         self.train_attacks, self.test_attacks = train_test_split(
             trace.attacks, train_fraction
         )
@@ -58,11 +61,20 @@ class AttackPredictor:
         """Whether :meth:`fit` has completed."""
         return self._fitted
 
-    def fit(self) -> "AttackPredictor":
-        """Fit temporal -> spatial -> spatiotemporal on the train split."""
+    def fit(self, warm_from: "AttackPredictor | None" = None) -> "AttackPredictor":
+        """Fit temporal -> spatial -> spatiotemporal on the train split.
+
+        ``warm_from`` seeds the expensive sub-model optimizers (ARIMA
+        orders + coefficients, NAR weights) from a previously fitted
+        predictor -- the registry's incremental-refresh path when a
+        trace is extended with newly verified attacks.  The combination
+        trees always refit (they are cheap and structure-dependent).
+        """
         t0 = time.perf_counter()
-        self.temporal.fit(self.fx, self.split_time)
-        self.spatial.fit(self.fx, self.split_time)
+        self.temporal.fit(self.fx, self.split_time,
+                          warm_from=warm_from.temporal if warm_from else None)
+        self.spatial.fit(self.fx, self.split_time,
+                         warm_from=warm_from.spatial if warm_from else None)
         self.index = HistoryIndex(self.fx)
         self.spatiotemporal.fit(self.fx, self.train_attacks, index=self.index)
         self.fit_seconds = time.perf_counter() - t0
@@ -122,3 +134,57 @@ class AttackPredictor:
             if self.predict_attack(a) is not None
         )
         return predicted / len(self.test_attacks)
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot of the whole fitted pipeline.
+
+        The trace itself is *not* embedded (it has its own persistence
+        via ``save_trace``); its content fingerprint is, so
+        :meth:`from_state` can refuse to bind the state to the wrong
+        trace.
+        """
+        if not self._fitted:
+            raise RuntimeError("fit() before get_state()")
+        return pack_state("core.attack_predictor", {
+            "trace_fingerprint": self.fx.trace.fingerprint(),
+            "n_attacks": len(self.fx.trace.attacks),
+            "train_fraction": self.train_fraction,
+            "use_grid_search": self.use_grid_search,
+            "fit_seconds": self.fit_seconds,
+            "temporal": self.temporal.get_state(),
+            "spatial": self.spatial.get_state(),
+            "spatiotemporal": self.spatiotemporal.get_state(),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict, trace: AttackTrace,
+                   env: SimulationEnvironment) -> "AttackPredictor":
+        """Restore a fitted pipeline onto its trace -- no refitting.
+
+        The feature extractor, chronological split and history index
+        are derived state and are rebuilt from ``trace`` (cheap);
+        everything learned is taken from ``state``.  Raises
+        :class:`~repro.persistence.state.StateError` via the fingerprint
+        check when ``trace`` is not the trace the state was fitted on.
+        """
+        state = require_state(state, "core.attack_predictor")
+        fingerprint = trace.fingerprint()
+        if state["trace_fingerprint"] != fingerprint:
+            raise ValueError(
+                f"state was fitted on trace {state['trace_fingerprint']} "
+                f"({state['n_attacks']} attacks) but was asked to bind to "
+                f"trace {fingerprint} ({len(trace.attacks)} attacks)"
+            )
+        predictor = cls(trace, env, train_fraction=state["train_fraction"],
+                        use_grid_search=state["use_grid_search"])
+        predictor.temporal = TemporalModel.from_state(state["temporal"])
+        predictor.spatial = SpatialModel.from_state(state["spatial"])
+        predictor.spatiotemporal = SpatiotemporalModel.from_state(
+            state["spatiotemporal"], predictor.temporal, predictor.spatial
+        )
+        predictor.index = HistoryIndex(predictor.fx)
+        predictor.fit_seconds = state["fit_seconds"]
+        predictor._fitted = True
+        return predictor

@@ -18,6 +18,14 @@ import numpy as np
 from repro.features.variables import FeatureExtractor
 from repro.neural.gridsearch import grid_search_nar
 from repro.neural.nar import NARModel
+from repro.persistence.state import (
+    decode_array,
+    decode_optional,
+    encode_array,
+    encode_optional,
+    pack_state,
+    require_state,
+)
 
 __all__ = ["AsSpatialModel", "SpatialModel", "SourceDistributionModel"]
 
@@ -28,15 +36,23 @@ _MAX_SERIES = 2000
 
 
 def _fit_nar(series: np.ndarray, n_delays: int, n_hidden: int, seed: int,
-             use_grid_search: bool) -> NARModel | None:
-    """Fit one NAR; ``None`` when the series carries no signal."""
+             use_grid_search: bool,
+             warm_from: NARModel | None = None) -> NARModel | None:
+    """Fit one NAR; ``None`` when the series carries no signal.
+
+    ``warm_from`` seeds the network weights from a previous same-
+    architecture fit (ignored under grid search, which picks its own
+    architecture per refresh).
+    """
     series = np.asarray(series, dtype=float).ravel()[-_MAX_SERIES:]
     if series.size < max(_MIN_HISTORY // 2, n_delays + 6) or np.allclose(series, series[0]):
         return None
     try:
         if use_grid_search:
             return grid_search_nar(series, seed=seed).model
-        return NARModel(n_delays=n_delays, n_hidden=n_hidden, seed=seed).fit(series)
+        return NARModel(n_delays=n_delays, n_hidden=n_hidden, seed=seed).fit(
+            series, warm_from=warm_from
+        )
     except (ValueError, np.linalg.LinAlgError):
         return None
 
@@ -97,6 +113,39 @@ class AsSpatialModel:
         mean_estimate = np.expm1(prediction) * _lognormal_correction(self.interval_log_std)
         return float(np.clip(mean_estimate, 1.0, 7 * 86400.0))
 
+    _NAR_FIELDS = ("duration", "hour", "log_interval")
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        payload = {
+            field: encode_optional(getattr(self, field))
+            for field in self._NAR_FIELDS
+        }
+        payload.update({
+            "asn": self.asn,
+            "duration_mean": self.duration_mean,
+            "hour_mean": self.hour_mean,
+            "interval_mean": self.interval_mean,
+            "duration_log_std": self.duration_log_std,
+            "interval_log_std": self.interval_log_std,
+        })
+        return pack_state("core.as_spatial", payload)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AsSpatialModel":
+        """Rebuild a fitted per-AS model; predictions bit-identical."""
+        state = require_state(state, "core.as_spatial")
+        return cls(
+            asn=state["asn"],
+            duration_mean=state["duration_mean"],
+            hour_mean=state["hour_mean"],
+            interval_mean=state["interval_mean"],
+            duration_log_std=state["duration_log_std"],
+            interval_log_std=state["interval_log_std"],
+            **{field: decode_optional(NARModel, state[field])
+               for field in cls._NAR_FIELDS},
+        )
+
 
 class SpatialModel:
     """Collection of per-target-AS spatial models."""
@@ -112,8 +161,13 @@ class SpatialModel:
         self._global_hour_mean = 12.0
         self._global_interval_mean = 3600.0
 
-    def fit(self, fx: FeatureExtractor, split_time: float) -> "SpatialModel":
-        """Fit every network with enough pre-``split_time`` history."""
+    def fit(self, fx: FeatureExtractor, split_time: float,
+            warm_from: "SpatialModel | None" = None) -> "SpatialModel":
+        """Fit every network with enough pre-``split_time`` history.
+
+        ``warm_from`` seeds each network's NAR fits from a previously
+        fitted model (the registry's incremental-refresh path).
+        """
         all_durations: list[float] = []
         all_hours: list[float] = []
         for asn in fx.target_ases():
@@ -122,6 +176,7 @@ class SpatialModel:
             ]
             if len(observations) < _MIN_HISTORY:
                 continue
+            prev = warm_from.get(asn) if warm_from is not None else None
             durations = np.array([o.duration for o in observations])
             hours = np.array([float(o.hour) for o in observations])
             intervals = np.array(
@@ -131,14 +186,17 @@ class SpatialModel:
             all_durations.extend(durations)
             all_hours.extend(hours)
             duration_model = _fit_nar(np.log1p(durations), self.n_delays,
-                                      self.n_hidden, self.seed, self.use_grid_search)
+                                      self.n_hidden, self.seed, self.use_grid_search,
+                                      warm_from=prev.duration if prev else None)
             interval_model = _fit_nar(np.log1p(intervals), self.n_delays,
-                                      self.n_hidden, self.seed, self.use_grid_search)
+                                      self.n_hidden, self.seed, self.use_grid_search,
+                                      warm_from=prev.log_interval if prev else None)
             self._models[asn] = AsSpatialModel(
                 asn=asn,
                 duration=duration_model,
                 hour=_fit_nar(hours, self.n_delays, self.n_hidden, self.seed,
-                              self.use_grid_search),
+                              self.use_grid_search,
+                              warm_from=prev.hour if prev else None),
                 log_interval=interval_model,
                 duration_mean=float(durations.mean()),
                 hour_mean=float(hours.mean()),
@@ -185,6 +243,43 @@ class SpatialModel:
         if model is None:
             return self._global_interval_mean
         return model.predict_next_interval(interval_window)
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`.
+
+        AS numbers become string keys (JSON objects only key strings);
+        :meth:`from_state` restores them to ints.
+        """
+        return pack_state("core.spatial", {
+            "n_delays": self.n_delays,
+            "n_hidden": self.n_hidden,
+            "use_grid_search": self.use_grid_search,
+            "seed": self.seed,
+            "global_duration_mean": self._global_duration_mean,
+            "global_hour_mean": self._global_hour_mean,
+            "global_interval_mean": self._global_interval_mean,
+            "models": {
+                str(asn): model.get_state()
+                for asn, model in self._models.items()
+            },
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SpatialModel":
+        """Rebuild every fitted per-AS model; predictions bit-identical."""
+        state = require_state(state, "core.spatial")
+        model = cls(n_delays=state["n_delays"], n_hidden=state["n_hidden"],
+                    use_grid_search=state["use_grid_search"], seed=state["seed"])
+        model._global_duration_mean = state["global_duration_mean"]
+        model._global_hour_mean = state["global_hour_mean"]
+        model._global_interval_mean = state["global_interval_mean"]
+        model._models = {
+            int(asn): AsSpatialModel.from_state(as_state)
+            for asn, as_state in state["models"].items()
+        }
+        return model
 
 
 class SourceDistributionModel:
@@ -238,3 +333,23 @@ class SourceDistributionModel:
         out[low] = fallback
         totals = out.sum(axis=1, keepdims=True)
         return out / totals
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("core.source_distribution", {
+            "n_delays": self.n_delays,
+            "n_hidden": self.n_hidden,
+            "seed": self.seed,
+            "models": [encode_optional(m) for m in self._models],
+            "train_means": encode_array(self._train_means),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SourceDistributionModel":
+        """Rebuild a fitted share model; predictions bit-identical."""
+        state = require_state(state, "core.source_distribution")
+        model = cls(n_delays=state["n_delays"], n_hidden=state["n_hidden"],
+                    seed=state["seed"])
+        model._models = [decode_optional(NARModel, s) for s in state["models"]]
+        model._train_means = decode_array(state["train_means"])
+        return model

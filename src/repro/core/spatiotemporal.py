@@ -14,7 +14,7 @@ the average bot magnitude that the unpruned tree was observed to use.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -22,6 +22,12 @@ from repro.core.spatial import SpatialModel
 from repro.core.temporal import TemporalModel
 from repro.dataset.records import DAY, AttackRecord
 from repro.features.variables import FeatureExtractor, TargetObservation
+from repro.persistence.state import (
+    decode_optional,
+    encode_optional,
+    pack_state,
+    require_state,
+)
 from repro.tree.model_tree import ModelTree
 
 __all__ = [
@@ -162,6 +168,17 @@ class SpatiotemporalConfig:
             raise ValueError("history sizes must be positive")
         if self.min_same_as < 1 or self.min_same_as > self.n_same_as:
             raise ValueError("need 1 <= min_same_as <= n_same_as")
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("core.spatiotemporal_config", asdict(self))
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SpatiotemporalConfig":
+        """Rebuild a config (validation re-runs in ``__post_init__``)."""
+        state = require_state(state, "core.spatiotemporal_config")
+        return cls(**{k: v for k, v in state.items()
+                      if k not in ("schema_version", "kind")})
 
 
 class SpatiotemporalModel:
@@ -374,3 +391,43 @@ class SpatiotemporalModel:
     def feature_names(self) -> tuple[str, ...]:
         """Order of the feature vector columns."""
         return FEATURE_NAMES
+
+    # ----- persistence -----
+
+    _TREE_FIELDS = ("_hour_sin_tree", "_hour_cos_tree", "_day_tree",
+                    "_duration_tree", "_magnitude_tree")
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot of the combination trees.
+
+        The temporal and spatial sub-models are *not* embedded here --
+        they are owned (and serialized) by the enclosing
+        :class:`~repro.core.pipeline.AttackPredictor`, and
+        :meth:`from_state` receives them as context arguments.
+        """
+        payload = {
+            field.lstrip("_"): encode_optional(getattr(self, field))
+            for field in self._TREE_FIELDS
+        }
+        payload.update({
+            "config": self.config.get_state(),
+            "max_day_gap": self._max_day_gap,
+            "duration_log_std": self._duration_log_std,
+            "magnitude_log_std": self._magnitude_log_std,
+        })
+        return pack_state("core.spatiotemporal", payload)
+
+    @classmethod
+    def from_state(cls, state: dict, temporal: TemporalModel,
+                   spatial: SpatialModel) -> "SpatiotemporalModel":
+        """Rebuild the fitted trees around restored sub-models."""
+        state = require_state(state, "core.spatiotemporal")
+        model = cls(temporal, spatial,
+                    config=SpatiotemporalConfig.from_state(state["config"]))
+        for field_name in cls._TREE_FIELDS:
+            setattr(model, field_name,
+                    decode_optional(ModelTree, state[field_name.lstrip("_")]))
+        model._max_day_gap = state["max_day_gap"]
+        model._duration_log_std = state["duration_log_std"]
+        model._magnitude_log_std = state["magnitude_log_std"]
+        return model

@@ -21,6 +21,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.features.variables import FeatureExtractor
+from repro.persistence.state import (
+    decode_array,
+    decode_optional,
+    encode_array,
+    encode_optional,
+    pack_state,
+    require_state,
+)
 from repro.timeseries.arima import ARIMA
 from repro.timeseries.selection import select_order
 
@@ -52,15 +60,33 @@ class ScaledARIMA:
 
     @classmethod
     def fit(cls, series: np.ndarray, max_p: int, max_q: int,
-            max_d: int) -> "ScaledARIMA":
-        """Standardize, order-select and fit."""
+            max_d: int, warm_from: "ScaledARIMA | None" = None) -> "ScaledARIMA":
+        """Standardize, order-select and fit.
+
+        ``warm_from`` skips the AIC grid entirely: the previous fit's
+        order is reused and its coefficients seed the CSS optimizer --
+        the incremental-refresh path, which turns the dominant cost
+        (order selection over the Box-Jenkins grid) into a single
+        warm-started fit.  Falls back to the cold path if the warm
+        refit fails (e.g. the refreshed series is now too short).
+        """
         series = np.asarray(series, dtype=float).ravel()
         mean = float(series.mean())
         std = float(series.std())
         if std <= 0:
             raise ValueError("constant series")
         z = (series - mean) / std
-        model = select_order(z, max_p=max_p, max_q=max_q, max_d=max_d)
+        model = None
+        if warm_from is not None:
+            try:
+                model = ARIMA(
+                    warm_from.model.order,
+                    include_constant=warm_from.model.include_constant,
+                ).fit(z, x0=warm_from.model.params)
+            except (ValueError, np.linalg.LinAlgError):
+                model = None
+        if model is None:
+            model = select_order(z, max_p=max_p, max_q=max_q, max_d=max_d)
         span = float(series.max() - series.min())
         lo = float(series.min() - span)
         hi = float(series.max() + span)
@@ -107,15 +133,33 @@ class ScaledARIMA:
         """Selected (p, d, q)."""
         return self.model.order
 
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("core.scaled_arima", {
+            "model": self.model.get_state(),
+            "mean": self.mean,
+            "std": self.std,
+            "lo": self.lo,
+            "hi": self.hi,
+        })
 
-def _fit_series(series: np.ndarray, max_p: int, max_q: int,
-                max_d: int) -> ScaledARIMA | None:
+    @classmethod
+    def from_state(cls, state: dict) -> "ScaledARIMA":
+        """Rebuild a fitted model; predictions are bit-identical."""
+        state = require_state(state, "core.scaled_arima")
+        return cls(ARIMA.from_state(state["model"]), mean=state["mean"],
+                   std=state["std"], lo=state["lo"], hi=state["hi"])
+
+
+def _fit_series(series: np.ndarray, max_p: int, max_q: int, max_d: int,
+                warm_from: ScaledARIMA | None = None) -> ScaledARIMA | None:
     """AIC-selected standardized ARIMA, or ``None`` when unusable."""
     series = np.asarray(series, dtype=float).ravel()[-_MAX_SERIES:]
     if series.size < _MIN_SERIES or np.allclose(series, series[0]):
         return None
     try:
-        return ScaledARIMA.fit(series, max_p=max_p, max_q=max_q, max_d=max_d)
+        return ScaledARIMA.fit(series, max_p=max_p, max_q=max_q, max_d=max_d,
+                               warm_from=warm_from)
     except (ValueError, np.linalg.LinAlgError):
         return None
 
@@ -189,6 +233,36 @@ class FamilyTemporalModel:
         prediction = self.log_interval.predict_next(np.log1p(interval_window))
         return float(np.clip(np.expm1(prediction), 1.0, 7 * 86400.0))
 
+    _ARIMA_FIELDS = ("magnitude", "activity", "source", "hour_sin", "hour_cos",
+                     "log_interval")
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        payload = {
+            field: encode_optional(getattr(self, field))
+            for field in self._ARIMA_FIELDS
+        }
+        payload.update({
+            "family": self.family,
+            "magnitude_train": encode_array(self.magnitude_train),
+            "hour_mean": self.hour_mean,
+            "interval_mean": self.interval_mean,
+        })
+        return pack_state("core.family_temporal", payload)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FamilyTemporalModel":
+        """Rebuild a fitted family model; predictions are bit-identical."""
+        state = require_state(state, "core.family_temporal")
+        return cls(
+            family=state["family"],
+            magnitude_train=decode_array(state["magnitude_train"]),
+            hour_mean=state["hour_mean"],
+            interval_mean=state["interval_mean"],
+            **{field: decode_optional(ScaledARIMA, state[field])
+               for field in cls._ARIMA_FIELDS},
+        )
+
 
 class TemporalModel:
     """Collection of per-family temporal models."""
@@ -200,15 +274,19 @@ class TemporalModel:
         self._models: dict[str, FamilyTemporalModel] = {}
 
     def fit(self, fx: FeatureExtractor, split_time: float,
-            families: list[str] | None = None) -> "TemporalModel":
+            families: list[str] | None = None,
+            warm_from: "TemporalModel | None" = None) -> "TemporalModel":
         """Fit every family on its pre-``split_time`` history.
 
         Attacks at or after ``split_time`` never influence the fit
         (§III-C: "the data in the testing set has no effect on
-        training").
+        training").  ``warm_from`` seeds each family's ARIMA fits from
+        a previously fitted model (order reuse + coefficient warm
+        start) -- the registry's incremental-refresh path.
         """
         split_day = int(split_time // 86400.0)
         for family in families or fx.families():
+            prev = warm_from.get(family) if warm_from is not None else None
             train_attacks = [
                 a for a in fx.family_attacks(family) if a.start_time < split_time
             ]
@@ -233,13 +311,22 @@ class TemporalModel:
 
             self._models[family] = FamilyTemporalModel(
                 family=family,
-                magnitude=_fit_series(magnitude_train, self.max_p, self.max_q, self.max_d),
-                activity=_fit_series(activity_train, self.max_p, self.max_q, self.max_d),
-                source=_fit_series(source_train, self.max_p, self.max_q, self.max_d),
-                hour_sin=_fit_series(np.sin(angles), self.max_p, self.max_q, 0),
-                hour_cos=_fit_series(np.cos(angles), self.max_p, self.max_q, 0),
+                magnitude=_fit_series(magnitude_train, self.max_p, self.max_q,
+                                      self.max_d,
+                                      warm_from=prev.magnitude if prev else None),
+                activity=_fit_series(activity_train, self.max_p, self.max_q,
+                                     self.max_d,
+                                     warm_from=prev.activity if prev else None),
+                source=_fit_series(source_train, self.max_p, self.max_q,
+                                   self.max_d,
+                                   warm_from=prev.source if prev else None),
+                hour_sin=_fit_series(np.sin(angles), self.max_p, self.max_q, 0,
+                                     warm_from=prev.hour_sin if prev else None),
+                hour_cos=_fit_series(np.cos(angles), self.max_p, self.max_q, 0,
+                                     warm_from=prev.hour_cos if prev else None),
                 log_interval=_fit_series(
-                    np.log1p(intervals), self.max_p, self.max_q, 0
+                    np.log1p(intervals), self.max_p, self.max_q, 0,
+                    warm_from=prev.log_interval if prev else None,
                 ),
                 magnitude_train=magnitude_train,
                 hour_mean=float(
@@ -263,3 +350,29 @@ class TemporalModel:
     def get(self, family: str) -> FamilyTemporalModel | None:
         """Fitted model for ``family`` or ``None``."""
         return self._models.get(family)
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("core.temporal", {
+            "max_p": self.max_p,
+            "max_q": self.max_q,
+            "max_d": self.max_d,
+            "models": {
+                family: model.get_state()
+                for family, model in self._models.items()
+            },
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TemporalModel":
+        """Rebuild every fitted family model; predictions bit-identical."""
+        state = require_state(state, "core.temporal")
+        model = cls(max_p=state["max_p"], max_q=state["max_q"],
+                    max_d=state["max_d"])
+        model._models = {
+            family: FamilyTemporalModel.from_state(family_state)
+            for family, family_state in state["models"].items()
+        }
+        return model

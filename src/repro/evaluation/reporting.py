@@ -29,6 +29,8 @@ __all__ = [
     "format_usecases",
     "format_goodness",
     "prediction_to_dict",
+    "prediction_from_dict",
+    "FORECAST_SCHEMA_VERSION",
 ]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -196,14 +198,22 @@ def format_goodness(report) -> str:
     )
 
 
+#: Version of the machine-readable forecast payload.  Bumps whenever a
+#: field is renamed, re-unitized or removed; additions are backward
+#: compatible and do not bump it.
+FORECAST_SCHEMA_VERSION = 1
+
+
 def prediction_to_dict(prediction) -> dict:
     """JSON-safe view of an :class:`AttackPrediction`.
 
     The shared machine-readable forecast schema: the CLI ``predict
     --json`` output and the serving layer's response payloads both go
-    through here, so downstream consumers see one format.
+    through here, so downstream consumers see one format, stamped with
+    ``schema_version`` so they can detect incompatible producers.
     """
     return {
+        "schema_version": FORECAST_SCHEMA_VERSION,
         "hour": round(float(prediction.hour), 4),
         "day": round(float(prediction.day), 4),
         "duration_s": round(float(prediction.duration), 2),
@@ -213,3 +223,33 @@ def prediction_to_dict(prediction) -> dict:
         "temporal_day": round(float(prediction.temporal_day), 4),
         "spatial_day": round(float(prediction.spatial_day), 4),
     }
+
+
+def prediction_from_dict(data: dict) -> "AttackPrediction":
+    """Inverse of :func:`prediction_to_dict` (wire precision, 4 dp).
+
+    Rejects unknown ``schema_version`` values with a clear error
+    instead of a ``KeyError`` from a shifted field layout.  The
+    ``features`` vector is not part of the wire schema and comes back
+    empty.
+    """
+    from repro.core.spatiotemporal import AttackPrediction
+
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a forecast dict, got {type(data).__name__}")
+    version = data.get("schema_version")
+    if version != FORECAST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported forecast schema_version {version!r}; this build "
+            f"reads version {FORECAST_SCHEMA_VERSION}"
+        )
+    return AttackPrediction(
+        hour=float(data["hour"]),
+        day=float(data["day"]),
+        duration=float(data["duration_s"]),
+        magnitude=float(data["magnitude_bots"]),
+        temporal_hour=float(data["temporal_hour"]),
+        spatial_hour=float(data["spatial_hour"]),
+        temporal_day=float(data["temporal_day"]),
+        spatial_day=float(data["spatial_day"]),
+    )

@@ -13,6 +13,14 @@ import numpy as np
 
 from repro.neural.network import MLP
 from repro.neural.training import MinMaxScaler, TrainingResult, train_levenberg_marquardt
+from repro.persistence.state import (
+    decode_array,
+    decode_optional,
+    encode_array,
+    encode_optional,
+    pack_state,
+    require_state,
+)
 
 __all__ = ["NARModel"]
 
@@ -46,8 +54,17 @@ class NARModel:
         y = series[n_delays:]
         return x, y
 
-    def fit(self, series: np.ndarray, max_epochs: int = 150) -> "NARModel":
-        """Fit on a chronological series; returns ``self``."""
+    def fit(self, series: np.ndarray, max_epochs: int = 150,
+            warm_from: "NARModel | None" = None) -> "NARModel":
+        """Fit on a chronological series; returns ``self``.
+
+        ``warm_from`` optionally seeds the network weights from a
+        previously fitted model of the same architecture (the registry's
+        incremental-refresh path): Levenberg-Marquardt then starts near
+        the old optimum instead of at a random init.  Inputs are
+        mapminmax-scaled to [-1, 1], so the old weights remain a valid
+        starting point even though the new series refits the scaler.
+        """
         series = np.asarray(series, dtype=float).ravel()
         # Embedding on the raw scale validates the series length early
         # (raises before any training state is touched).
@@ -57,6 +74,10 @@ class NARModel:
         rng = np.random.default_rng(self.seed)
         self._network = MLP(self.n_delays, self.n_hidden, 1,
                             hidden_activation=self.hidden_activation, rng=rng)
+        if (warm_from is not None and warm_from._network is not None
+                and warm_from._network.n_params == self._network.n_params
+                and warm_from.hidden_activation == self.hidden_activation):
+            self._network.set_params(warm_from._network.get_params())
         self.training = train_levenberg_marquardt(
             self._network, xs, ys, max_epochs=max_epochs, rng=rng
         )
@@ -134,3 +155,32 @@ class NARModel:
         """Std of in-sample one-step residuals (the Eq. 7 ``sigma``)."""
         fitted, actual = self.in_sample_predictions()
         return float(np.std(actual - fitted))
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("neural.nar", {
+            "n_delays": self.n_delays,
+            "n_hidden": self.n_hidden,
+            "hidden_activation": self.hidden_activation,
+            "seed": self.seed,
+            "network": encode_optional(self._network),
+            "scaler": self._scaler.get_state(),
+            "history": encode_array(self._history),
+            "training": self.training.to_dict() if self.training else None,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NARModel":
+        """Rebuild a fitted model; predictions are bit-identical."""
+        state = require_state(state, "neural.nar")
+        model = cls(n_delays=state["n_delays"], n_hidden=state["n_hidden"],
+                    hidden_activation=state["hidden_activation"],
+                    seed=state["seed"])
+        model._network = decode_optional(MLP, state["network"])
+        model._scaler = MinMaxScaler.from_state(state["scaler"])
+        model._history = decode_array(state["history"])
+        if state["training"] is not None:
+            model.training = TrainingResult.from_dict(state["training"])
+        return model

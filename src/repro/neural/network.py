@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.neural.activations import ACTIVATIONS, Activation
+from repro.persistence.state import decode_array, encode_array, pack_state, require_state
 
 __all__ = ["MLP"]
 
@@ -109,3 +110,32 @@ class MLP:
                     self.activation.name)
         clone.set_params(self.get_params())
         return clone
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("neural.mlp", {
+            "n_inputs": self.n_inputs,
+            "n_hidden": self.n_hidden,
+            "n_outputs": self.n_outputs,
+            "hidden_activation": self.activation.name,
+            "w1": encode_array(self.w1),
+            "b1": encode_array(self.b1),
+            "w2": encode_array(self.w2),
+            "b2": encode_array(self.b2),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MLP":
+        """Rebuild a trained network; forward passes are bit-identical."""
+        state = require_state(state, "neural.mlp")
+        network = cls(state["n_inputs"], state["n_hidden"], state["n_outputs"],
+                      hidden_activation=state["hidden_activation"])
+        for attr in ("w1", "b1", "w2", "b2"):
+            weights = decode_array(state[attr])
+            if weights.shape != getattr(network, attr).shape:
+                raise ValueError(f"{attr} shape {weights.shape} disagrees with "
+                                 "the declared layer sizes")
+            setattr(network, attr, weights)
+        return network

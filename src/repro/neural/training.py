@@ -7,11 +7,12 @@ reproduces that combination.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.neural.network import MLP
+from repro.persistence.state import decode_array, encode_array, pack_state, require_state
 
 __all__ = [
     "MinMaxScaler",
@@ -57,6 +58,22 @@ class MinMaxScaler:
         span = self._hi - self._lo
         return (x + 1.0) / 2.0 * span + self._lo
 
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("neural.minmax_scaler", {
+            "lo": encode_array(self._lo),
+            "hi": encode_array(self._hi),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinMaxScaler":
+        """Rebuild a fitted scaler."""
+        state = require_state(state, "neural.minmax_scaler")
+        scaler = cls()
+        scaler._lo = decode_array(state["lo"])
+        scaler._hi = decode_array(state["hi"])
+        return scaler
+
 
 @dataclass
 class TrainingResult:
@@ -67,6 +84,15 @@ class TrainingResult:
     val_mse: float
     stopped_early: bool
     mu_final: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 def train_levenberg_marquardt(

@@ -1,0 +1,52 @@
+"""Persistent model state: the ``get_state()``/``from_state()`` protocol.
+
+Fitting the paper's per-family ARIMAs (§IV), per-target NAR networks
+(§V) and model trees (§VI) is seconds-to-minutes of work; answering a
+forecast against a fitted model is milliseconds.  This package makes
+the fitted state a first-class, versioned, JSON-safe artifact so a
+serving process restarts warm instead of refitting the world:
+
+* :mod:`repro.persistence.state` -- the uniform serialization
+  protocol (``get_state``/``from_state`` on every model class), array
+  encoding, and the ``schema_version`` policy.
+* :mod:`repro.persistence.store` -- the on-disk directory format
+  (manifest + gzip-compressed entries) the registry snapshots into.
+
+Quickstart::
+
+    from repro.serving import ModelRegistry
+
+    registry = ModelRegistry()
+    registry.get(trace, env)            # fit once
+    registry.save("models/")            # snapshot every lineage
+
+    restored = ModelRegistry()
+    restored.load("models/", trace, env)   # warm start: no refit
+"""
+
+from repro.persistence.state import (
+    STATE_SCHEMA_VERSION,
+    StateError,
+    StateSchemaError,
+    decode_array,
+    decode_optional,
+    encode_array,
+    encode_optional,
+    pack_state,
+    require_state,
+)
+from repro.persistence.store import ModelStore, StoredModel
+
+__all__ = [
+    "STATE_SCHEMA_VERSION",
+    "StateError",
+    "StateSchemaError",
+    "decode_array",
+    "decode_optional",
+    "encode_array",
+    "encode_optional",
+    "pack_state",
+    "require_state",
+    "ModelStore",
+    "StoredModel",
+]

@@ -1,0 +1,131 @@
+"""The uniform model-state protocol.
+
+Every fitted model in the reproduction exposes the same pair:
+
+* ``get_state() -> dict`` -- a JSON-safe snapshot of everything the
+  fitted object needs to answer predictions (mirroring the
+  ``to_dict``/``from_dict`` pairs on the dataset records), and
+* ``from_state(state)`` -- a classmethod rebuilding an equivalent
+  object, bit-identical in its predictions.
+
+Each state dict is wrapped by :func:`pack_state` with two reserved
+keys: ``schema_version`` (this module's :data:`STATE_SCHEMA_VERSION`)
+and ``kind`` (a stable dotted tag naming the producing class, e.g.
+``"timeseries.arima"``).  Loaders call :func:`require_state`, which
+rejects unknown versions and mismatched kinds with a
+:class:`StateSchemaError` instead of surfacing a ``KeyError`` deep in
+a constructor.
+
+Numpy arrays are carried through :func:`encode_array` /
+:func:`decode_array`, which keep the dtype and shape explicit; float64
+payloads survive the JSON round-trip exactly (Python serializes floats
+via ``repr``, which is lossless), so a restored model's coefficients
+are the original bits.
+
+Versioning policy: ``STATE_SCHEMA_VERSION`` bumps whenever a state
+payload changes incompatibly (a key is renamed, an encoding changes,
+required context moves).  Loaders support exactly the current version;
+anything else is rejected loudly so an operator upgrades the store by
+re-exporting rather than silently serving garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "STATE_SCHEMA_VERSION",
+    "StateError",
+    "StateSchemaError",
+    "encode_array",
+    "decode_array",
+    "encode_optional",
+    "decode_optional",
+    "pack_state",
+    "require_state",
+]
+
+STATE_SCHEMA_VERSION = 1
+
+_RESERVED_KEYS = ("schema_version", "kind")
+
+
+class StateError(ValueError):
+    """A state payload is structurally unusable."""
+
+
+class StateSchemaError(StateError):
+    """A state payload has an unsupported version or the wrong kind."""
+
+
+def encode_array(array: np.ndarray | None) -> dict | None:
+    """JSON-safe encoding of a numpy array (dtype + shape explicit)."""
+    if array is None:
+        return None
+    array = np.asarray(array)
+    if array.dtype.kind not in "fiub":
+        raise StateError(f"cannot encode array of dtype {array.dtype}")
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def decode_array(data: dict | None) -> np.ndarray | None:
+    """Inverse of :func:`encode_array`."""
+    if data is None:
+        return None
+    try:
+        dtype = np.dtype(data["dtype"])
+        shape = tuple(data["shape"])
+        values = data["data"]
+    except (KeyError, TypeError) as exc:
+        raise StateError(f"malformed array payload: {exc!r}") from exc
+    return np.asarray(values, dtype=dtype).reshape(shape)
+
+
+def encode_optional(model: Any) -> dict | None:
+    """``model.get_state()`` or ``None`` -- for optional sub-models."""
+    return None if model is None else model.get_state()
+
+
+def decode_optional(cls: Any, state: dict | None, *args: Any) -> Any:
+    """``cls.from_state(state, *args)`` or ``None``."""
+    return None if state is None else cls.from_state(state, *args)
+
+
+def pack_state(kind: str, payload: dict) -> dict:
+    """Wrap a payload with the protocol's reserved header keys."""
+    overlap = set(payload) & set(_RESERVED_KEYS)
+    if overlap:
+        raise StateError(f"payload shadows reserved keys: {sorted(overlap)}")
+    return {"schema_version": STATE_SCHEMA_VERSION, "kind": kind, **payload}
+
+
+def require_state(state: Any, kind: str) -> dict:
+    """Validate a state header; returns the state for chaining.
+
+    Raises :class:`StateSchemaError` with an actionable message when
+    the payload is not a dict, announces an unsupported schema version,
+    or was produced by a different class than the caller expects.
+    """
+    if not isinstance(state, dict):
+        raise StateSchemaError(
+            f"expected a {kind!r} state dict, got {type(state).__name__}"
+        )
+    version = state.get("schema_version")
+    if version != STATE_SCHEMA_VERSION:
+        raise StateSchemaError(
+            f"unsupported state schema_version {version!r} for kind {kind!r}; "
+            f"this build supports version {STATE_SCHEMA_VERSION} -- "
+            "re-export the model store with the current code"
+        )
+    found = state.get("kind")
+    if found != kind:
+        raise StateSchemaError(
+            f"state kind mismatch: expected {kind!r}, found {found!r}"
+        )
+    return state

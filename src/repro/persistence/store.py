@@ -1,0 +1,154 @@
+"""On-disk model store: a directory of snapshotted fitted pipelines.
+
+Layout (all JSON, gzip-compressed where large)::
+
+    <store>/
+      manifest.json            # header + entry index, small, uncompressed
+      model-<digest>.json.gz   # one RegisteredModel.to_dict(with_state=True)
+
+The manifest carries the protocol header (``schema_version``/``kind``)
+plus one index row per stored lineage: the trace fingerprint, config
+repr, lineage version and provenance, and the entry's file name.  A
+loader reads the manifest first, rejects unknown schema versions with
+a clear :class:`~repro.persistence.state.StateSchemaError`, and only
+then touches the (much larger) entry files it actually needs.
+
+The store is model-agnostic: it moves dicts, not objects.  Turning a
+stored state back into a fitted :class:`~repro.core.AttackPredictor`
+is the registry's job (:meth:`repro.serving.ModelRegistry.load`),
+which keeps this module import-light and cycle-free.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.persistence.state import (
+    StateError,
+    pack_state,
+    require_state,
+)
+
+__all__ = ["StoredModel", "ModelStore"]
+
+_STORE_KIND = "persistence.model_store"
+_ENTRY_GLOB = "model-*.json.gz"
+
+
+class StoredModel:
+    """One stored entry: its manifest row plus the full state payload."""
+
+    def __init__(self, meta: dict, payload: dict) -> None:
+        self.meta = meta
+        self.payload = payload
+
+    @property
+    def fingerprint(self) -> str:
+        """Trace content identity the model was fitted on."""
+        return self.meta["fingerprint"]
+
+    @property
+    def config(self) -> str:
+        """Config repr (the registry's lineage key)."""
+        return self.meta["config"]
+
+    @property
+    def version(self) -> int:
+        """Lineage version at save time."""
+        return int(self.meta["version"])
+
+
+class ModelStore:
+    """Directory-backed persistence for registry snapshots."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether a manifest is present at the store path."""
+        return (self.path / self.MANIFEST).is_file()
+
+    # ----- writing -----
+
+    def save(self, entries: list[dict]) -> dict:
+        """Persist entry dicts (``RegisteredModel.to_dict(with_state=True)``).
+
+        Rewrites the whole store atomically enough for a single writer:
+        entry files land first, the manifest last, and entry files from
+        a previous save that are no longer referenced are removed.
+        Returns the manifest written.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        index = []
+        kept_files = set()
+        for entry in entries:
+            for field in ("fingerprint", "config", "version", "state"):
+                if field not in entry:
+                    raise StateError(f"store entry missing {field!r}")
+            name = self._entry_name(entry["fingerprint"], entry["config"])
+            kept_files.add(name)
+            with gzip.open(self.path / name, "wt", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            index.append({
+                "fingerprint": entry["fingerprint"],
+                "config": entry["config"],
+                "version": entry["version"],
+                "n_attacks": entry.get("n_attacks"),
+                "fitted_at": entry.get("fitted_at"),
+                "fit_seconds": entry.get("fit_seconds"),
+                "file": name,
+            })
+        manifest = pack_state(_STORE_KIND, {
+            "saved_at": time.time(),
+            "entries": index,
+        })
+        (self.path / self.MANIFEST).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        for stale in self.path.glob(_ENTRY_GLOB):
+            if stale.name not in kept_files:
+                stale.unlink()
+        return manifest
+
+    # ----- reading -----
+
+    def manifest(self) -> dict:
+        """Read and validate the manifest header."""
+        manifest_path = self.path / self.MANIFEST
+        if not manifest_path.is_file():
+            raise StateError(f"no model store at {self.path} (missing manifest)")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StateError(f"corrupt store manifest at {manifest_path}: {exc}") from exc
+        return require_state(manifest, _STORE_KIND)
+
+    def load(self, fingerprint: str | None = None) -> list[StoredModel]:
+        """Load stored entries, optionally filtered by trace fingerprint."""
+        manifest = self.manifest()
+        out: list[StoredModel] = []
+        for meta in manifest["entries"]:
+            if fingerprint is not None and meta.get("fingerprint") != fingerprint:
+                continue
+            entry_path = self.path / meta["file"]
+            if not entry_path.is_file():
+                raise StateError(
+                    f"store entry {meta['file']} listed in the manifest is missing"
+                )
+            with gzip.open(entry_path, "rt", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            out.append(StoredModel(meta=meta, payload=payload))
+        return out
+
+    @staticmethod
+    def _entry_name(fingerprint: str, config: str) -> str:
+        digest = hashlib.sha256(
+            f"{fingerprint}|{config}".encode("utf-8")
+        ).hexdigest()[:16]
+        return f"model-{digest}.json.gz"

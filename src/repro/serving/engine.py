@@ -29,7 +29,7 @@ from repro.core.baselines import naive_attack_forecast
 from repro.core.spatiotemporal import AttackPrediction, SpatiotemporalConfig
 from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.records import AttackRecord, AttackTrace
-from repro.evaluation.reporting import prediction_to_dict
+from repro.evaluation.reporting import prediction_from_dict, prediction_to_dict
 from repro.serving.cache import LRUTTLCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, RegisteredModel
@@ -97,6 +97,32 @@ class Forecast:
         if self.error:
             payload["error"] = self.error
         return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Forecast":
+        """Rebuild a forecast from :meth:`to_dict` output.
+
+        The symmetric inverse for clients that archive ``--json``
+        responses: the embedded prediction goes through
+        :func:`~repro.evaluation.reporting.prediction_from_dict`, which
+        enforces the forecast ``schema_version``.
+        """
+        request = ForecastRequest(
+            asn=int(data["asn"]),
+            family=str(data["family"]),
+            now=None if data.get("now") is None else float(data["now"]),
+        )
+        forecast = data.get("forecast")
+        return cls(
+            request=request,
+            prediction=prediction_from_dict(forecast) if forecast else None,
+            source=str(data["source"]),
+            degraded=bool(data["degraded"]),
+            model_version=int(data.get("model_version", 0)),
+            cached=bool(data.get("cached", False)),
+            error=data.get("error"),
+            latency_s=float(data.get("latency_s", 0.0)),
+        )
 
 
 class ForecastEngine:

@@ -12,9 +12,11 @@ for origin-bounded refreshes.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from repro.core.online import OnlinePredictor
@@ -22,12 +24,17 @@ from repro.core.pipeline import AttackPredictor
 from repro.core.spatiotemporal import SpatiotemporalConfig
 from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.records import AttackTrace
+from repro.persistence.state import STATE_SCHEMA_VERSION, StateSchemaError
+from repro.persistence.store import ModelStore
 from repro.serving.cache import LRUTTLCache
 from repro.serving.metrics import ServingMetrics
 
 __all__ = ["ModelKey", "RegisteredModel", "ModelRegistry"]
 
-# factory(trace, env, config) -> fitted AttackPredictor
+# factory(trace, env, config) -> fitted AttackPredictor.  Factories may
+# optionally accept a ``warm_from`` keyword (a previous AttackPredictor
+# of the same lineage) to seed incremental refreshes; the registry
+# detects support by signature and calls 3-arg factories unchanged.
 PredictorFactory = Callable[
     [AttackTrace, SimulationEnvironment, SpatiotemporalConfig | None],
     AttackPredictor,
@@ -35,8 +42,21 @@ PredictorFactory = Callable[
 
 
 def _default_factory(trace: AttackTrace, env: SimulationEnvironment,
-                     config: SpatiotemporalConfig | None) -> AttackPredictor:
-    return AttackPredictor(trace, env, config=config).fit()
+                     config: SpatiotemporalConfig | None,
+                     warm_from: AttackPredictor | None = None) -> AttackPredictor:
+    return AttackPredictor(trace, env, config=config).fit(warm_from=warm_from)
+
+
+def _accepts_warm_from(factory: Callable) -> bool:
+    """Whether a factory can take the ``warm_from`` keyword."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return False
+    if "warm_from" in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values())
 
 
 def _config_key(config: SpatiotemporalConfig | None) -> str:
@@ -67,15 +87,58 @@ class RegisteredModel:
     fitted_at: float
     fit_seconds: float
 
-    def to_dict(self) -> dict:
-        """JSON-safe provenance (the predictor itself is omitted)."""
-        return {
+    def to_dict(self, with_state: bool = False) -> dict:
+        """JSON-safe provenance; inverse of :meth:`from_dict`.
+
+        With ``with_state=True`` the payload also carries the fitted
+        predictor's full ``get_state()`` snapshot -- the persistable
+        form the model store writes.  Without it the payload stays
+        metrics-sized (the metrics endpoint's view) and cannot be
+        restored.
+        """
+        payload = {
+            "schema_version": STATE_SCHEMA_VERSION,
             "fingerprint": self.key.fingerprint,
+            "config": self.key.config,
             "version": self.version,
             "n_attacks": self.n_attacks,
             "fitted_at": self.fitted_at,
             "fit_seconds": round(self.fit_seconds, 3),
         }
+        if with_state:
+            payload["state"] = self.predictor.get_state()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict, trace: AttackTrace,
+                  env: SimulationEnvironment) -> "RegisteredModel":
+        """Restore a registered model from ``to_dict(with_state=True)``.
+
+        ``trace``/``env`` provide the context the predictor state binds
+        to (the state itself carries only the trace fingerprint).
+        Rejects unsupported schema versions and stateless payloads with
+        clear errors.
+        """
+        version = data.get("schema_version")
+        if version != STATE_SCHEMA_VERSION:
+            raise StateSchemaError(
+                f"unsupported RegisteredModel schema_version {version!r}; "
+                f"this build supports version {STATE_SCHEMA_VERSION}"
+            )
+        if "state" not in data or data["state"] is None:
+            raise StateSchemaError(
+                "RegisteredModel payload has no predictor state; "
+                "re-export with to_dict(with_state=True)"
+            )
+        predictor = AttackPredictor.from_state(data["state"], trace, env)
+        return cls(
+            key=ModelKey(fingerprint=data["fingerprint"], config=data["config"]),
+            version=int(data["version"]),
+            predictor=predictor,
+            n_attacks=int(data["n_attacks"]),
+            fitted_at=float(data["fitted_at"]),
+            fit_seconds=float(data["fit_seconds"]),
+        )
 
 
 class ModelRegistry:
@@ -89,6 +152,7 @@ class ModelRegistry:
                  cache: LRUTTLCache | None = None,
                  metrics: ServingMetrics | None = None) -> None:
         self.factory = factory or _default_factory
+        self._factory_warm = _accepts_warm_from(self.factory)
         self.cache = cache or LRUTTLCache(max_entries=8)
         self.metrics = metrics or ServingMetrics()
         self._lock = threading.Lock()
@@ -115,8 +179,20 @@ class ModelRegistry:
 
         def fit() -> RegisteredModel:
             self.metrics.incr("registry.fits")
+            # Incremental refresh (ROADMAP): seed the optimizers from the
+            # lineage's previous fit -- same config, refreshed trace.
+            warm_from = None
+            if self._factory_warm:
+                with self._lock:
+                    previous = self._latest.get(key.lineage)
+                if previous is not None:
+                    warm_from = previous.predictor
             t0 = time.perf_counter()
-            predictor = self.factory(trace, env, config)
+            if warm_from is not None:
+                self.metrics.incr("registry.warm_starts")
+                predictor = self.factory(trace, env, config, warm_from=warm_from)
+            else:
+                predictor = self.factory(trace, env, config)
             fit_seconds = time.perf_counter() - t0
             with self._lock:
                 version = self._versions.get(key.lineage, 0) + 1
@@ -183,6 +259,51 @@ class ModelRegistry:
         self.cache.put(key, model)
         self.metrics.incr("registry.rolls")
         return model
+
+    # ----- persistence -----
+
+    def save(self, path: str | Path) -> dict:
+        """Snapshot every lineage's latest fitted model to a store.
+
+        Writes a :class:`~repro.persistence.store.ModelStore` directory
+        (manifest + one gzip JSON entry per lineage) and returns the
+        manifest.  The trace itself is not stored -- pair this with
+        ``save_trace`` when the trace is not regenerable.
+        """
+        with self._lock:
+            models = list(self._latest.values())
+        manifest = ModelStore(path).save(
+            [model.to_dict(with_state=True) for model in models]
+        )
+        self.metrics.incr("registry.saves")
+        return manifest
+
+    def load(self, path: str | Path, trace: AttackTrace,
+             env: SimulationEnvironment) -> list[RegisteredModel]:
+        """Warm-start the registry from a store -- no refitting.
+
+        Restores every stored entry whose fingerprint matches ``trace``
+        into the cache and lineage tables (so ``get`` serves them
+        directly and ``refresh`` continues their version counters).
+        Entries fitted on other traces are skipped and counted in
+        ``registry.restore_skips``.  Returns the restored models.
+        """
+        store = ModelStore(path)
+        fingerprint = trace.fingerprint()
+        restored: list[RegisteredModel] = []
+        for stored in store.load():
+            if stored.fingerprint != fingerprint:
+                self.metrics.incr("registry.restore_skips")
+                continue
+            model = RegisteredModel.from_dict(stored.payload, trace, env)
+            with self._lock:
+                known = self._versions.get(model.key.lineage, 0)
+                self._versions[model.key.lineage] = max(known, model.version)
+                self._latest[model.key.lineage] = model
+            self.cache.put(model.key, model)
+            self.metrics.incr("registry.restores")
+            restored.append(model)
+        return restored
 
     # ----- introspection -----
 

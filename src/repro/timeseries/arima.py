@@ -17,6 +17,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize, signal
 
+from repro.persistence.state import (
+    decode_array,
+    encode_array,
+    pack_state,
+    require_state,
+)
 from repro.timeseries.stationarity import difference, undifference
 
 __all__ = ["ARIMAOrder", "ARIMA"]
@@ -73,15 +79,30 @@ class ARIMA:
 
     # ----- fitting -----
 
-    def fit(self, y: np.ndarray, maxiter: int = 500) -> "ARIMA":
-        """Fit by conditional sum of squares; returns ``self``."""
+    def fit(self, y: np.ndarray, maxiter: int = 500,
+            x0: np.ndarray | None = None) -> "ARIMA":
+        """Fit by conditional sum of squares; returns ``self``.
+
+        ``x0`` optionally seeds the optimizer with a known-good
+        parameter vector (``[const,] phi, theta``) -- the warm-start
+        path the registry uses on incremental refreshes, replacing the
+        Hannan-Rissanen initialization.
+        """
         y = np.asarray(y, dtype=float).ravel()
         min_len = self.order.d + max(self.order.p, self.order.q) + self.order.n_params + 3
         if y.size < min_len:
             raise ValueError(f"series of length {y.size} too short for {self.order}")
         w = difference(y, self.order.d)
 
-        x0 = self._hannan_rissanen_init(w)
+        n_expected = self.order.n_params + (1 if self.include_constant else 0)
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=float).ravel()
+            if x0.size != n_expected:
+                raise ValueError(
+                    f"x0 has {x0.size} parameters; {self.order} needs {n_expected}"
+                )
+        else:
+            x0 = self._hannan_rissanen_init(w)
         if self.order.n_params > 0:
             result = optimize.minimize(
                 self._css_objective, x0, args=(w,), method="Nelder-Mead",
@@ -369,3 +390,38 @@ class ARIMA:
                 np.array([w_hat]), full[: n_train + i], self.order.d
             )[0]
         return predictions
+
+    # ----- persistence -----
+
+    @property
+    def params(self) -> np.ndarray:
+        """Fitted ``[const,] phi, theta`` vector (the ``fit(x0=...)`` seed)."""
+        head = [self.const] if self.include_constant else []
+        return np.concatenate([head, self.phi, self.theta])
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("timeseries.arima", {
+            "order": [self.order.p, self.order.d, self.order.q],
+            "include_constant": self.include_constant,
+            "const": float(self.const),
+            "phi": encode_array(self.phi),
+            "theta": encode_array(self.theta),
+            "sigma2": float(self.sigma2),
+            "history": encode_array(self._history),
+            "residuals": encode_array(self._residuals),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ARIMA":
+        """Rebuild a fitted model; predictions are bit-identical."""
+        state = require_state(state, "timeseries.arima")
+        model = cls(tuple(state["order"]),
+                    include_constant=state["include_constant"])
+        model.const = float(state["const"])
+        model.phi = decode_array(state["phi"])
+        model.theta = decode_array(state["theta"])
+        model.sigma2 = float(state["sigma2"])
+        model._history = decode_array(state["history"])
+        model._residuals = decode_array(state["residuals"])
+        return model

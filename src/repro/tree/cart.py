@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.persistence.state import pack_state, require_state
+
 __all__ = ["TreeNode", "RegressionTree"]
 
 
@@ -33,6 +35,38 @@ class TreeNode:
     def is_leaf(self) -> bool:
         """True when the node has no split."""
         return self.feature is None
+
+    def to_dict(self) -> dict:
+        """Recursive JSON-safe structure (fit-time ``sample_indices``
+        are deliberately dropped -- they only matter while growing)."""
+        data = {
+            "value": self.value,
+            "n_samples": self.n_samples,
+            "std": self.std,
+            "depth": self.depth,
+        }
+        if not self.is_leaf:
+            data["feature"] = self.feature
+            data["threshold"] = self.threshold
+            data["left"] = self.left.to_dict()
+            data["right"] = self.right.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TreeNode":
+        """Inverse of :meth:`to_dict`."""
+        node = cls(
+            value=float(data["value"]),
+            n_samples=int(data["n_samples"]),
+            std=float(data["std"]),
+            depth=int(data["depth"]),
+        )
+        if "feature" in data:
+            node.feature = int(data["feature"])
+            node.threshold = float(data["threshold"])
+            node.left = cls.from_dict(data["left"])
+            node.right = cls.from_dict(data["right"])
+        return node
 
 
 def _best_split(x: np.ndarray, y: np.ndarray,
@@ -211,6 +245,27 @@ class RegressionTree:
                 stack.extend((node.left, node.right))
         return out
 
+    def leaves_preorder(self) -> list[TreeNode]:
+        """Leaves in deterministic left-to-right preorder.
+
+        The canonical ordering the persistence layer uses to pair
+        leaves with their serialized MLR models.
+        """
+        if self.root is None:
+            raise RuntimeError("fit() first")
+        out: list[TreeNode] = []
+
+        def walk(node: TreeNode) -> None:
+            if node.is_leaf:
+                out.append(node)
+            else:
+                assert node.left is not None and node.right is not None
+                walk(node.left)
+                walk(node.right)
+
+        walk(self.root)
+        return out
+
     @property
     def n_leaves(self) -> int:
         """Number of leaves."""
@@ -220,3 +275,29 @@ class RegressionTree:
     def depth(self) -> int:
         """Maximum leaf depth."""
         return max(leaf.depth for leaf in self.leaves())
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("tree.regression_tree", {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "sd_stop_fraction": self.sd_stop_fraction,
+            "root": self.root.to_dict() if self.root is not None else None,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RegressionTree":
+        """Rebuild a grown tree; routing and predictions are identical."""
+        state = require_state(state, "tree.regression_tree")
+        tree = cls(
+            max_depth=state["max_depth"],
+            min_samples_split=state["min_samples_split"],
+            min_samples_leaf=state["min_samples_leaf"],
+            sd_stop_fraction=state["sd_stop_fraction"],
+        )
+        if state["root"] is not None:
+            tree.root = TreeNode.from_dict(state["root"])
+        return tree

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.persistence.state import decode_array, encode_array, pack_state, require_state
+
 __all__ = ["LinearRegression"]
 
 
@@ -56,6 +58,24 @@ class LinearRegression:
             raise RuntimeError("fit() first")
         x = np.atleast_2d(np.asarray(x, dtype=float))
         return x @ self.coef_ + self.intercept_
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`."""
+        return pack_state("tree.linear_regression", {
+            "ridge": self.ridge,
+            "fit_intercept": self.fit_intercept,
+            "coef": encode_array(self.coef_),
+            "intercept": float(self.intercept_),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LinearRegression":
+        """Rebuild a fitted model; predictions are bit-identical."""
+        state = require_state(state, "tree.linear_regression")
+        model = cls(ridge=state["ridge"], fit_intercept=state["fit_intercept"])
+        model.coef_ = decode_array(state["coef"])
+        model.intercept_ = float(state["intercept"])
+        return model
 
     def r2(self, x: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination on ``(x, y)``."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.persistence.state import pack_state, require_state
 from repro.tree.cart import RegressionTree, TreeNode
 from repro.tree.linear import LinearRegression
 
@@ -90,3 +91,52 @@ class ModelTree:
     def depth(self) -> int:
         """Partition depth."""
         return self._tree.depth
+
+    # ----- persistence -----
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_state`.
+
+        Leaf MLRs are stored in the tree's deterministic preorder
+        (:meth:`RegressionTree.leaves_preorder`), so the structure and
+        the models re-pair without relying on object identity.
+        """
+        leaf_models = None
+        if self._leaf_models:
+            leaf_models = [
+                self._leaf_models[id(leaf)].get_state()
+                for leaf in self._tree.leaves_preorder()
+            ]
+        return pack_state("tree.model_tree", {
+            "keep_sd": self.keep_sd,
+            "ridge": self.ridge,
+            "tree": self._tree.get_state(),
+            "leaf_models": leaf_models,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ModelTree":
+        """Rebuild a fitted model tree; predictions are bit-identical."""
+        state = require_state(state, "tree.model_tree")
+        tree_state = require_state(state["tree"], "tree.regression_tree")
+        model = cls(
+            max_depth=tree_state["max_depth"],
+            min_samples_split=tree_state["min_samples_split"],
+            min_samples_leaf=tree_state["min_samples_leaf"],
+            keep_sd=state["keep_sd"],
+            ridge=state["ridge"],
+        )
+        model._tree = RegressionTree.from_state(state["tree"])
+        model._tree.keep_indices = True
+        if state["leaf_models"] is not None:
+            leaves = model._tree.leaves_preorder()
+            if len(leaves) != len(state["leaf_models"]):
+                raise ValueError(
+                    f"{len(state['leaf_models'])} stored leaf models for "
+                    f"{len(leaves)} leaves"
+                )
+            model._leaf_models = {
+                id(leaf): LinearRegression.from_state(leaf_state)
+                for leaf, leaf_state in zip(leaves, state["leaf_models"])
+            }
+        return model

@@ -29,6 +29,41 @@ class TestParser:
         assert args.workers == 4
         assert args.timeout is None
         assert args.json is False
+        assert args.store is None
+
+    def test_every_command_shares_the_dataset_group(self):
+        parser = build_parser()
+        for command in ("generate", "table1", "evaluate", "predict",
+                        "serve", "export-models"):
+            argv = [command, "--trace", "t.jsonl.gz", "--days", "9",
+                    "--seed", "4", "--scale", "0.3", "--targets", "12"]
+            if command == "generate":
+                argv += ["--out", "o.jsonl.gz"]
+            if command == "export-models":
+                argv += ["--store", "s"]
+            args = parser.parse_args(argv)
+            assert (args.trace, args.days, args.seed, args.scale,
+                    args.targets) == ("t.jsonl.gz", 9, 4, 0.3, 12), command
+
+    def test_deprecated_aliases_still_parse(self):
+        args = build_parser().parse_args(
+            ["table1", "--n-days", "7", "--n-targets", "11"]
+        )
+        assert args.days == 7
+        assert args.targets == 11
+
+    def test_deprecated_aliases_hidden_from_help(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.days == 60  # canonical default wins when neither is given
+        # The aliases are SUPPRESSed out of the subcommand help text.
+        sub = parser._subparsers._group_actions[0].choices["table1"]
+        assert "--n-days" not in sub.format_help()
+        assert "--days" in sub.format_help()
+
+    def test_export_models_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export-models"])
 
 
 class TestCommands:
@@ -111,6 +146,66 @@ class TestCommands:
         payload = json.loads(captured.out)
         assert len(payload["forecasts"]) == 6
         assert "counters" in payload["metrics"]
+
+
+@pytest.mark.slow
+class TestModelStoreCommands:
+    """export-models -> predict/serve --store, end to end in-process."""
+
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-store")
+        trace = root / "trace.jsonl.gz"
+        store = root / "store"
+        assert main(["generate", "--days", "12", "--scale", "0.5",
+                     "--seed", "8", "--out", str(trace)]) == 0
+        assert main(["export-models", "--trace", str(trace),
+                     "--store", str(store)]) == 0
+        return trace, store
+
+    def test_export_writes_a_loadable_store(self, exported):
+        from repro.persistence import ModelStore
+
+        _, store = exported
+        assert ModelStore(store).exists()
+        assert len(ModelStore(store).load()) == 1
+
+    def test_predict_restores_instead_of_refitting(self, exported, capsys):
+        import json
+
+        trace, store = exported
+        code = main(["predict", "--trace", str(trace), "--store", str(store),
+                     "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "restored fitted model" in captured.err
+        assert "fitting" not in captured.err
+        payload = json.loads(captured.out)
+        assert payload["schema_version"] == 1
+        assert payload["forecast"]["schema_version"] == 1
+
+    def test_serve_warm_starts_from_store(self, exported, capsys):
+        import json
+
+        trace, store = exported
+        code = main(["serve", "--trace", str(trace), "--store", str(store),
+                     "--queries", "6", "--workers", "2", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warm-started 1 model(s)" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["schema_version"] == 1
+        counters = payload["metrics"]["counters"]
+        assert counters.get("registry.restores") == 1
+        assert "registry.fits" not in counters
+
+    def test_missing_store_falls_back_to_fitting(self, exported, capsys):
+        trace, _ = exported
+        code = main(["predict", "--trace", str(trace), "--store",
+                     "/nonexistent/store"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "not found; fitting from scratch" in captured.err
 
 
 class TestExtendedEvaluate:

@@ -1,0 +1,482 @@
+"""Round-trip tests for the get_state()/from_state() protocol.
+
+The contract under test: ``from_state(get_state(m))`` answers *bit
+identically* to ``m`` after a JSON round-trip -- for every individual
+model class, for the full fitted pipeline, and for a serving engine
+warm-started from a store versus one that fitted cold.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.neural.network import MLP
+from repro.neural.nar import NARModel
+from repro.persistence import (
+    STATE_SCHEMA_VERSION,
+    ModelStore,
+    StateError,
+    StateSchemaError,
+    decode_array,
+    encode_array,
+    pack_state,
+    require_state,
+)
+from repro.timeseries.arima import ARIMA
+from repro.tree.model_tree import ModelTree
+
+
+def json_roundtrip(state: dict) -> dict:
+    """The wire trip every stored state survives."""
+    return json.loads(json.dumps(state))
+
+
+# ----- protocol primitives -----
+
+
+class TestStateProtocol:
+    def test_array_roundtrip_is_bit_identical(self):
+        rng = np.random.default_rng(0)
+        for array in (
+            rng.normal(size=7),
+            rng.normal(size=(3, 4)),
+            np.array([1, 2, 3], dtype=np.int64),
+            np.zeros(0),
+        ):
+            back = decode_array(json_roundtrip(encode_array(array)))
+            assert back.dtype == array.dtype
+            assert back.shape == array.shape
+            assert np.array_equal(back, array)
+
+    def test_none_array_passes_through(self):
+        assert encode_array(None) is None
+        assert decode_array(None) is None
+
+    def test_pack_then_require(self):
+        state = pack_state("test.kind", {"x": 1})
+        assert state["schema_version"] == STATE_SCHEMA_VERSION
+        assert require_state(json_roundtrip(state), "test.kind")["x"] == 1
+
+    def test_pack_rejects_reserved_keys(self):
+        with pytest.raises(StateError):
+            pack_state("test.kind", {"schema_version": 99})
+
+    def test_require_rejects_unknown_version(self):
+        state = pack_state("test.kind", {})
+        state["schema_version"] = 999
+        with pytest.raises(StateSchemaError, match="999"):
+            require_state(state, "test.kind")
+
+    def test_require_rejects_wrong_kind(self):
+        state = pack_state("test.kind", {})
+        with pytest.raises(StateSchemaError, match="test.kind"):
+            require_state(state, "other.kind")
+
+    def test_require_rejects_non_dict(self):
+        with pytest.raises(StateError):
+            require_state("not a dict", "test.kind")
+
+
+# ----- individual models -----
+
+
+class TestArimaRoundTrip:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(3)
+        y = np.zeros(200)
+        for t in range(1, 200):
+            y[t] = 2.0 + 0.6 * y[t - 1] + rng.normal()
+        return ARIMA((1, 0, 1)).fit(y), y
+
+    def test_forecast_bit_identical(self, fitted):
+        model, _ = fitted
+        restored = ARIMA.from_state(json_roundtrip(model.get_state()))
+        assert np.array_equal(restored.forecast(24), model.forecast(24))
+
+    def test_predict_next_bit_identical(self, fitted):
+        model, y = fitted
+        restored = ARIMA.from_state(json_roundtrip(model.get_state()))
+        window = y[-20:]
+        assert restored.predict_next(window) == model.predict_next(window)
+
+    def test_warm_refit_with_x0(self, fitted):
+        model, y = fitted
+        warm = ARIMA(model.order, include_constant=model.include_constant)
+        warm.fit(y, x0=model.params)
+        assert np.all(np.isfinite(warm.forecast(4)))
+
+    def test_x0_wrong_length_rejected(self, fitted):
+        model, y = fitted
+        with pytest.raises(ValueError):
+            ARIMA(model.order).fit(y, x0=np.zeros(99))
+
+
+class TestNeuralRoundTrip:
+    def test_mlp_forward_bit_identical(self):
+        mlp = MLP(n_inputs=3, n_hidden=5, rng=np.random.default_rng(7))
+        x = np.random.default_rng(1).normal(size=(10, 3))
+        restored = MLP.from_state(json_roundtrip(mlp.get_state()))
+        assert np.array_equal(restored.forward(x), mlp.forward(x))
+
+    def test_mlp_rejects_mismatched_shapes(self):
+        state = MLP(n_inputs=3, n_hidden=5).get_state()
+        state["n_hidden"] = 4
+        with pytest.raises(ValueError, match="shape"):
+            MLP.from_state(state)
+
+    def test_nar_forecast_bit_identical(self):
+        rng = np.random.default_rng(5)
+        t = np.arange(120, dtype=float)
+        series = np.sin(2 * np.pi * t / 24) + 0.1 * rng.normal(size=120)
+        nar = NARModel(n_delays=3, n_hidden=4, seed=2).fit(series, max_epochs=30)
+        restored = NARModel.from_state(json_roundtrip(nar.get_state()))
+        assert np.array_equal(restored.forecast(24), nar.forecast(24))
+        window = series[-3:]
+        assert restored.predict_next(window) == nar.predict_next(window)
+
+    def test_nar_warm_start_seeds_weights(self):
+        rng = np.random.default_rng(5)
+        series = np.sin(np.arange(120) / 4.0) + 0.05 * rng.normal(size=120)
+        first = NARModel(n_delays=3, n_hidden=4, seed=2).fit(series, max_epochs=30)
+        warm = NARModel(n_delays=3, n_hidden=4, seed=9)
+        warm.fit(series, max_epochs=5, warm_from=first)
+        assert np.all(np.isfinite(warm.forecast(4)))
+
+
+class TestModelTreeRoundTrip:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(300, 4))
+        y = np.where(x[:, 0] > 0, 3.0 * x[:, 1], -2.0 * x[:, 2]) + 0.1 * rng.normal(size=300)
+        return ModelTree(max_depth=4).fit(x, y), x
+
+    def test_predict_bit_identical(self, fitted):
+        tree, x = fitted
+        restored = ModelTree.from_state(json_roundtrip(tree.get_state()))
+        assert np.array_equal(restored.predict(x), tree.predict(x))
+        assert restored.n_leaves == tree.n_leaves
+
+    def test_leaf_count_mismatch_rejected(self, fitted):
+        tree, _ = fitted
+        state = tree.get_state()
+        state["leaf_models"] = state["leaf_models"][:-1]
+        with pytest.raises(ValueError, match="leaf"):
+            ModelTree.from_state(state)
+
+
+# ----- full pipeline -----
+
+
+@pytest.mark.slow
+class TestPredictorRoundTrip:
+    @pytest.fixture(scope="class")
+    def restored(self, predictor, small_trace, small_env):
+        from repro.core import AttackPredictor
+
+        state = json_roundtrip(predictor.get_state())
+        return AttackPredictor.from_state(state, small_trace, small_env)
+
+    def test_test_set_predictions_bit_identical(self, predictor, restored):
+        original = predictor.predict_test_set()
+        again = restored.predict_test_set()
+        assert len(original) == len(again) > 0
+        for (_, p), (_, q) in zip(original, again):
+            assert p.hour == q.hour
+            assert p.day == q.day
+            assert p.duration == q.duration
+            assert p.magnitude == q.magnitude
+
+    def test_next_attack_forecast_bit_identical(self, predictor, restored):
+        asn = predictor.spatial.ases()[0]
+        family = predictor.fx.trace.families()[0]
+        p = predictor.predict_next_for_network(asn, family)
+        q = restored.predict_next_for_network(asn, family)
+        assert p is not None
+        assert (p.hour, p.day, p.duration, p.magnitude) == \
+            (q.hour, q.day, q.duration, q.magnitude)
+
+    def test_wrong_trace_rejected(self, predictor, small_env):
+        from repro.core import AttackPredictor
+        from repro.dataset import DatasetConfig, TraceGenerator
+
+        other, other_env = TraceGenerator(
+            DatasetConfig(n_days=8, seed=77, scale=0.3, n_targets=10)
+        ).generate()
+        with pytest.raises(ValueError, match="fingerprint|trace"):
+            AttackPredictor.from_state(predictor.get_state(), other, other_env)
+
+    def test_unfitted_predictor_refuses_get_state(self, small_trace, small_env):
+        from repro.core import AttackPredictor
+
+        with pytest.raises(RuntimeError):
+            AttackPredictor(small_trace, small_env).get_state()
+
+
+# ----- on-disk store -----
+
+
+class TestModelStore:
+    def entry(self, version=1, fingerprint="fp-1"):
+        return {
+            "schema_version": STATE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "config": "cfg",
+            "version": version,
+            "n_attacks": 10,
+            "fitted_at": 1.0,
+            "fit_seconds": 0.5,
+            "state": pack_state("test.kind", {"x": 1}),
+        }
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        assert not store.exists()
+        store.save([self.entry(), self.entry(fingerprint="fp-2")])
+        assert store.exists()
+        loaded = store.load()
+        assert {m.fingerprint for m in loaded} == {"fp-1", "fp-2"}
+        assert loaded[0].payload["state"]["x"] == 1
+
+    def test_fingerprint_filter(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.save([self.entry(), self.entry(fingerprint="fp-2")])
+        assert [m.fingerprint for m in store.load("fp-2")] == ["fp-2"]
+
+    def test_resave_removes_stale_entries(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.save([self.entry(), self.entry(fingerprint="fp-2")])
+        store.save([self.entry()])
+        assert len(list((tmp_path / "store").glob("model-*.json.gz"))) == 1
+
+    def test_missing_store_is_clear_error(self, tmp_path):
+        with pytest.raises(StateError, match="no model store"):
+            ModelStore(tmp_path / "nope").load()
+
+    def test_unknown_manifest_version_rejected(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.save([self.entry()])
+        manifest_path = tmp_path / "store" / ModelStore.MANIFEST
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StateSchemaError, match="999"):
+            store.load()
+
+    def test_incomplete_entry_rejected_at_save(self, tmp_path):
+        bad = self.entry()
+        del bad["state"]
+        with pytest.raises(StateError, match="state"):
+            ModelStore(tmp_path / "store").save([bad])
+
+
+# ----- wire schema (forecast payloads) -----
+
+
+class TestForecastWireSchema:
+    def prediction(self):
+        from repro.core.spatiotemporal import AttackPrediction
+
+        return AttackPrediction(
+            hour=3.25, day=12.5, duration=600.0, magnitude=42.0,
+            temporal_hour=4.0, spatial_hour=2.5,
+            temporal_day=12.0, spatial_day=13.0,
+        )
+
+    def test_prediction_dict_roundtrip(self):
+        from repro.evaluation.reporting import (
+            FORECAST_SCHEMA_VERSION,
+            prediction_from_dict,
+            prediction_to_dict,
+        )
+
+        payload = json_roundtrip(prediction_to_dict(self.prediction()))
+        assert payload["schema_version"] == FORECAST_SCHEMA_VERSION
+        back = prediction_from_dict(payload)
+        assert back.hour == payload["hour"]
+        assert back.magnitude == payload["magnitude_bots"]
+
+    def test_unknown_forecast_version_rejected(self):
+        from repro.evaluation.reporting import (
+            prediction_from_dict,
+            prediction_to_dict,
+        )
+
+        payload = prediction_to_dict(self.prediction())
+        payload["schema_version"] = 42
+        with pytest.raises(ValueError, match="42"):
+            prediction_from_dict(payload)
+
+    def test_missing_version_rejected_not_keyerror(self):
+        from repro.evaluation.reporting import prediction_from_dict
+
+        with pytest.raises(ValueError, match="schema_version"):
+            prediction_from_dict({"hour": 1.0})
+
+    def test_forecast_roundtrip(self):
+        from repro.serving import Forecast, ForecastRequest
+
+        forecast = Forecast(
+            request=ForecastRequest(asn=7, family="Optima", now=3600.0),
+            prediction=self.prediction(), source="model",
+            degraded=False, model_version=3, cached=True, latency_s=0.01,
+        )
+        back = Forecast.from_dict(json_roundtrip(forecast.to_dict()))
+        assert back.request == forecast.request
+        assert back.source == "model"
+        assert back.model_version == 3
+        assert back.prediction.duration == forecast.prediction.duration
+
+    def test_degraded_forecast_roundtrip_keeps_error(self):
+        from repro.serving import Forecast, ForecastRequest
+
+        forecast = Forecast(
+            request=ForecastRequest(asn=7, family="Optima"),
+            prediction=None, source="none", degraded=True, error="no history",
+        )
+        back = Forecast.from_dict(json_roundtrip(forecast.to_dict()))
+        assert back.prediction is None
+        assert back.degraded and back.error == "no history"
+
+
+# ----- registry persistence + warm start -----
+
+
+@pytest.mark.slow
+class TestRegistryPersistence:
+    @pytest.fixture()
+    def fitted_registry(self, predictor, small_trace, small_env):
+        """A registry whose one lineage holds the session's fitted pipeline."""
+        from repro.serving import ModelRegistry
+
+        registry = ModelRegistry(factory=lambda trace, env, config: predictor)
+        registry.get(small_trace, small_env)
+        return registry
+
+    def test_save_then_load_restores_lineage(self, fitted_registry, tmp_path,
+                                             small_trace, small_env):
+        from repro.serving import ModelRegistry
+
+        manifest = fitted_registry.save(tmp_path / "store")
+        assert len(manifest["entries"]) == 1
+
+        restored = ModelRegistry()
+        models = restored.load(tmp_path / "store", small_trace, small_env)
+        assert len(models) == 1
+        assert models[0].version == 1
+        assert restored.version_of() == 1
+        # get() now serves the restored model without ever fitting.
+        served = restored.get(small_trace, small_env)
+        assert served is models[0]
+        assert restored.metrics.snapshot()["counters"].get("registry.fits", 0) == 0
+
+    def test_load_skips_other_traces(self, fitted_registry, tmp_path, small_env):
+        from repro.dataset import DatasetConfig, TraceGenerator
+        from repro.serving import ModelRegistry
+
+        fitted_registry.save(tmp_path / "store")
+        other, other_env = TraceGenerator(
+            DatasetConfig(n_days=8, seed=77, scale=0.3, n_targets=10)
+        ).generate()
+        restored = ModelRegistry()
+        assert restored.load(tmp_path / "store", other, other_env) == []
+        counters = restored.metrics.snapshot()["counters"]
+        assert counters.get("registry.restore_skips") == 1
+
+    def test_registered_model_dict_symmetry(self, fitted_registry,
+                                            small_trace, small_env):
+        from repro.serving import RegisteredModel
+
+        model = fitted_registry.latest()
+        back = RegisteredModel.from_dict(
+            json_roundtrip(model.to_dict(with_state=True)),
+            small_trace, small_env,
+        )
+        assert back.key == model.key
+        assert back.version == model.version
+        assert back.n_attacks == model.n_attacks
+
+    def test_stateless_payload_rejected(self, fitted_registry,
+                                        small_trace, small_env):
+        from repro.serving import RegisteredModel
+
+        with pytest.raises(StateSchemaError, match="state"):
+            RegisteredModel.from_dict(
+                fitted_registry.latest().to_dict(), small_trace, small_env
+            )
+
+    def test_unknown_registered_version_rejected(self, fitted_registry,
+                                                 small_trace, small_env):
+        from repro.serving import RegisteredModel
+
+        payload = fitted_registry.latest().to_dict(with_state=True)
+        payload["schema_version"] = 99
+        with pytest.raises(StateSchemaError, match="99"):
+            RegisteredModel.from_dict(payload, small_trace, small_env)
+
+    def test_cold_vs_restored_engine_forecasts_identical(
+            self, fitted_registry, tmp_path, predictor, small_trace, small_env):
+        from repro.serving import ForecastEngine, ForecastRequest, ModelRegistry
+
+        fitted_registry.save(tmp_path / "store")
+        warm_registry = ModelRegistry()
+        warm_registry.load(tmp_path / "store", small_trace, small_env)
+
+        requests = [
+            ForecastRequest(asn=asn, family=family)
+            for asn in predictor.spatial.ases()[:3]
+            for family in small_trace.families()[:2]
+        ]
+        with ForecastEngine(small_trace, small_env,
+                            registry=fitted_registry) as cold, \
+                ForecastEngine(small_trace, small_env,
+                               registry=warm_registry) as warm:
+            cold_answers = cold.query_batch(requests)
+            warm_answers = warm.query_batch(requests)
+        assert any(f.prediction is not None for f in cold_answers)
+        for c, w in zip(cold_answers, warm_answers):
+            assert c.source == w.source
+            if c.prediction is None:
+                assert w.prediction is None
+                continue
+            assert c.prediction.hour == w.prediction.hour
+            assert c.prediction.day == w.prediction.day
+            assert c.prediction.duration == w.prediction.duration
+            assert c.prediction.magnitude == w.prediction.magnitude
+
+
+class TestRegistryWarmStart:
+    def test_warm_capable_factory_gets_previous_predictor(
+            self, small_trace, small_env):
+        from repro.dataset.records import AttackTrace
+        from repro.serving import ModelRegistry
+
+        seen = []
+
+        def factory(trace, env, config, warm_from=None):
+            seen.append(warm_from)
+            return object()
+
+        registry = ModelRegistry(factory=factory)
+        shorter = AttackTrace(attacks=list(small_trace.attacks[:-5]),
+                              snapshots=small_trace.snapshots,
+                              metadata=small_trace.metadata)
+        first = registry.get(shorter, small_env)
+        registry.get(small_trace, small_env)  # same lineage, extended trace
+        assert seen[0] is None
+        assert seen[1] is first.predictor
+        counters = registry.metrics.snapshot()["counters"]
+        assert counters.get("registry.warm_starts") == 1
+
+    def test_legacy_three_arg_factory_still_works(self, small_trace, small_env):
+        from repro.serving import ModelRegistry
+
+        registry = ModelRegistry(factory=lambda trace, env, config: object())
+        registry.get(small_trace, small_env)
+        registry.refresh(small_trace, small_env)
+        counters = registry.metrics.snapshot()["counters"]
+        assert "registry.warm_starts" not in counters
