@@ -1,0 +1,147 @@
+"""Benchmark S2: the asyncio network front end.
+
+Closed-loop load generation against a live ``ForecastServer``: N
+concurrent clients, each with one persistent HTTP connection, each
+issuing the next forecast request the moment the previous answer
+lands.  Reports p50/p99 request latency and aggregate requests/second
+at 1, 8, and 64 clients, so the report shows how much concurrency the
+single-loop server sustains before latency grows.
+
+The engine underneath is warm (one fit, shared across the module), so
+the numbers isolate the network layer + dispatcher overhead rather
+than model fitting.
+"""
+
+import asyncio
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.server import AsyncForecastClient, Dispatcher, ForecastServer
+from repro.serving import ForecastEngine, ForecastRequest
+
+SERVER_CONFIG = DatasetConfig(n_days=25, scale=0.6, seed=3)
+CONCURRENCY_LEVELS = (1, 8, 64)
+REQUESTS_PER_CLIENT = 40
+
+
+@pytest.fixture(scope="module")
+def server_engine():
+    trace, env = TraceGenerator(SERVER_CONFIG).generate()
+    engine = ForecastEngine(trace, env, max_workers=8)
+    engine.warm()
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def server_requests(server_engine):
+    model = server_engine.warm()
+    asns = model.predictor.spatial.ases()[:8]
+    families = server_engine.trace.families()[:4]
+    return [ForecastRequest(asn=asn, family=family)
+            for asn in asns for family in families]
+
+
+async def _closed_loop_client(host, port, requests, n_requests, latencies):
+    """One client: issue the next request as soon as the last returns."""
+    async with AsyncForecastClient(host, port) as client:
+        for i in range(n_requests):
+            request = requests[i % len(requests)]
+            t0 = time.perf_counter()
+            forecast = await client.forecast(request.asn, request.family)
+            latencies.append(time.perf_counter() - t0)
+            assert forecast.ok
+
+
+async def _drive(engine, requests, concurrency):
+    # max_inflight above the client count: this bench measures latency
+    # under load, not the shedding path (test_server covers that).
+    dispatcher = Dispatcher(engine, max_inflight=2 * max(CONCURRENCY_LEVELS))
+    async with ForecastServer(dispatcher, port=0, max_connections=256,
+                              close_engine=False) as server:
+        host, port = server.http_address
+        latencies: list[float] = []
+        t0 = time.perf_counter()
+        await asyncio.gather(*(
+            _closed_loop_client(host, port, requests[i:] + requests[:i],
+                                REQUESTS_PER_CLIENT, latencies)
+            for i in range(concurrency)
+        ))
+        elapsed = time.perf_counter() - t0
+        snapshot = dispatcher.metrics_payload()
+        await server.shutdown("bench done")
+    return latencies, elapsed, snapshot
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def test_http_closed_loop_load(server_engine, server_requests):
+    """p50/p99 latency and req/s at 1, 8, and 64 concurrent clients."""
+    rows = []
+    for concurrency in CONCURRENCY_LEVELS:
+        latencies, elapsed, snapshot = asyncio.run(
+            _drive(server_engine, server_requests, concurrency)
+        )
+        n = concurrency * REQUESTS_PER_CLIENT
+        assert len(latencies) == n
+        assert snapshot["counters"].get("server.shed", 0) == 0
+        rows.append((
+            concurrency, n,
+            n / elapsed,
+            _percentile(latencies, 0.50) * 1e3,
+            _percentile(latencies, 0.99) * 1e3,
+            statistics.fmean(latencies) * 1e3,
+        ))
+
+    lines = [
+        "SERVER -- HTTP CLOSED-LOOP LOAD (persistent connections)",
+        f"  {'clients':>7s} {'requests':>8s} {'req/s':>9s} "
+        f"{'p50 ms':>8s} {'p99 ms':>8s} {'mean ms':>8s}",
+    ]
+    for concurrency, n, rps, p50, p99, mean in rows:
+        lines.append(f"  {concurrency:7d} {n:8d} {rps:9,.0f} "
+                     f"{p50:8.2f} {p99:8.2f} {mean:8.2f}")
+    emit_report("server_load", "\n".join(lines))
+
+    # Sanity floor only -- this artifact is informational, not a gate.
+    assert all(rps > 10.0 for _, _, rps, *_ in rows)
+
+
+def test_framed_transport_overhead(server_engine, server_requests):
+    """Length-prefixed framing vs HTTP for the same single-client loop."""
+    async def run(transport):
+        dispatcher = Dispatcher(server_engine)
+        async with ForecastServer(dispatcher, port=0, framed_port=0,
+                                  close_engine=False) as server:
+            host, port = (server.http_address if transport == "http"
+                          else server.framed_address)
+            latencies: list[float] = []
+            async with AsyncForecastClient(host, port,
+                                           transport=transport) as client:
+                for i in range(REQUESTS_PER_CLIENT * 2):
+                    request = server_requests[i % len(server_requests)]
+                    t0 = time.perf_counter()
+                    forecast = await client.forecast(request.asn, request.family)
+                    latencies.append(time.perf_counter() - t0)
+                    assert forecast.ok
+            await server.shutdown("bench done")
+        return latencies
+
+    http_lat = asyncio.run(run("http"))
+    framed_lat = asyncio.run(run("framed"))
+    emit_report("server_transports", "\n".join([
+        "SERVER -- TRANSPORT COMPARISON (single closed-loop client)",
+        f"  http    p50 : {_percentile(http_lat, 0.5) * 1e3:7.2f} ms   "
+        f"p99 : {_percentile(http_lat, 0.99) * 1e3:7.2f} ms",
+        f"  framed  p50 : {_percentile(framed_lat, 0.5) * 1e3:7.2f} ms   "
+        f"p99 : {_percentile(framed_lat, 0.99) * 1e3:7.2f} ms",
+    ]))
+    assert http_lat and framed_lat

@@ -3,14 +3,23 @@
 The cloud-defense story the paper motivates (§I, §VI-B): a mitigation
 provider stands up the serving engine over its verified-attack trace,
 studies the botnet ecosystem, answers batched customer forecast
-queries from the model registry's cached fit, and watches the
-service's own telemetry -- all in one process.
+queries, and watches the service's own telemetry.
+
+By default the customer-facing half now runs the way production would:
+the provider boots the ``repro.server`` asyncio network front end and
+customers query it over HTTP through :class:`AsyncForecastClient` --
+same schema-versioned JSON, but over plain sockets.  ``--in-process``
+keeps the original single-process path (no server, direct engine
+calls).
 
     python examples/threat_intel_service.py
+    python examples/threat_intel_service.py --in-process
 """
 
 from __future__ import annotations
 
+import argparse
+import asyncio
 import json
 
 from repro import DatasetConfig, TraceGenerator
@@ -18,10 +27,70 @@ from repro.defense.detection import run_detection_usecase
 from repro.defense.signaling import run_signaling_usecase
 from repro.evaluation.goodness import temporal_goodness_report
 from repro.features.collaboration import collaboration_summary, target_overlap_jaccard
+from repro.server import AsyncForecastClient, Dispatcher, ForecastServer
 from repro.serving import ForecastEngine, ForecastRequest
 
 
+def print_answers(forecasts) -> None:
+    for forecast in forecasts:
+        p = forecast.prediction
+        tag = forecast.source + (" DEGRADED" if forecast.degraded else "")
+        if p is None:
+            print(f"  AS{forecast.request.asn:<6d} {forecast.request.family:<12s} "
+                  f"[{tag}] {forecast.error}")
+            continue
+        print(f"  AS{forecast.request.asn:<6d} {forecast.request.family:<12s} "
+              f"[{tag}] day {p.day:6.2f}  hour {p.hour:4.1f}  "
+              f"{p.magnitude:5.0f} bots")
+
+
+def customer_requests(trace) -> list[ForecastRequest]:
+    busiest = sorted(
+        {a.target_asn for a in trace.attacks},
+        key=lambda asn: -len(trace.by_target_asn(asn)),
+    )[:4]
+    families = trace.families()[:3]
+    # Customers ask overlapping questions; the engine coalesces the
+    # duplicates and answers the rest from the prediction cache.
+    return [ForecastRequest(asn=asn, family=family)
+            for asn in busiest for family in families] * 2
+
+
+async def serve_customers_over_http(engine, trace) -> dict:
+    """Boot the network front end and run the customer feed through it."""
+    requests = customer_requests(trace)
+    async with ForecastServer(Dispatcher(engine), port=0,
+                              close_engine=False) as server:
+        host, port = server.http_address
+        async with AsyncForecastClient(host, port) as client:
+            print(f"== customer feed: HTTP queries against {host}:{port} ==")
+            n_distinct = len(requests) // 2
+            batch = await client.forecast_batch(requests)
+            print_answers(batch[:n_distinct])
+            print()
+            health = await client.healthz()
+            print(f"== operations: /healthz says {health['status']!r}, "
+                  f"model v{health['model_version']} ==\n")
+            snapshot = await client.metrics()
+        await server.shutdown("customer feed done")
+    return snapshot
+
+
+def serve_customers_in_process(engine, trace) -> dict:
+    """The original path: direct engine calls, no sockets."""
+    requests = customer_requests(trace)
+    print("== customer feed: batched in-process forecast queries ==")
+    print_answers(engine.query_batch(requests)[: len(requests) // 2])
+    print()
+    return engine.metrics_snapshot()
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--in-process", action="store_true",
+                        help="query the engine directly instead of over HTTP")
+    args = parser.parse_args()
+
     config = DatasetConfig(n_days=70, seed=11)
     trace, env = TraceGenerator(config).generate()
 
@@ -48,27 +117,10 @@ def main() -> None:
         print(f"  {quality.name:<12s} R^2={quality.r2:5.2f}  residuals {whiteness}")
     print()
 
-    print("== customer feed: batched forecast queries ==")
-    busiest = sorted(
-        {a.target_asn for a in trace.attacks},
-        key=lambda asn: -len(trace.by_target_asn(asn)),
-    )[:4]
-    families = trace.families()[:3]
-    # Customers ask overlapping questions; the engine coalesces the
-    # duplicates and answers the rest from the prediction cache.
-    requests = [ForecastRequest(asn=asn, family=family)
-                for asn in busiest for family in families] * 2
-    for forecast in engine.query_batch(requests)[: len(busiest) * len(families)]:
-        p = forecast.prediction
-        tag = forecast.source + (" DEGRADED" if forecast.degraded else "")
-        if p is None:
-            print(f"  AS{forecast.request.asn:<6d} {forecast.request.family:<12s} "
-                  f"[{tag}] {forecast.error}")
-            continue
-        print(f"  AS{forecast.request.asn:<6d} {forecast.request.family:<12s} "
-              f"[{tag}] day {p.day:6.2f}  hour {p.hour:4.1f}  "
-              f"{p.magnitude:5.0f} bots")
-    print()
+    if args.in_process:
+        snapshot = serve_customers_in_process(engine, trace)
+    else:
+        snapshot = asyncio.run(serve_customers_over_http(engine, trace))
 
     print("== customer feed: DOTS threat signaling (§VI-B) ==")
     signaling = run_signaling_usecase(predictor, n_networks=4, tick_hours=6)
@@ -96,7 +148,7 @@ def main() -> None:
     print()
 
     print("== operations: serving telemetry snapshot ==")
-    print(json.dumps(engine.metrics_snapshot(), indent=2))
+    print(json.dumps(snapshot, indent=2))
     engine.close()
 
 

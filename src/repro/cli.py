@@ -8,12 +8,22 @@ Commands:
 * ``predict`` -- forecast the next attack on a network.
 * ``serve`` -- run the in-process forecast service over a batch of
   queries and print answers plus a metrics snapshot.
+* ``serve-http`` -- run the asyncio network front end: concurrent
+  forecast queries over plain sockets (HTTP/1.1 + optional
+  length-prefixed JSON), warm-started from a model store.
 * ``export-models`` -- fit once and snapshot the fitted registry to a
-  model store directory for later ``predict``/``serve --store`` runs.
+  model store directory for later ``predict``/``serve``/``serve-http``
+  ``--store`` runs.
 
 Every command accepts the same dataset options: either ``--trace path``
 (a persisted trace; the environment is rebuilt from its metadata) or
 generation parameters (``--days/--seed/--scale/--targets``).
+
+Exit codes: 0 success, 1 nothing to serve/predict, 2 bad arguments,
+``EXIT_BIND_FAILURE`` (3) when a listen address cannot be bound, and
+``EXIT_BAD_STORE`` (4) when ``serve``/``serve-http`` are pointed at a
+``--store`` path that is not a model store -- distinct codes so
+process supervisors can tell a port conflict from a deployment mistake.
 """
 
 from __future__ import annotations
@@ -31,7 +41,14 @@ from repro.dataset import (
     save_trace,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_BIND_FAILURE", "EXIT_BAD_STORE"]
+
+#: A serve/serve-http listen socket could not be bound (port in use,
+#: privileged port, bad interface).
+EXIT_BIND_FAILURE = 3
+
+#: A --store path handed to serve/serve-http is not a model store.
+EXIT_BAD_STORE = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +126,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "from it instead of fitting on first query")
     serve.add_argument("--json", action="store_true",
                        help="emit forecasts + metrics as JSON")
+
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="serve forecasts over the network (asyncio HTTP + framed JSON)",
+    )
+    add_dataset_args(serve_http)
+    serve_http.add_argument("--host", default="127.0.0.1",
+                            help="listen interface")
+    serve_http.add_argument("--port", type=int, default=8377,
+                            help="HTTP listen port (0 = ephemeral)")
+    serve_http.add_argument("--framed-port", type=int, default=None,
+                            help="also listen for length-prefixed JSON "
+                                 "clients on this port")
+    serve_http.add_argument("--workers", type=int, default=4,
+                            help="engine thread-pool size")
+    serve_http.add_argument("--timeout", type=float, default=10.0,
+                            help="default per-request deadline in seconds "
+                                 "(0 disables)")
+    serve_http.add_argument("--max-connections", type=int, default=128,
+                            help="concurrent socket cap (503 beyond it)")
+    serve_http.add_argument("--max-inflight", type=int, default=64,
+                            help="concurrent forecast cap (429 + baseline "
+                                 "degradation beyond it)")
+    serve_http.add_argument("--drain-timeout", type=float, default=10.0,
+                            help="seconds to wait for in-flight forecasts "
+                                 "on SIGTERM/SIGINT")
+    serve_http.add_argument("--store",
+                            help="model store directory; boot warm from it "
+                                 "instead of refitting")
 
     export = sub.add_parser(
         "export-models",
@@ -276,12 +322,41 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warm_start_registry(store_path: str, registry, trace, env) -> None:
+    """Restore fitted models from a validated store into ``registry``.
+
+    Callers must have checked ``ModelStore(store_path).exists()``
+    already (bad paths are an :data:`EXIT_BAD_STORE` error for the
+    serving commands).  A store with no entry for this trace only
+    warns -- the service then fits on warm-up.
+    """
+    restored = registry.load(store_path, trace, env)
+    if restored:
+        print(f"warm-started {len(restored)} model(s) from {store_path}",
+              file=sys.stderr)
+    else:
+        print(f"model store {store_path} has no model for this trace; "
+              "fitting on warm-up", file=sys.stderr)
+
+
+def _store_missing(store_path: str) -> bool:
+    from repro.persistence import ModelStore
+
+    if ModelStore(store_path).exists():
+        return False
+    print(f"error: --store {store_path} is not a model store "
+          "(run export-models first)", file=sys.stderr)
+    return True
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.serving import ForecastEngine, ForecastRequest, ModelRegistry
     from repro.serving.metrics import ServingMetrics
 
+    if args.store and _store_missing(args.store):
+        return EXIT_BAD_STORE
     trace, env = _load_or_generate(args)
     if not trace.attacks:
         print("empty trace: nothing to serve", file=sys.stderr)
@@ -289,19 +364,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     metrics = ServingMetrics()
     registry = ModelRegistry(metrics=metrics)
     if args.store:
-        from repro.persistence import ModelStore
-
-        if ModelStore(args.store).exists():
-            restored = registry.load(args.store, trace, env)
-            if restored:
-                print(f"warm-started {len(restored)} model(s) from {args.store}",
-                      file=sys.stderr)
-            else:
-                print(f"model store {args.store} has no model for this trace; "
-                      "fitting on warm-up", file=sys.stderr)
-        else:
-            print(f"model store {args.store} not found; fitting on warm-up",
-                  file=sys.stderr)
+        _warm_start_registry(args.store, registry, trace, env)
     with ForecastEngine(trace, env, registry=registry, metrics=metrics,
                         max_workers=args.workers,
                         timeout_s=args.timeout) as engine:
@@ -351,6 +414,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import ForecastEngine, ModelRegistry
+    from repro.serving.metrics import ServingMetrics
+    from repro.server import Dispatcher, ForecastServer, bind_socket
+
+    # Fail fast, in order of cheapness: a bad store path and an
+    # unbindable port are both diagnosable before paying for dataset
+    # loading or model fitting -- with distinct exit codes.
+    if args.store and _store_missing(args.store):
+        return EXIT_BAD_STORE
+    try:
+        http_sock = bind_socket(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return EXIT_BIND_FAILURE
+    framed_sock = None
+    if args.framed_port is not None:
+        try:
+            framed_sock = bind_socket(args.host, args.framed_port)
+        except OSError as exc:
+            http_sock.close()
+            print(f"error: cannot bind {args.host}:{args.framed_port}: {exc}",
+                  file=sys.stderr)
+            return EXIT_BIND_FAILURE
+
+    trace, env = _load_or_generate(args)
+    if not trace.attacks:
+        http_sock.close()
+        if framed_sock is not None:
+            framed_sock.close()
+        print("empty trace: nothing to serve", file=sys.stderr)
+        return 1
+    metrics = ServingMetrics()
+    registry = ModelRegistry(metrics=metrics)
+    if args.store:
+        _warm_start_registry(args.store, registry, trace, env)
+    engine = ForecastEngine(trace, env, registry=registry, metrics=metrics,
+                            max_workers=args.workers)
+    print("warming up ...", file=sys.stderr)
+    engine.warm()  # a store restore makes this a cache hit, not a refit
+    dispatcher = Dispatcher(
+        engine,
+        max_inflight=args.max_inflight,
+        default_timeout_s=args.timeout if args.timeout > 0 else None,
+    )
+    server = ForecastServer(
+        dispatcher,
+        host=args.host,
+        http_sock=http_sock,
+        framed_sock=framed_sock,
+        max_connections=args.max_connections,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    async def run() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass  # loops without add_signal_handler support land here
+    return 0
+
+
 def _cmd_export_models(args: argparse.Namespace) -> int:
     from repro.serving import ModelRegistry
 
@@ -375,6 +507,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "serve-http": _cmd_serve_http,
     "export-models": _cmd_export_models,
 }
 

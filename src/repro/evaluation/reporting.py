@@ -30,6 +30,7 @@ __all__ = [
     "format_goodness",
     "prediction_to_dict",
     "prediction_from_dict",
+    "error_payload",
     "FORECAST_SCHEMA_VERSION",
 ]
 
@@ -253,3 +254,21 @@ def prediction_from_dict(data: dict) -> "AttackPrediction":
         temporal_day=float(data["temporal_day"]),
         spatial_day=float(data["spatial_day"]),
     )
+
+
+def error_payload(code: str, message: str, *,
+                  retry_after_s: float | None = None) -> dict:
+    """The machine-readable error body every serving surface emits.
+
+    Lives beside the forecast schema (and under the same
+    ``schema_version`` counter) because clients parse the two from one
+    stream: a forecast endpoint either returns a forecast payload or
+    this shape, never a bare string.  ``code`` is a stable slug
+    (``bad_request``, ``overloaded``, ``draining`` ...) for clients
+    that switch on error kinds; ``retry_after_s`` is a hint mirrored
+    into HTTP's ``Retry-After`` header by the network front end.
+    """
+    error: dict = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = round(float(retry_after_s), 3)
+    return {"schema_version": FORECAST_SCHEMA_VERSION, "error": error}

@@ -1,0 +1,53 @@
+"""Network front end over the forecast engine (stdlib-only asyncio).
+
+PR 1/2 made forecasts batched, cached, and persistent -- but only for
+Python callers in the same process.  ``repro.server`` is the missing
+front door: a long-lived asyncio service multiplexing thousands of
+concurrent per-target forecast queries (the mitigation-operator
+setting of §I/§VI-B) over plain sockets, so non-Python consumers can
+read the same schema-versioned JSON the CLI's ``predict --json``
+emits.
+
+Layering::
+
+    sockets  -->  transports   -->  Dispatcher  -->  ForecastEngine
+                  (HTTP/1.1,        admission,       thread pool,
+                   length-          deadlines,       caches, §VII-A
+                   prefixed JSON)   draining         baseline fallback
+
+* :mod:`repro.server.protocol` -- request vocabulary + framed codec.
+* :mod:`repro.server.http` -- minimal HTTP/1.1 parsing and routing.
+* :mod:`repro.server.dispatcher` -- backpressure (429 with a degraded
+  naive-baseline forecast body, 503 while draining), per-request
+  deadlines mapped onto engine timeouts.
+* :mod:`repro.server.server` -- listeners, connection caps, graceful
+  SIGTERM/SIGINT drain.
+* :mod:`repro.server.client` -- :class:`AsyncForecastClient` for both
+  transports.
+
+Quickstart (serving side; see ``repro serve-http`` for the CLI)::
+
+    engine = ForecastEngine(trace, env)
+    server = ForecastServer(Dispatcher(engine), host="0.0.0.0", port=8377)
+
+    async def main():
+        await server.start()
+        server.install_signal_handlers()
+        await server.serve_forever()
+"""
+
+from repro.server.client import AsyncForecastClient, ForecastServiceError
+from repro.server.dispatcher import Dispatcher
+from repro.server.protocol import ProtocolError, encode_frame, read_frame
+from repro.server.server import ForecastServer, bind_socket
+
+__all__ = [
+    "AsyncForecastClient",
+    "ForecastServiceError",
+    "Dispatcher",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "ForecastServer",
+    "bind_socket",
+]

@@ -1,0 +1,204 @@
+"""Asyncio client for the forecast server (HTTP or framed transport).
+
+The client speaks either wire protocol behind one API and hands back
+the same :class:`~repro.serving.engine.Forecast` objects the in-process
+engine returns, rebuilt via ``Forecast.from_dict`` (which enforces the
+forecast ``schema_version``).  A 429 overload response still carries a
+degraded naive-baseline forecast, and the client returns it as such --
+callers inspect ``forecast.degraded`` rather than catching exceptions,
+mirroring the engine's own degradation contract.  Hard failures (400,
+404, 503 ...) raise :class:`ForecastServiceError`.
+
+Connections are persistent (keep-alive / one framed stream) and
+re-opened transparently once per request if the server dropped them --
+forecast queries are read-only, so the single retry is safe.
+
+    async with AsyncForecastClient("127.0.0.1", 8377) as client:
+        forecast = await client.forecast(asn=3356, family="DirtJumper")
+        print(forecast.prediction.hour, forecast.degraded)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
+from repro.serving.engine import Forecast, ForecastRequest
+from repro.server.protocol import ProtocolError, encode_frame, read_frame
+
+__all__ = ["AsyncForecastClient", "ForecastServiceError"]
+
+
+class ForecastServiceError(RuntimeError):
+    """A non-forecast answer from the service (4xx/5xx error payload)."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class AsyncForecastClient:
+    """One connection to a forecast server, either transport."""
+
+    def __init__(self, host: str, port: int, *, transport: str = "http",
+                 request_timeout_s: float = 30.0) -> None:
+        if transport not in ("http", "framed"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.request_timeout_s = request_timeout_s
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    # ----- lifecycle -----
+
+    async def connect(self) -> "AsyncForecastClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            writer, self._writer, self._reader = self._writer, None, None
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncForecastClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ----- API -----
+
+    async def forecast(self, asn: int, family: str, *,
+                       now: float | None = None,
+                       timeout_s: float | None = None) -> Forecast:
+        """One forecast; a 429 comes back as a ``degraded`` Forecast."""
+        payload: dict = {"asn": asn, "family": family, "now": now}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        status, body = await self._call("forecast", "POST", "/v1/forecast", payload)
+        self._check(status, body, forecast_bearing=True)
+        return Forecast.from_dict(body)
+
+    async def forecast_batch(self, requests, *,
+                             timeout_s: float | None = None) -> list[Forecast]:
+        """Batched forecasts, answers in request order."""
+        items = []
+        for request in requests:
+            if isinstance(request, ForecastRequest):
+                items.append({"asn": request.asn, "family": request.family,
+                              "now": request.now})
+            else:
+                asn, family = request[0], request[1]
+                now = request[2] if len(request) > 2 else None
+                items.append({"asn": asn, "family": family, "now": now})
+        payload: dict = {"requests": items}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        status, body = await self._call(
+            "forecast_batch", "POST", "/v1/forecast/batch", payload)
+        self._check(status, body, forecast_bearing=True)
+        return [Forecast.from_dict(item) for item in body["forecasts"]]
+
+    async def metrics(self) -> dict:
+        """The server's full telemetry snapshot."""
+        status, body = await self._call("metrics", "GET", "/metrics", None)
+        self._check(status, body)
+        return body
+
+    async def healthz(self) -> dict:
+        """Liveness body; ``{"status": "draining"}`` is returned, not raised."""
+        _status, body = await self._call("healthz", "GET", "/healthz", None)
+        return body
+
+    # ----- plumbing -----
+
+    def _check(self, status: int, body: dict,
+               forecast_bearing: bool = False) -> None:
+        ok = (200, 429) if forecast_bearing else (200,)
+        if status not in ok:
+            error = body.get("error", {}) if isinstance(body, dict) else {}
+            raise ForecastServiceError(
+                status, error.get("code", "error"),
+                error.get("message", f"server answered {status}"),
+                retry_after_s=error.get("retry_after_s"),
+            )
+        if forecast_bearing and body.get("schema_version") != FORECAST_SCHEMA_VERSION:
+            raise ForecastServiceError(
+                status, "schema_mismatch",
+                f"server speaks forecast schema {body.get('schema_version')!r}, "
+                f"client reads {FORECAST_SCHEMA_VERSION}",
+            )
+
+    async def _call(self, op: str, method: str, path: str,
+                    payload: dict | None) -> tuple[int, dict]:
+        attempt = self._call_once(op, method, path, payload)
+        try:
+            return await asyncio.wait_for(attempt, self.request_timeout_s)
+        except (ConnectionError, asyncio.IncompleteReadError, ProtocolError):
+            # Stale keep-alive (server restarted or cut us off): one
+            # clean reconnect, then let failures propagate.
+            await self.close()
+            return await asyncio.wait_for(
+                self._call_once(op, method, path, payload),
+                self.request_timeout_s)
+
+    async def _call_once(self, op: str, method: str, path: str,
+                         payload: dict | None) -> tuple[int, dict]:
+        await self.connect()
+        if self.transport == "http":
+            return await self._http_call(method, path, payload)
+        return await self._framed_call(op, payload)
+
+    async def _http_call(self, method: str, path: str,
+                         payload: dict | None) -> tuple[int, dict]:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive",
+        ]
+        self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await self._writer.drain()
+
+        header = await self._reader.readuntil(b"\r\n\r\n")
+        lines = header.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ProtocolError(f"malformed status line: {lines[0]!r}")
+        status = int(parts[1])
+        headers = {}
+        for line in lines[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, json.loads(raw.decode("utf-8"))
+
+    async def _framed_call(self, op: str,
+                           payload: dict | None) -> tuple[int, dict]:
+        frame = {"op": op} | (payload or {})
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        response = await read_frame(self._reader)
+        if response is None:
+            raise asyncio.IncompleteReadError(b"", None)
+        return int(response.get("status", 500)), response.get("body", {})

@@ -1,0 +1,252 @@
+"""Protocol-independent request dispatcher over a :class:`ForecastEngine`.
+
+Both transports (HTTP and length-prefixed frames) reduce every request
+to ``(op, payload)`` and hand it here; the dispatcher owns the
+operational policy so the two wire formats cannot drift:
+
+* **Admission** -- at most ``max_inflight`` forecast computations run
+  concurrently.  Excess load is *shed with an answer*: a 429 whose
+  body is still a schema-versioned forecast, produced by the engine's
+  §VII-A naive-baseline fallback path (`degraded: true`).  Clients
+  under overload lose accuracy, not availability.
+* **Deadlines** -- each request may carry ``timeout_s``; the
+  dispatcher clamps it to ``max_timeout_s`` and maps it onto the
+  engine's timeout machinery, so a network deadline and an engine
+  timeout hit the same counters and the same baseline degradation.
+* **Draining** -- once :meth:`Dispatcher.begin_drain` runs (graceful
+  shutdown), new forecasts get 503 + ``Retry-After`` while in-flight
+  ones finish; ``/healthz`` flips to ``draining`` so load balancers
+  eject the replica first.
+
+The engine work itself runs on the engine's own thread pool via
+:meth:`ForecastEngine.submit`; the event loop only awaits wrapped
+futures, so thousands of connections multiplex over ``max_workers``
+model threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, error_payload
+from repro.serving.engine import EngineClosedError, Forecast, ForecastEngine, ForecastRequest
+from repro.server.protocol import (
+    ProtocolError,
+    parse_batch_request,
+    parse_forecast_request,
+    parse_timeout,
+)
+
+__all__ = ["Dispatcher"]
+
+#: Retry hint handed to shed/drained clients, in seconds.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+class Dispatcher:
+    """Maps wire operations onto one engine, with backpressure."""
+
+    def __init__(self, engine: ForecastEngine, *,
+                 max_inflight: int = 64,
+                 default_timeout_s: float | None = 10.0,
+                 max_timeout_s: float = 60.0,
+                 retry_after_s: float = DEFAULT_RETRY_AFTER_S) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.engine = engine
+        self.metrics = engine.metrics
+        self.max_inflight = max_inflight
+        self.default_timeout_s = default_timeout_s
+        self.max_timeout_s = max_timeout_s
+        self.retry_after_s = retry_after_s
+        self._inflight = 0  # event-loop confined; no lock needed
+        self._draining = False
+        #: Optional callable the transport installs so ``/metrics`` can
+        #: report connection-level state alongside engine telemetry.
+        self.transport_stats = None
+
+    # ----- lifecycle -----
+
+    @property
+    def inflight(self) -> int:
+        """Forecast computations currently admitted."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """Whether graceful shutdown has begun."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting forecast work; health flips to ``draining``."""
+        self._draining = True
+        self.metrics.incr("server.drains")
+
+    async def wait_idle(self, timeout_s: float | None = None) -> bool:
+        """Wait for admitted work to finish; True when fully drained."""
+        deadline = (asyncio.get_running_loop().time() + timeout_s
+                    if timeout_s is not None else None)
+        while self._inflight:
+            if deadline is not None and asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    # ----- the one entry point transports call -----
+
+    async def handle(self, op: str, payload: dict) -> tuple[int, dict, float | None]:
+        """Execute one wire operation.
+
+        Returns ``(status, body, retry_after_s)`` where ``status`` uses
+        HTTP semantics in both transports and ``retry_after_s`` is the
+        backpressure hint (None unless shedding/draining).  Malformed
+        payloads come back as their :class:`ProtocolError` status with
+        an :func:`error_payload` body -- this method does not raise for
+        bad input, only for dispatcher bugs.
+        """
+        try:
+            if op == "forecast":
+                return await self._forecast(payload)
+            if op == "forecast_batch":
+                return await self._forecast_batch(payload)
+            if op == "metrics":
+                stats = self.transport_stats() if self.transport_stats else None
+                return 200, self.metrics_payload(stats), None
+            if op == "healthz":
+                return self.health()
+            return 404, error_payload("unknown_op", f"unknown operation {op!r}"), None
+        except ProtocolError as exc:
+            self.metrics.incr("server.bad_requests")
+            return exc.status, error_payload(exc.code, str(exc)), None
+
+    # ----- operations -----
+
+    async def _forecast(self, payload: dict) -> tuple[int, dict, float | None]:
+        request = parse_forecast_request(payload)
+        timeout = parse_timeout(payload, self.max_timeout_s)
+        if (refused := self._refuse()) is not None:
+            return refused
+        if self._inflight >= self.max_inflight:
+            return self._shed(request)
+        self._inflight += 1
+        try:
+            forecast = await self._run(request, timeout)
+        except EngineClosedError:
+            return self._drained_response()
+        finally:
+            self._inflight -= 1
+        self.metrics.incr("server.requests")
+        return 200, self._envelope(forecast), None
+
+    async def _forecast_batch(self, payload: dict) -> tuple[int, dict, float | None]:
+        requests = parse_batch_request(payload)
+        timeout = parse_timeout(payload, self.max_timeout_s)
+        if (refused := self._refuse()) is not None:
+            return refused
+        if self._inflight >= self.max_inflight:
+            self.metrics.incr("server.shed", len(requests))
+            body = {
+                "schema_version": FORECAST_SCHEMA_VERSION,
+                "forecasts": [
+                    self._shed_forecast(request).to_dict() for request in requests
+                ],
+            }
+            return 429, body, self.retry_after_s
+        # Mirror ForecastEngine.query_batch's coalescing (and its
+        # counter semantics) without blocking the event loop on it.
+        self.metrics.incr("engine.batches")
+        distinct: dict[tuple, ForecastRequest] = {}
+        for request in requests:
+            distinct.setdefault(request.work_key, request)
+        coalesced = len(requests) - len(distinct)
+        if coalesced:
+            self.metrics.incr("engine.coalesced", coalesced)
+            self.metrics.incr("engine.queries", coalesced)
+        self._inflight += len(distinct)  # a batch holds one slot per computation
+        try:
+            answers = await asyncio.gather(
+                *(self._run(request, timeout) for request in distinct.values())
+            )
+        except EngineClosedError:
+            return self._drained_response()
+        finally:
+            self._inflight -= len(distinct)
+        by_key = {request.work_key: forecast
+                  for request, forecast in zip(distinct.values(), answers)}
+        self.metrics.incr("server.requests", len(requests))
+        body = {
+            "schema_version": FORECAST_SCHEMA_VERSION,
+            "forecasts": [by_key[request.work_key].to_dict()
+                          for request in requests],
+        }
+        return 200, body, None
+
+    def metrics_payload(self, transport_stats: dict | None = None) -> dict:
+        """The ``/metrics`` body: engine telemetry + server admission state."""
+        snapshot = self.engine.metrics_snapshot()
+        snapshot["server"] = {
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
+            "draining": self._draining,
+        }
+        if transport_stats:
+            snapshot["server"].update(transport_stats)
+        return snapshot
+
+    def health(self) -> tuple[int, dict, float | None]:
+        """The ``/healthz`` body; 503 while draining so LBs eject us."""
+        if self._draining or self.engine.closed:
+            return 503, {"status": "draining"}, self.retry_after_s
+        model = self.engine.registry.latest(self.engine.config)
+        return 200, {
+            "status": "ok",
+            "model_version": model.version if model else 0,
+            "inflight": self._inflight,
+        }, None
+
+    # ----- internals -----
+
+    async def _run(self, request: ForecastRequest,
+                   timeout_s: float | None) -> Forecast:
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        future = self.engine.submit(request)
+        try:
+            return await asyncio.wait_for(asyncio.wrap_future(future), timeout_s)
+        except asyncio.TimeoutError:
+            future.cancel()  # frees the slot if the pool never started it
+            return self.engine.timeout_forecast(request, timeout_s)
+
+    def _refuse(self) -> tuple[int, dict, float | None] | None:
+        if self._draining or self.engine.closed:
+            return self._drained_response()
+        return None
+
+    def _drained_response(self) -> tuple[int, dict, float]:
+        self.metrics.incr("server.refused_draining")
+        return 503, error_payload(
+            "draining", "server is draining; retry another replica",
+            retry_after_s=self.retry_after_s,
+        ), self.retry_after_s
+
+    def _shed(self, request: ForecastRequest) -> tuple[int, dict, float]:
+        self.metrics.incr("server.shed")
+        return 429, self._envelope(self._shed_forecast(request)), self.retry_after_s
+
+    def _shed_forecast(self, request: ForecastRequest) -> Forecast:
+        """Overload answer: the engine's §VII-A naive-baseline fallback."""
+        return self.engine.fallback(
+            request,
+            error=f"overloaded ({self.max_inflight} forecasts in flight); "
+                  "serving the naive baseline",
+        )
+
+    def _envelope(self, forecast: Forecast) -> dict:
+        """One forecast's response body.
+
+        A strict superset of ``predict --json``: same ``schema_version``
+        / ``asn`` / ``family`` / ``forecast`` fields with identical
+        values, plus the serving provenance from
+        :meth:`Forecast.to_dict`.
+        """
+        return {"schema_version": FORECAST_SCHEMA_VERSION} | forecast.to_dict()

@@ -1,0 +1,168 @@
+"""Minimal stdlib HTTP/1.1 plumbing for the forecast server.
+
+Just enough of RFC 9112 for a JSON API behind a load balancer:
+request-line + headers + ``Content-Length`` bodies, keep-alive by
+default, no chunked transfer, no multipart.  Everything suspicious --
+oversized headers, missing lengths, bodies beyond the cap -- maps to a
+:class:`~repro.server.protocol.ProtocolError` whose status the caller
+writes back before (usually) closing the connection.
+
+The route table maps ``(method, path)`` onto the dispatcher's
+operation names so the wire surface is declared in exactly one place.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.server.protocol import ProtocolError
+
+__all__ = [
+    "HttpRequest",
+    "read_http_request",
+    "render_response",
+    "route_to_op",
+    "MAX_BODY_BYTES",
+]
+
+#: Request bodies beyond this are a 413, not a buffer.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Request line + headers beyond this are a 431.
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Content Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: The whole wire surface: (method, path) -> dispatcher op.
+ROUTES = {
+    ("POST", "/v1/forecast"): "forecast",
+    ("POST", "/v1/forecast/batch"): "forecast_batch",
+    ("GET", "/metrics"): "metrics",
+    ("GET", "/healthz"): "healthz",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: enough for routing and a JSON body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default unless the client said ``Connection: close``."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise ProtocolError("request body is empty; expected a JSON object")
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+def route_to_op(request: HttpRequest) -> str:
+    """Resolve a request to a dispatcher op (404/405 on misses)."""
+    op = ROUTES.get((request.method, request.path))
+    if op is not None:
+        return op
+    if any(path == request.path for _, path in ROUTES):
+        raise ProtocolError(
+            f"method {request.method} not allowed on {request.path}",
+            status=405, code="method_not_allowed",
+        )
+    raise ProtocolError(f"no such endpoint: {request.path}",
+                        status=404, code="not_found")
+
+
+async def read_http_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` (with the right HTTP status) for
+    anything malformed -- the server answers it and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-headers") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request headers too large",
+                            status=431, code="headers_too_large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request headers too large",
+                            status=431, code="headers_too_large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked transfer encoding is not supported",
+                            status=400, code="bad_request")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise ProtocolError(
+                f"bad Content-Length: {headers['content-length']!r}") from exc
+        if length < 0:
+            raise ProtocolError(f"bad Content-Length: {length}")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"body of {length} bytes exceeds {MAX_BODY_BYTES}",
+                status=413, code="body_too_large",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-body") from exc
+    elif method == "POST":
+        raise ProtocolError("POST requires a Content-Length body",
+                            status=400, code="bad_request")
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(status: int, body: dict, *, keep_alive: bool = True,
+                    retry_after_s: float | None = None) -> bytes:
+    """Serialize one JSON response, headers included."""
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if retry_after_s is not None:
+        headers.append(f"Retry-After: {max(1, round(retry_after_s))}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload

@@ -1,0 +1,168 @@
+"""Wire schema shared by both `repro.server` protocols.
+
+One request/response vocabulary, two encodings:
+
+* **HTTP/1.1** (:mod:`repro.server.http`) -- JSON bodies on
+  ``POST /v1/forecast`` and friends; the status code carries the
+  outcome class.
+* **Length-prefixed frames** (:func:`encode_frame` /
+  :func:`read_frame`) -- a 4-byte big-endian length followed by a
+  UTF-8 JSON object, for non-HTTP clients; the outcome class rides in
+  the response object's ``status`` field with the same numeric values.
+
+Payload parsing is strict on purpose: a forecast service fed by
+monitoring pipelines should reject a mistyped request loudly (400)
+rather than coerce it into a question nobody asked.  All parse
+failures raise :class:`ProtocolError`, which both transports map to
+their native error shape via
+:func:`repro.evaluation.reporting.error_payload`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.serving.engine import ForecastRequest
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "parse_forecast_request",
+    "parse_batch_request",
+    "parse_timeout",
+    "encode_frame",
+    "read_frame",
+]
+
+#: Hard ceiling on one frame's JSON body; a client that claims more is
+#: either broken or hostile, and either way must not size our buffers.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Largest batch one request may carry; bigger fan-outs should be
+#: split client-side so backpressure stays per-request-sized.
+MAX_BATCH_REQUESTS = 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized request; maps to an HTTP 4xx.
+
+    ``status`` is the HTTP status both transports report (the framed
+    protocol reuses the numeric values), ``code`` a stable
+    machine-readable slug for clients that switch on error kinds.
+    """
+
+    def __init__(self, message: str, *, status: int = 400,
+                 code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _require_mapping(payload: object, what: str) -> dict:
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_forecast_request(payload: object) -> ForecastRequest:
+    """Validate one forecast question into a :class:`ForecastRequest`.
+
+    Required: integer ``asn``, non-empty string ``family``.  Optional:
+    numeric ``now`` (seconds since trace epoch, ``null`` = end of
+    trace).  Booleans are rejected as ASNs even though Python calls
+    them ints.
+    """
+    payload = _require_mapping(payload, "forecast request")
+    asn = payload.get("asn")
+    if isinstance(asn, bool) or not isinstance(asn, int):
+        raise ProtocolError(f"'asn' must be an integer, got {asn!r}")
+    family = payload.get("family")
+    if not isinstance(family, str) or not family:
+        raise ProtocolError(f"'family' must be a non-empty string, got {family!r}")
+    now = payload.get("now")
+    if now is not None:
+        if isinstance(now, bool) or not isinstance(now, (int, float)):
+            raise ProtocolError(f"'now' must be a number or null, got {now!r}")
+        now = float(now)
+    return ForecastRequest(asn=asn, family=family, now=now)
+
+
+def parse_batch_request(payload: object) -> list[ForecastRequest]:
+    """Validate a batch body: ``{"requests": [<forecast request>...]}``."""
+    payload = _require_mapping(payload, "batch request")
+    requests = payload.get("requests")
+    if not isinstance(requests, list) or not requests:
+        raise ProtocolError("'requests' must be a non-empty list")
+    if len(requests) > MAX_BATCH_REQUESTS:
+        raise ProtocolError(
+            f"batch of {len(requests)} exceeds the {MAX_BATCH_REQUESTS}-request "
+            "limit; split it client-side",
+            status=413, code="batch_too_large",
+        )
+    return [parse_forecast_request(item) for item in requests]
+
+
+def parse_timeout(payload: dict, max_timeout_s: float) -> float | None:
+    """The request's ``timeout_s`` clamped to the server ceiling.
+
+    ``None`` means "no deadline requested" (the dispatcher then applies
+    its default).  Zero and negative deadlines are nonsense, not "no
+    timeout", and are rejected.
+    """
+    timeout = payload.get("timeout_s")
+    if timeout is None:
+        return None
+    if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+        raise ProtocolError(f"'timeout_s' must be a number, got {timeout!r}")
+    if timeout <= 0:
+        raise ProtocolError(f"'timeout_s' must be positive, got {timeout!r}")
+    return min(float(timeout), max_timeout_s)
+
+
+# ----- length-prefixed framing -----
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON object."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}",
+            status=413, code="frame_too_large",
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF before a length prefix.
+
+    Raises :class:`ProtocolError` for oversized, truncated, or
+    non-JSON frames, and for frames whose top level is not an object.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length-prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}",
+            status=413, code="frame_too_large",
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    return _require_mapping(obj, "frame")

@@ -29,13 +29,19 @@ Quickstart::
 """
 
 from repro.serving.cache import CacheStats, LRUTTLCache
-from repro.serving.engine import Forecast, ForecastEngine, ForecastRequest
+from repro.serving.engine import (
+    EngineClosedError,
+    Forecast,
+    ForecastEngine,
+    ForecastRequest,
+)
 from repro.serving.metrics import LatencyHistogram, ServingMetrics
 from repro.serving.registry import ModelKey, ModelRegistry, RegisteredModel
 
 __all__ = [
     "CacheStats",
     "LRUTTLCache",
+    "EngineClosedError",
     "Forecast",
     "ForecastEngine",
     "ForecastRequest",

@@ -20,6 +20,7 @@ path is counted in :class:`~repro.serving.metrics.ServingMetrics`.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -34,7 +35,24 @@ from repro.serving.cache import LRUTTLCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, RegisteredModel
 
-__all__ = ["ForecastRequest", "Forecast", "ForecastEngine"]
+__all__ = [
+    "ForecastRequest",
+    "Forecast",
+    "ForecastEngine",
+    "EngineClosedError",
+]
+
+#: Sentinel for "use the engine-level default timeout" on per-call
+#: timeout overrides (``None`` is a meaningful value: no timeout).
+_UNSET = object()
+
+
+class EngineClosedError(RuntimeError):
+    """A query arrived after :meth:`ForecastEngine.close` began.
+
+    Closing drains in-flight work and *then* rejects; callers (the
+    network front end in particular) turn this into a 503.
+    """
 
 
 @dataclass(frozen=True)
@@ -148,6 +166,7 @@ class ForecastEngine:
             max_workers=max_workers, thread_name_prefix="forecast"
         )
         self._closed = False
+        self._close_lock = threading.Lock()
 
     # ----- lifecycle -----
 
@@ -164,10 +183,25 @@ class ForecastEngine:
             return None
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if not self._closed:
+        """Drain in-flight queries, then reject new ones (idempotent).
+
+        Safe to call from any thread, any number of times, while
+        queries are still running: work already submitted (including
+        queued-but-unstarted batch members) completes and its callers
+        get real answers; anything submitted after the close began
+        raises :class:`EngineClosedError` instead of racing a dying
+        pool.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
             self._closed = True
-            self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool.shutdown(wait=True, cancel_futures=False)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun (new queries are rejected)."""
+        return self._closed
 
     def __enter__(self) -> "ForecastEngine":
         return self
@@ -179,29 +213,42 @@ class ForecastEngine:
 
     def query(self, request: ForecastRequest | None = None, *,
               asn: int | None = None, family: str | None = None,
-              now: float | None = None) -> Forecast:
-        """Answer one forecast request (built from kwargs if omitted)."""
+              now: float | None = None, timeout_s: object = _UNSET) -> Forecast:
+        """Answer one forecast request (built from kwargs if omitted).
+
+        ``timeout_s`` overrides the engine-level default for this call
+        only -- the hook the network front end uses to map per-request
+        deadlines onto engine timeouts.
+        """
         if request is None:
             if asn is None or family is None:
                 raise ValueError("need a ForecastRequest or asn= and family=")
             request = ForecastRequest(asn=asn, family=family, now=now)
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        timeout = self.timeout_s if timeout_s is _UNSET else timeout_s
         self.metrics.incr("engine.queries")
         t0 = time.perf_counter()
-        if self.timeout_s is not None:
-            future = self._pool.submit(self._answer, request)
-            forecast = self._await(request, future, self.timeout_s)
+        if timeout is not None:
+            forecast = self._await(request, self._submit_answer(request), timeout)
         else:
             forecast = self._answer(request)
         forecast.latency_s = time.perf_counter() - t0
         self.metrics.observe("engine.query", forecast.latency_s)
         return forecast
 
-    def query_batch(self, requests: Sequence[ForecastRequest]) -> list[Forecast]:
+    def query_batch(self, requests: Sequence[ForecastRequest], *,
+                    timeout_s: object = _UNSET) -> list[Forecast]:
         """Answer many requests, coalescing duplicates across the pool.
 
         Results come back in request order; duplicate requests share
         one computation (and therefore one answer object).
+        ``timeout_s`` overrides the engine default per call, as in
+        :meth:`query`.
         """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        timeout = self.timeout_s if timeout_s is _UNSET else timeout_s
         self.metrics.incr("engine.batches")
         self.metrics.incr("engine.queries", len(requests))
         t0 = time.perf_counter()
@@ -211,11 +258,11 @@ class ForecastEngine:
         self.metrics.incr("engine.coalesced", len(requests) - len(distinct))
 
         futures: dict[tuple, Future] = {
-            key: self._pool.submit(self._answer, request)
+            key: self._submit_answer(request)
             for key, request in distinct.items()
         }
         answers = {
-            key: self._await(distinct[key], future, self.timeout_s)
+            key: self._await(distinct[key], future, timeout)
             for key, future in futures.items()
         }
         elapsed = time.perf_counter() - t0
@@ -223,6 +270,35 @@ class ForecastEngine:
             forecast.latency_s = elapsed
         self.metrics.observe("engine.batch", elapsed)
         return [answers[request.work_key] for request in requests]
+
+    def submit(self, request: ForecastRequest) -> Future:
+        """Async-completion hook: schedule one request, return its future.
+
+        The future resolves to a fully accounted :class:`Forecast`
+        (latency stamped, ``engine.query`` observed) and never carries
+        an exception from the answer path itself.  The asyncio front
+        end wraps it with :func:`asyncio.wrap_future`; synchronous
+        callers should prefer :meth:`query`.  Raises
+        :class:`EngineClosedError` once :meth:`close` has begun.
+        """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        self.metrics.incr("engine.queries")
+        try:
+            return self._pool.submit(self._timed_answer, request)
+        except RuntimeError as exc:  # pool shut down between check and submit
+            raise EngineClosedError("engine is closed") from exc
+
+    def timeout_forecast(self, request: ForecastRequest,
+                         timeout_s: float) -> Forecast:
+        """Deadline-exceeded answer: count the timeout, degrade to baseline.
+
+        The async front end calls this when its own ``wait_for`` fires,
+        so network deadlines and engine timeouts land on the same
+        fallback path and the same ``engine.timeouts`` counter.
+        """
+        self.metrics.incr("engine.timeouts")
+        return self.fallback(request, error=f"timeout after {timeout_s}s")
 
     def metrics_snapshot(self) -> dict:
         """Full serving telemetry: engine, caches, registry lineages."""
@@ -233,23 +309,35 @@ class ForecastEngine:
 
     # ----- internals -----
 
+    def _submit_answer(self, request: ForecastRequest) -> Future:
+        try:
+            return self._pool.submit(self._answer, request)
+        except RuntimeError as exc:  # pool shut down between check and submit
+            raise EngineClosedError("engine is closed") from exc
+
+    def _timed_answer(self, request: ForecastRequest) -> Forecast:
+        t0 = time.perf_counter()
+        forecast = self._answer(request)
+        forecast.latency_s = time.perf_counter() - t0
+        self.metrics.observe("engine.query", forecast.latency_s)
+        return forecast
+
     def _await(self, request: ForecastRequest, future: Future,
                timeout_s: float | None) -> Forecast:
         try:
             return future.result(timeout=timeout_s)
         except TimeoutError:
-            self.metrics.incr("engine.timeouts")
-            return self._fallback(request, error=f"timeout after {timeout_s}s")
+            return self.timeout_forecast(request, timeout_s)
         except Exception as exc:  # defensive: _answer should not raise
             self.metrics.incr("engine.errors")
-            return self._fallback(request, error=str(exc))
+            return self.fallback(request, error=str(exc))
 
     def _answer(self, request: ForecastRequest) -> Forecast:
         try:
             model = self.registry.get(self.trace, self.env, self.config)
         except Exception as exc:
             self.metrics.incr("engine.fit_failures")
-            return self._fallback(request, error=f"model fit failed: {exc}")
+            return self.fallback(request, error=f"model fit failed: {exc}")
 
         cache_key = (model.key, model.version, request.work_key)
         cached = self.prediction_cache.get(cache_key)
@@ -265,10 +353,10 @@ class ForecastEngine:
             )
         except Exception as exc:
             self.metrics.incr("engine.predict_failures")
-            return self._fallback(request, error=f"prediction failed: {exc}")
+            return self.fallback(request, error=f"prediction failed: {exc}")
         if prediction is None:
             self.metrics.incr("engine.thin_history")
-            return self._fallback(
+            return self.fallback(
                 request,
                 error=(f"AS{request.asn} below the §VI-B history floor "
                        "for the fitted model"),
@@ -280,9 +368,14 @@ class ForecastEngine:
             degraded=False, model_version=model.version,
         )
 
-    def _fallback(self, request: ForecastRequest,
-                  error: str | None = None) -> Forecast:
-        """Baseline-backed degraded answer (§VII-A naive predictors)."""
+    def fallback(self, request: ForecastRequest,
+                 error: str | None = None) -> Forecast:
+        """Baseline-backed degraded answer (§VII-A naive predictors).
+
+        Public because the network front end reuses it for overload
+        shedding: a 429 still carries a naive-baseline forecast, so
+        clients degrade instead of starving.
+        """
         history = self._history_for(request)
         if not history:
             self.metrics.incr("engine.unanswerable")

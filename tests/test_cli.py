@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_BAD_STORE, EXIT_BIND_FAILURE, build_parser, main
 
 
 class TestParser:
@@ -64,6 +64,26 @@ class TestParser:
     def test_export_models_requires_store(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["export-models"])
+
+    def test_serve_http_defaults(self):
+        args = build_parser().parse_args(["serve-http"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8377
+        assert args.framed_port is None
+        assert args.workers == 4
+        assert args.timeout == 10.0
+        assert args.max_connections == 128
+        assert args.max_inflight == 64
+        assert args.store is None
+
+    def test_serve_http_shares_the_dataset_group(self):
+        args = build_parser().parse_args(
+            ["serve-http", "--trace", "t.jsonl.gz", "--days", "9",
+             "--port", "0", "--framed-port", "0"]
+        )
+        assert args.trace == "t.jsonl.gz"
+        assert args.days == 9
+        assert args.framed_port == 0
 
 
 class TestCommands:
@@ -206,6 +226,42 @@ class TestModelStoreCommands:
         captured = capsys.readouterr()
         assert code in (0, 1)
         assert "not found; fitting from scratch" in captured.err
+
+
+class TestServingExitCodes:
+    """serve/serve-http fail fast with distinct codes (and no fitting)."""
+
+    def test_serve_bad_store_path_exits_4(self, capsys):
+        code = main(["serve", "--days", "6", "--store", "/nonexistent/store"])
+        assert code == EXIT_BAD_STORE
+        assert "not a model store" in capsys.readouterr().err
+
+    def test_serve_http_bad_store_path_exits_4(self, capsys):
+        code = main(["serve-http", "--days", "6",
+                     "--store", "/nonexistent/store", "--port", "0"])
+        assert code == EXIT_BAD_STORE
+        assert "not a model store" in capsys.readouterr().err
+
+    def test_serve_http_bind_failure_exits_3(self, capsys):
+        import socket
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve-http", "--days", "6", "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == EXIT_BIND_FAILURE
+        err = capsys.readouterr().err
+        assert "cannot bind" in err
+        assert str(port) in err
+
+    def test_bind_and_store_codes_are_distinct(self):
+        assert EXIT_BIND_FAILURE != EXIT_BAD_STORE
+        assert EXIT_BIND_FAILURE not in (0, 1, 2)
+        assert EXIT_BAD_STORE not in (0, 1, 2)
 
 
 class TestExtendedEvaluate:

@@ -1,0 +1,420 @@
+"""Tests for the asyncio network front end (`repro.server`).
+
+Each test drives a real server over real sockets, but inside one
+``asyncio.run`` on the test's own (main) thread -- which is also what
+lets the SIGTERM drain test deliver an actual signal to an actual
+handler.  Engines are fed injected registry factories (stubs, or the
+session-scoped fitted ``predictor``) so nothing here refits models.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.spatiotemporal import AttackPrediction
+from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, prediction_to_dict
+from repro.serving import ForecastEngine, ModelRegistry
+from repro.server import (
+    AsyncForecastClient,
+    Dispatcher,
+    ForecastServer,
+    ForecastServiceError,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+from repro.server.protocol import parse_forecast_request
+
+
+class StubPredictor:
+    """Fixed-answer predictor; optional per-call delay."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def predict_next_for_network(self, asn, family, now=None):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return AttackPrediction(
+            hour=3.5, day=12.0, duration=600.0, magnitude=42.0,
+            temporal_hour=3.0, spatial_hour=4.0,
+            temporal_day=11.0, spatial_day=13.0,
+        )
+
+
+@pytest.fixture()
+def make_engine(small_trace, small_env):
+    """Engine factory with an injected (stub by default) predictor."""
+    engines = []
+
+    def make(predictor=None, **engine_kw):
+        stub = predictor or StubPredictor()
+        registry = ModelRegistry(factory=lambda t, e, c: stub)
+        engine = ForecastEngine(small_trace, small_env, registry=registry,
+                                **engine_kw)
+        engines.append(engine)
+        return engine
+
+    yield make
+    for engine in engines:
+        engine.close()
+
+
+def serve(engine, **server_kw):
+    """A started server on an ephemeral port (use as async context)."""
+    dispatcher_kw = {
+        key: server_kw.pop(key)
+        for key in ("max_inflight", "default_timeout_s") if key in server_kw
+    }
+    return ForecastServer(Dispatcher(engine, **dispatcher_kw),
+                          port=0, log=lambda _msg: None, **server_kw)
+
+
+def target_of(trace):
+    return trace.attacks[0].target_asn, trace.families()[0]
+
+
+class TestRoundTrip:
+    def test_http_forecast_matches_predict_json(self, small_trace, small_env,
+                                                predictor):
+        """The wire payload is byte-identical to the in-process schema."""
+        registry = ModelRegistry(factory=lambda t, e, c: predictor)
+        engine = ForecastEngine(small_trace, small_env, registry=registry)
+        asn = predictor.spatial.ases()[0]
+        family = small_trace.families()[0]
+        expected = prediction_to_dict(
+            predictor.predict_next_for_network(asn, family))
+
+        async def scenario():
+            async with serve(engine) as server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    return await client.forecast(asn=asn, family=family)
+
+        forecast = asyncio.run(scenario())
+        assert forecast.source == "model"
+        assert not forecast.degraded
+        assert prediction_to_dict(forecast.prediction) == expected
+        assert expected["schema_version"] == FORECAST_SCHEMA_VERSION
+
+    def test_framed_forecast_roundtrip(self, make_engine, small_trace):
+        asn, family = target_of(small_trace)
+
+        async def scenario():
+            async with serve(make_engine(), framed_port=0) as server:
+                host, port = server.framed_address
+                async with AsyncForecastClient(host, port,
+                                               transport="framed") as client:
+                    forecast = await client.forecast(asn=asn, family=family)
+                    health = await client.healthz()
+                    return forecast, health
+
+        forecast, health = asyncio.run(scenario())
+        assert forecast.source == "model"
+        assert forecast.prediction.hour == 3.5
+        assert health["status"] == "ok"
+
+    def test_batch_preserves_order_and_coalesces(self, make_engine, small_trace):
+        asns = [a.target_asn for a in small_trace.attacks[:3]]
+        family = small_trace.families()[0]
+        engine = make_engine()
+
+        async def scenario():
+            async with serve(engine) as server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    # Duplicates on purpose: they must coalesce.
+                    return await client.forecast_batch(
+                        [(asn, family) for asn in asns + asns])
+
+        batch = asyncio.run(scenario())
+        assert [f.request.asn for f in batch] == asns + asns
+        assert all(f.source == "model" for f in batch)
+        assert engine.metrics.counter("engine.coalesced") >= 3
+
+    def test_metrics_and_healthz_endpoints(self, make_engine, small_trace):
+        asn, family = target_of(small_trace)
+
+        async def scenario():
+            async with serve(make_engine()) as server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    await client.forecast(asn=asn, family=family)
+                    return await client.metrics(), await client.healthz()
+
+        metrics, health = asyncio.run(scenario())
+        assert metrics["counters"]["server.requests"] == 1
+        assert metrics["server"]["max_inflight"] == 64
+        assert metrics["server"]["connections"] >= 1
+        assert health == {"status": "ok", "model_version": 1, "inflight": 0}
+        json.dumps(metrics)  # JSON-safe end to end
+
+
+class TestMalformedRequests:
+    @staticmethod
+    async def raw_http(addr, payload: bytes):
+        reader, writer = await asyncio.open_connection(*addr)
+        writer.write(payload)
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split(b" ")[1])
+        headers = dict(
+            line.split(b": ", 1) for line in head.split(b"\r\n")[1:] if b": " in line
+        )
+        body = await reader.readexactly(int(headers.get(b"Content-Length", b"0")))
+        writer.close()
+        return status, json.loads(body) if body else {}
+
+    def test_http_400_404_405(self, make_engine):
+        def post(path, body: bytes):
+            return (f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+
+        cases = [
+            (post("/v1/forecast", b"not json"), 400),
+            (post("/v1/forecast", b'{"family": "x"}'), 400),
+            (post("/v1/forecast", b'{"asn": true, "family": "x"}'), 400),
+            (post("/v1/forecast",
+                  b'{"asn": 1, "family": "x", "timeout_s": -2}'), 400),
+            (post("/nope", b"{}"), 404),
+            (b"GET /v1/forecast HTTP/1.1\r\nHost: x\r\n\r\n", 405),
+            (post("/v1/forecast/batch", b'{"requests": []}'), 400),
+        ]
+
+        async def scenario():
+            async with serve(make_engine()) as server:
+                return [await self.raw_http(server.http_address, raw)
+                        for raw, _expected in cases]
+
+        results = asyncio.run(scenario())
+        assert [status for status, _ in results] == [s for _, s in cases]
+        for _status, body in results:
+            assert body["schema_version"] == FORECAST_SCHEMA_VERSION
+            assert "code" in body["error"] and "message" in body["error"]
+
+    def test_client_raises_on_error_payload(self, make_engine):
+        async def scenario():
+            async with serve(make_engine()) as server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    with pytest.raises(ForecastServiceError) as excinfo:
+                        await client.forecast(asn=1, family="")
+                    return excinfo.value
+
+        error = asyncio.run(scenario())
+        assert error.status == 400
+        assert error.code == "bad_request"
+
+    def test_framed_rejects_garbage(self, make_engine):
+        async def scenario():
+            async with serve(make_engine(), framed_port=0) as server:
+                reader, writer = await asyncio.open_connection(
+                    *server.framed_address)
+                writer.write((2**31).to_bytes(4, "big"))  # absurd length
+                await writer.drain()
+                response = await read_frame(reader)
+                writer.close()
+                return response
+
+        response = asyncio.run(scenario())
+        assert response["status"] == 413
+        assert response["body"]["error"]["code"] == "frame_too_large"
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_degrades_to_baseline(self, make_engine,
+                                                    small_trace):
+        asn, family = target_of(small_trace)
+        engine = make_engine(StubPredictor(delay_s=0.5))
+
+        async def scenario():
+            async with serve(engine) as server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    return await client.forecast(asn=asn, family=family,
+                                                 timeout_s=0.05)
+
+        forecast = asyncio.run(scenario())
+        assert forecast.degraded
+        assert forecast.source == "baseline"
+        assert "timeout" in forecast.error
+        assert forecast.ok  # baseline still answered
+        assert engine.metrics.counter("engine.timeouts") == 1
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_429_baseline(self, make_engine, small_trace):
+        family = small_trace.families()[0]
+        asns = [a.target_asn for a in small_trace.attacks[:8]]
+        engine = make_engine(StubPredictor(delay_s=0.25), max_workers=8)
+
+        async def scenario():
+            async with serve(engine, max_inflight=2) as server:
+                host, port = server.http_address
+                clients = [AsyncForecastClient(host, port) for _ in asns]
+                try:
+                    return await asyncio.gather(*(
+                        client.forecast(asn=asn, family=family)
+                        for client, asn in zip(clients, asns)
+                    ))
+                finally:
+                    for client in clients:
+                        await client.close()
+
+        forecasts = asyncio.run(scenario())
+        shed = [f for f in forecasts if f.degraded and "overloaded" in (f.error or "")]
+        served = [f for f in forecasts if f.source == "model"]
+        assert shed, "no request was shed at max_inflight=2"
+        assert served, "no request was served at all"
+        assert all(f.ok for f in shed)  # 429s still carry baseline numbers
+        assert engine.metrics.counter("server.shed") == len(shed)
+
+    def test_connection_cap_answers_503(self, make_engine):
+        async def scenario():
+            async with serve(make_engine(), max_connections=1) as server:
+                addr = server.http_address
+                # First connection occupies the only slot ...
+                _r1, w1 = await asyncio.open_connection(*addr)
+                await asyncio.sleep(0.05)  # let the handler register
+                # ... so the second is refused at the door.
+                status, body = await TestMalformedRequests.raw_http(
+                    addr, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                w1.close()
+                return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 503
+        assert body["error"]["code"] == "too_many_connections"
+        assert body["error"]["retry_after_s"] > 0
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_inflight_then_stops(self, make_engine, small_trace):
+        """A real SIGTERM: in-flight work finishes, new work is refused."""
+        asn, family = target_of(small_trace)
+        engine = make_engine(StubPredictor(delay_s=0.3))
+
+        async def scenario():
+            server = serve(engine, drain_timeout_s=5.0)
+            await server.start()
+            server.install_signal_handlers()
+            host, port = server.http_address
+            client = AsyncForecastClient(host, port)
+            inflight = asyncio.ensure_future(
+                client.forecast(asn=asn, family=family))
+            await asyncio.sleep(0.05)  # let it reach the engine pool
+            os.kill(os.getpid(), signal.SIGTERM)
+            await server.serve_forever()  # returns once the drain completes
+            forecast = await inflight
+            # Post-drain queries are refused, not queued.
+            late = AsyncForecastClient(host, port)
+            with pytest.raises((ForecastServiceError, OSError,
+                                asyncio.IncompleteReadError, ProtocolError)):
+                await late.forecast(asn=asn, family=family)
+            await client.close()
+            await late.close()
+            return forecast
+
+        forecast = asyncio.run(scenario())
+        assert forecast.source == "model"  # drained, not dropped
+        assert not forecast.degraded
+        assert engine.closed
+
+    def test_drain_flips_health_and_refuses_forecasts(self, make_engine,
+                                                      small_trace):
+        asn, family = target_of(small_trace)
+        engine = make_engine()
+
+        async def scenario():
+            async with serve(engine) as server:
+                host, port = server.http_address
+                server.dispatcher.begin_drain()
+                async with AsyncForecastClient(host, port) as client:
+                    health = await client.healthz()
+                    with pytest.raises(ForecastServiceError) as excinfo:
+                        await client.forecast(asn=asn, family=family)
+                    return health, excinfo.value
+
+        health, error = asyncio.run(scenario())
+        assert health["status"] == "draining"
+        assert error.status == 503
+        assert error.code == "draining"
+        assert error.retry_after_s > 0
+
+
+class TestConcurrentHammer:
+    def test_16_connections_no_dropped_or_duplicated_responses(
+            self, make_engine, small_trace):
+        """16 concurrent clients, distinct questions, exact answers."""
+        families = small_trace.families()[:4]
+        asns = [a.target_asn for a in small_trace.attacks[:16]]
+        engine = make_engine(max_workers=8)
+        n_clients, per_client = 16, 8
+
+        async def hammer(client_id, addr):
+            host, port = addr
+            async with AsyncForecastClient(host, port) as client:
+                answers = []
+                for i in range(per_client):
+                    asn = asns[(client_id + i) % len(asns)]
+                    family = families[(client_id * 3 + i) % len(families)]
+                    forecast = await client.forecast(asn=asn, family=family)
+                    answers.append((asn, family, forecast))
+                return answers
+
+        async def scenario():
+            async with serve(engine, max_inflight=256) as server:
+                return await asyncio.gather(*(
+                    hammer(client_id, server.http_address)
+                    for client_id in range(n_clients)
+                ))
+
+        results = asyncio.run(scenario())
+        flat = [item for chunk in results for item in chunk]
+        assert len(flat) == n_clients * per_client
+        for asn, family, forecast in flat:
+            # Every response answers exactly the question asked on that
+            # connection -- no crosstalk between interleaved sockets.
+            assert forecast.request.asn == asn
+            assert forecast.request.family == family
+            assert forecast.source == "model"
+            assert forecast.ok
+        assert (engine.metrics.counter("server.requests")
+                == n_clients * per_client)
+        assert engine.metrics.counter("server.shed") == 0
+
+
+class TestProtocolUnits:
+    def test_frame_codec_roundtrip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            payload = {"op": "forecast", "asn": 7, "family": "x"}
+            reader.feed_data(encode_frame(payload) + encode_frame({"a": 1}))
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first == {"op": "forecast", "asn": 7, "family": "x"}
+        assert second == {"a": 1}
+        assert third is None  # clean EOF
+
+    def test_parse_forecast_request_strictness(self):
+        request = parse_forecast_request({"asn": 9, "family": "f", "now": 10})
+        assert (request.asn, request.family, request.now) == (9, "f", 10.0)
+        for bad in (
+            [],                                   # not an object
+            {"family": "f"},                      # asn missing
+            {"asn": "9", "family": "f"},          # asn as string
+            {"asn": True, "family": "f"},         # bool is not an ASN
+            {"asn": 9, "family": ""},             # empty family
+            {"asn": 9, "family": "f", "now": "x"},
+        ):
+            with pytest.raises(ProtocolError):
+                parse_forecast_request(bad)

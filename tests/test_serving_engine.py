@@ -13,6 +13,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.serving import (
+    EngineClosedError,
     Forecast,
     ForecastEngine,
     ForecastRequest,
@@ -216,6 +217,81 @@ class TestThreadSafety:
             assert by_key.setdefault(key, hour) == hour
         assert (engine.metrics.counter("engine.queries") - queries_before
                 == n_threads * per_thread)
+
+
+class TestLifecycle:
+    """close() is idempotent and drains in-flight work before rejecting."""
+
+    @staticmethod
+    def _slow_predictor(predictor, delay_s):
+        class Slow:
+            def predict_next_for_network(self, asn, family, now=None):
+                time.sleep(delay_s)
+                return predictor.predict_next_for_network(asn, family, now=now)
+        return Slow()
+
+    def test_close_is_idempotent_and_concurrent(self, small_trace, small_env,
+                                                predictor):
+        engine = ForecastEngine(
+            small_trace, small_env,
+            registry=ModelRegistry(factory=lambda t, e, c: predictor),
+        )
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(lambda _: engine.close(), range(8)))
+        engine.close()  # and again, after everything settled
+        assert engine.closed
+
+    def test_close_drains_inflight_then_rejects(self, small_trace, small_env,
+                                                predictor, served_requests):
+        """The shutdown race the server depends on: no dropped answers."""
+        slow = self._slow_predictor(predictor, 0.15)
+        engine = ForecastEngine(
+            small_trace, small_env, max_workers=2,
+            registry=ModelRegistry(factory=lambda t, e, c: slow),
+        )
+        futures = [engine.submit(r) for r in served_requests[:4]]
+        closer = threading.Thread(target=engine.close)
+        closer.start()
+        # In-flight (and queued) work completes with real model answers.
+        for future in futures:
+            forecast = future.result(timeout=10.0)
+            assert forecast.source == "model"
+            assert not forecast.degraded
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert engine.closed
+        # ... and only then are new queries rejected.
+        with pytest.raises(EngineClosedError):
+            engine.query(served_requests[0])
+        with pytest.raises(EngineClosedError):
+            engine.submit(served_requests[0])
+        with pytest.raises(EngineClosedError):
+            engine.query_batch(served_requests[:2])
+
+    def test_per_call_timeout_override(self, small_trace, small_env, predictor,
+                                       served_requests):
+        """timeout_s= on one call beats the engine default (None here)."""
+        slow = self._slow_predictor(predictor, 0.3)
+        with ForecastEngine(
+            small_trace, small_env,
+            registry=ModelRegistry(factory=lambda t, e, c: slow),
+        ) as engine:
+            forecast = engine.query(served_requests[0], timeout_s=0.05)
+            assert forecast.degraded
+            assert forecast.source == "baseline"
+            assert "timeout" in forecast.error
+            # The same request without the override waits it out.
+            forecast = engine.query(served_requests[0])
+            assert forecast.source == "model"
+
+    def test_timeout_forecast_hook(self, engine, served_requests):
+        """The async front end's deadline path lands on the same counters."""
+        before = engine.metrics.counter("engine.timeouts")
+        forecast = engine.timeout_forecast(served_requests[0], 0.25)
+        assert forecast.degraded
+        assert forecast.source == "baseline"
+        assert "timeout after 0.25s" in forecast.error
+        assert engine.metrics.counter("engine.timeouts") == before + 1
 
 
 class TestPayloads:
