@@ -1,0 +1,131 @@
+"""Benchmark S3: multi-process sharded serving.
+
+The §VI-B mitigation-provider workload: every monitoring interval the
+provider re-polls forecasts for its whole customer book -- every
+(target AS, family) pair at many "now" horizons.  That working set is
+larger than one process's prediction cache (a fixed per-process memory
+budget is the reason to shard in the first place), so a single worker
+cycles its LRU at a ~0% hit rate and pays the full model-predict cost
+on every request, round after round.  Four shards partition the same
+working set by the stable ``(asn, family)`` hash, each slice fits its
+owner's cache, and from round two onward the fleet answers from
+memory.
+
+Both configurations run through :class:`ShardedForecastEngine` (one
+worker vs four), so parent-side routing and pipe costs are identical
+and the measured ratio isolates what sharding actually buys: aggregate
+cache capacity and a private registry per worker.  The fit side of the
+story is reported alongside: workers warm-boot from the PR 2
+``ModelStore``, so adding shards costs cheap restores, never refits.
+
+Run on the CI smoke dataset; the committed report lives at
+``benchmarks/reports/sharding.txt``.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.dataset import DatasetConfig, TraceGenerator
+from repro.serving import ForecastRequest, ModelRegistry, ShardedForecastEngine
+
+SMOKE_CONFIG = DatasetConfig(n_days=12, scale=0.5, seed=8)
+CACHE_ENTRIES = 4096   # per-process prediction-cache budget (engine default)
+HORIZONS = 50          # "now" horizons polled per (asn, family) pair
+ROUNDS = 6             # monitoring intervals: full working set per round
+BATCH = 512            # requests per query_batch call (amortizes IPC)
+SHARD_COUNTS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def smoke_world(tmp_path_factory):
+    """Smoke trace + a ModelStore holding its one fitted pipeline."""
+    trace, env = TraceGenerator(SMOKE_CONFIG).generate()
+    store = tmp_path_factory.mktemp("bench-sharding") / "store"
+    registry = ModelRegistry()
+    t0 = time.perf_counter()
+    registry.get(trace, env)  # the one cold fit everything boots from
+    fit_s = time.perf_counter() - t0
+    registry.save(store)
+    return trace, env, store, fit_s
+
+
+@pytest.fixture(scope="module")
+def working_set(smoke_world):
+    """Full customer book x horizons; deliberately larger than one cache."""
+    trace, _env, _store, _fit_s = smoke_world
+    asns = sorted({a.target_asn for a in trace.attacks})
+    families = trace.families()
+    end = max(a.start_time for a in trace.attacks)
+    horizons = [round(end * (0.55 + 0.44 * i / (HORIZONS - 1)), 3)
+                for i in range(HORIZONS)]
+    requests = [ForecastRequest(asn=asn, family=family, now=now)
+                for asn in asns for family in families for now in horizons]
+    assert len(requests) > CACHE_ENTRIES, "working set must exceed one cache"
+    return requests
+
+
+def _drive(trace, env, store, requests, n_shards):
+    t0 = time.perf_counter()
+    engine = ShardedForecastEngine(
+        trace, env, n_shards=n_shards, store_path=store,
+        max_workers_per_shard=2, prediction_cache_entries=CACHE_ENTRIES,
+    )
+    engine.start()
+    boot_s = time.perf_counter() - t0
+    assert engine.model_version() == 1, "workers must warm-boot, not refit"
+    served = 0
+    t1 = time.perf_counter()
+    for _round in range(ROUNDS):
+        for i in range(0, len(requests), BATCH):
+            forecasts = engine.query_batch(requests[i:i + BATCH])
+            served += len(forecasts)
+            assert all(f.ok for f in forecasts)
+    serve_s = time.perf_counter() - t1
+    snapshot = engine.metrics_snapshot(include_workers=True)
+    engine.close()
+    hits = sum((shard.get("worker") or {}).get("counters", {})
+               .get("engine.prediction_cache_hits", 0)
+               for shard in snapshot["shards"].values())
+    return {"boot_s": boot_s, "serve_s": serve_s, "served": served,
+            "hits": hits, "rps": served / (boot_s + serve_s)}
+
+
+def test_sharded_throughput_scales(smoke_world, working_set):
+    """4 workers vs 1: >=2x aggregate (warm-boot + forecast) throughput."""
+    trace, env, store, fit_s = smoke_world
+    results = {n: _drive(trace, env, store, working_set, n)
+               for n in SHARD_COUNTS}
+    ratio = results[4]["rps"] / results[1]["rps"]
+
+    lines = [
+        "SHARDING -- MULTI-PROCESS REGISTRY (CI smoke dataset)",
+        f"  workload: {len(working_set)} distinct requests "
+        f"({len(working_set) // HORIZONS} customer pairs x {HORIZONS} "
+        f"horizons) x {ROUNDS} rounds, batches of {BATCH}",
+        f"  per-process prediction cache: {CACHE_ENTRIES} entries "
+        "(fixed memory budget)",
+        f"  one cold fit (export-models): {fit_s:8.2f} s, "
+        "then every worker warm-boots from the store",
+        "",
+        f"  {'shards':>6s} {'boot s':>8s} {'serve s':>9s} {'req/s':>9s} "
+        f"{'cache hits':>11s}",
+    ]
+    for n in SHARD_COUNTS:
+        r = results[n]
+        lines.append(f"  {n:6d} {r['boot_s']:8.2f} {r['serve_s']:9.2f} "
+                     f"{r['rps']:9,.0f} {r['hits']:11,d}")
+    lines += [
+        "",
+        f"  aggregate throughput ratio (4 vs 1): {ratio:5.2f}x "
+        "(acceptance floor: 2.00x)",
+        "  why: one worker's LRU cycles at ~0% hits on a working set "
+        "bigger than its cache;",
+        "  four shards partition it so every slice fits, and rounds 2+ "
+        "answer from memory.",
+    ]
+    emit_report("sharding", "\n".join(lines))
+
+    assert results[4]["hits"] > results[1]["hits"]
+    assert ratio >= 2.0

@@ -108,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--store",
                          help="model store directory; restore the fitted "
                               "model from it instead of refitting")
+    predict.add_argument("--shards", type=int, default=1,
+                         help="answer through N sharded worker processes "
+                              "(1 = in-process)")
     predict.add_argument("--json", action="store_true",
                          help="emit the forecast as JSON")
 
@@ -119,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of forecast queries to issue")
     serve.add_argument("--workers", type=int, default=4,
                        help="engine thread-pool size")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve through N sharded worker processes "
+                            "(1 = in-process)")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-request timeout in seconds")
     serve.add_argument("--store",
@@ -139,8 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--framed-port", type=int, default=None,
                             help="also listen for length-prefixed JSON "
                                  "clients on this port")
-    serve_http.add_argument("--workers", type=int, default=4,
-                            help="engine thread-pool size")
+    serve_http.add_argument("--workers", type=int, default=1,
+                            help="worker processes sharding the registry "
+                                 "(1 = single in-process engine)")
+    serve_http.add_argument("--worker-threads", type=int, default=4,
+                            help="engine thread-pool size (per worker "
+                                 "process when --workers > 1)")
     serve_http.add_argument("--timeout", type=float, default=10.0,
                             help="default per-request deadline in seconds "
                                  "(0 disables)")
@@ -287,12 +297,67 @@ def _restore_predictor(store_path: str, trace, env):
     return model.predictor
 
 
+def _busiest_pair(trace) -> tuple[int | None, str | None]:
+    """Default (asn, family) for trace-level commands: the busiest ones."""
+    if not trace.attacks:
+        return None, None
+    asn = min({a.target_asn for a in trace.attacks},
+              key=lambda asn: -len(trace.by_target_asn(asn)))
+    return asn, trace.families()[0]
+
+
+def _predict_sharded(args: argparse.Namespace, trace, env) -> int:
+    """``predict --shards N``: answer through the multi-process engine."""
+    import json
+
+    from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
+    from repro.persistence import ModelStore
+    from repro.serving import ShardedForecastEngine
+
+    store = args.store
+    if store and not ModelStore(store).exists():
+        print(f"model store {store} not found; fitting from scratch",
+              file=sys.stderr)
+        store = None
+    default_asn, default_family = _busiest_pair(trace)
+    asn = args.asn if args.asn is not None else default_asn
+    family = args.family or default_family
+    if asn is None:
+        print("empty trace: nothing to predict", file=sys.stderr)
+        return 1
+    print(f"booting {args.shards} shard(s) ...", file=sys.stderr)
+    with ShardedForecastEngine(trace, env, n_shards=args.shards,
+                               store_path=store) as engine:
+        forecast = engine.query(asn=asn, family=family)
+    if forecast.prediction is None:
+        print(f"AS{asn} has no answerable history: {forecast.error}",
+              file=sys.stderr)
+        return 1
+    prediction = forecast.prediction
+    if args.json:
+        payload = {"schema_version": FORECAST_SCHEMA_VERSION,
+                   "asn": asn, "family": family,
+                   "source": forecast.source, "degraded": forecast.degraded,
+                   "forecast": forecast.to_dict()["forecast"]}
+        print(json.dumps(payload, indent=2))
+        return 0
+    tag = f" [{forecast.source}]" if forecast.degraded else ""
+    print(f"next {family} attack on AS{asn}:{tag}")
+    print(f"  date      : day {prediction.day:.2f} of the trace")
+    print(f"  hour      : {prediction.hour:.1f}")
+    print(f"  duration  : {prediction.duration:.0f} s")
+    print(f"  magnitude : {prediction.magnitude:.0f} bots")
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     import json
 
     from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, prediction_to_dict
 
     trace, env = _load_or_generate(args)
+    if args.shards > 1:
+        return _predict_sharded(args, trace, env)
     predictor = _restore_predictor(args.store, trace, env) if args.store else None
     if predictor is None:
         predictor = AttackPredictor(trace, env).fit()
@@ -362,12 +427,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("empty trace: nothing to serve", file=sys.stderr)
         return 1
     metrics = ServingMetrics()
-    registry = ModelRegistry(metrics=metrics)
-    if args.store:
-        _warm_start_registry(args.store, registry, trace, env)
-    with ForecastEngine(trace, env, registry=registry, metrics=metrics,
-                        max_workers=args.workers,
-                        timeout_s=args.timeout) as engine:
+    if args.shards > 1:
+        from repro.serving import ShardedForecastEngine
+
+        engine = ShardedForecastEngine(
+            trace, env, n_shards=args.shards, store_path=args.store,
+            max_workers_per_shard=args.workers, timeout_s=args.timeout,
+            metrics=metrics,
+        )
+        print(f"booting {args.shards} shard(s) ...", file=sys.stderr)
+    else:
+        registry = ModelRegistry(metrics=metrics)
+        if args.store:
+            _warm_start_registry(args.store, registry, trace, env)
+        engine = ForecastEngine(trace, env, registry=registry, metrics=metrics,
+                                max_workers=args.workers,
+                                timeout_s=args.timeout)
+    with engine:
         print("warming up ...", file=sys.stderr)
         engine.warm()
         # Busiest networks x most active families, cycled until the
@@ -450,13 +526,23 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         print("empty trace: nothing to serve", file=sys.stderr)
         return 1
     metrics = ServingMetrics()
-    registry = ModelRegistry(metrics=metrics)
-    if args.store:
-        _warm_start_registry(args.store, registry, trace, env)
-    engine = ForecastEngine(trace, env, registry=registry, metrics=metrics,
-                            max_workers=args.workers)
-    print("warming up ...", file=sys.stderr)
-    engine.warm()  # a store restore makes this a cache hit, not a refit
+    if args.workers > 1:
+        from repro.serving import ShardedForecastEngine
+
+        engine = ShardedForecastEngine(
+            trace, env, n_shards=args.workers, store_path=args.store,
+            max_workers_per_shard=args.worker_threads, metrics=metrics,
+        )
+        print(f"booting {args.workers} shard(s) ...", file=sys.stderr)
+        engine.start()
+    else:
+        registry = ModelRegistry(metrics=metrics)
+        if args.store:
+            _warm_start_registry(args.store, registry, trace, env)
+        engine = ForecastEngine(trace, env, registry=registry, metrics=metrics,
+                                max_workers=args.worker_threads)
+        print("warming up ...", file=sys.stderr)
+        engine.warm()  # a store restore makes this a cache hit, not a refit
     dispatcher = Dispatcher(
         engine,
         max_inflight=args.max_inflight,

@@ -26,7 +26,7 @@ from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.loader import train_test_split
 from repro.dataset.records import AttackRecord, AttackTrace
 from repro.features.variables import FeatureExtractor
-from repro.persistence.state import pack_state, require_state
+from repro.persistence.state import pack_state, require_state, state_guard
 
 __all__ = ["AttackPredictor"]
 
@@ -159,6 +159,7 @@ class AttackPredictor:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict, trace: AttackTrace,
                    env: SimulationEnvironment) -> "AttackPredictor":
         """Restore a fitted pipeline onto its trace -- no refitting.

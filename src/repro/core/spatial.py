@@ -25,6 +25,7 @@ from repro.persistence.state import (
     encode_optional,
     pack_state,
     require_state,
+    state_guard,
 )
 
 __all__ = ["AsSpatialModel", "SpatialModel", "SourceDistributionModel"]
@@ -132,6 +133,7 @@ class AsSpatialModel:
         return pack_state("core.as_spatial", payload)
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "AsSpatialModel":
         """Rebuild a fitted per-AS model; predictions bit-identical."""
         state = require_state(state, "core.as_spatial")
@@ -267,6 +269,7 @@ class SpatialModel:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "SpatialModel":
         """Rebuild every fitted per-AS model; predictions bit-identical."""
         state = require_state(state, "core.spatial")
@@ -345,6 +348,7 @@ class SourceDistributionModel:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "SourceDistributionModel":
         """Rebuild a fitted share model; predictions bit-identical."""
         state = require_state(state, "core.source_distribution")

@@ -27,6 +27,7 @@ from repro.persistence.state import (
     encode_optional,
     pack_state,
     require_state,
+    state_guard,
 )
 from repro.tree.model_tree import ModelTree
 
@@ -174,6 +175,7 @@ class SpatiotemporalConfig:
         return pack_state("core.spatiotemporal_config", asdict(self))
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "SpatiotemporalConfig":
         """Rebuild a config (validation re-runs in ``__post_init__``)."""
         state = require_state(state, "core.spatiotemporal_config")
@@ -418,6 +420,7 @@ class SpatiotemporalModel:
         return pack_state("core.spatiotemporal", payload)
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict, temporal: TemporalModel,
                    spatial: SpatialModel) -> "SpatiotemporalModel":
         """Rebuild the fitted trees around restored sub-models."""

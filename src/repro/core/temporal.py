@@ -28,6 +28,7 @@ from repro.persistence.state import (
     encode_optional,
     pack_state,
     require_state,
+    state_guard,
 )
 from repro.timeseries.arima import ARIMA
 from repro.timeseries.selection import select_order
@@ -144,6 +145,7 @@ class ScaledARIMA:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "ScaledARIMA":
         """Rebuild a fitted model; predictions are bit-identical."""
         state = require_state(state, "core.scaled_arima")
@@ -251,6 +253,7 @@ class FamilyTemporalModel:
         return pack_state("core.family_temporal", payload)
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "FamilyTemporalModel":
         """Rebuild a fitted family model; predictions are bit-identical."""
         state = require_state(state, "core.family_temporal")
@@ -366,6 +369,7 @@ class TemporalModel:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "TemporalModel":
         """Rebuild every fitted family model; predictions bit-identical."""
         state = require_state(state, "core.temporal")

@@ -20,6 +20,7 @@ from repro.persistence.state import (
     encode_optional,
     pack_state,
     require_state,
+    state_guard,
 )
 
 __all__ = ["NARModel"]
@@ -172,6 +173,7 @@ class NARModel:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "NARModel":
         """Rebuild a fitted model; predictions are bit-identical."""
         state = require_state(state, "neural.nar")

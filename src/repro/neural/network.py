@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.neural.activations import ACTIVATIONS, Activation
-from repro.persistence.state import decode_array, encode_array, pack_state, require_state
+from repro.persistence.state import decode_array, encode_array, pack_state, require_state, state_guard
 
 __all__ = ["MLP"]
 
@@ -127,6 +127,7 @@ class MLP:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "MLP":
         """Rebuild a trained network; forward passes are bit-identical."""
         state = require_state(state, "neural.mlp")

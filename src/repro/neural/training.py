@@ -12,7 +12,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.neural.network import MLP
-from repro.persistence.state import decode_array, encode_array, pack_state, require_state
+from repro.persistence.state import decode_array, encode_array, pack_state, require_state, state_guard
 
 __all__ = [
     "MinMaxScaler",
@@ -66,6 +66,7 @@ class MinMaxScaler:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "MinMaxScaler":
         """Rebuild a fitted scaler."""
         state = require_state(state, "neural.minmax_scaler")

@@ -34,6 +34,7 @@ from repro.persistence.state import (
     encode_optional,
     pack_state,
     require_state,
+    state_errors,
 )
 from repro.persistence.store import ModelStore, StoredModel
 
@@ -47,6 +48,7 @@ __all__ = [
     "encode_optional",
     "pack_state",
     "require_state",
+    "state_errors",
     "ModelStore",
     "StoredModel",
 ]

@@ -31,7 +31,9 @@ re-exporting rather than silently serving garbage.
 
 from __future__ import annotations
 
-from typing import Any
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
@@ -45,6 +47,8 @@ __all__ = [
     "decode_optional",
     "pack_state",
     "require_state",
+    "state_errors",
+    "state_guard",
 ]
 
 STATE_SCHEMA_VERSION = 1
@@ -75,16 +79,25 @@ def encode_array(array: np.ndarray | None) -> dict | None:
 
 
 def decode_array(data: dict | None) -> np.ndarray | None:
-    """Inverse of :func:`encode_array`."""
+    """Inverse of :func:`encode_array`.
+
+    Any structurally broken payload -- missing keys, an unknown dtype
+    string, a shape that does not match the data, values that cannot
+    coerce -- raises :class:`StateError`; nothing escapes as a raw
+    ``KeyError``/``ValueError`` from numpy internals.
+    """
     if data is None:
         return None
     try:
         dtype = np.dtype(data["dtype"])
-        shape = tuple(data["shape"])
+        shape = tuple(int(dim) for dim in data["shape"])
         values = data["data"]
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
         raise StateError(f"malformed array payload: {exc!r}") from exc
-    return np.asarray(values, dtype=dtype).reshape(shape)
+    try:
+        return np.asarray(values, dtype=dtype).reshape(shape)
+    except (TypeError, ValueError, OverflowError, MemoryError) as exc:
+        raise StateError(f"malformed array payload: {exc!r}") from exc
 
 
 def encode_optional(model: Any) -> dict | None:
@@ -129,3 +142,43 @@ def require_state(state: Any, kind: str) -> dict:
             f"state kind mismatch: expected {kind!r}, found {found!r}"
         )
     return state
+
+
+@contextmanager
+def state_errors(kind: str) -> Iterator[None]:
+    """Convert stray structural exceptions at a load boundary.
+
+    ``from_state`` implementations index into nested dicts and lists;
+    a corrupted payload would otherwise surface as a bare ``KeyError``
+    (or ``TypeError``/``IndexError``/...) deep inside a constructor.
+    Wrapping the load in this context turns those into
+    :class:`StateError` -- typed, catchable, and labeled with the kind
+    being restored -- while letting :class:`StateError` itself (and
+    anything non-structural) pass through untouched.
+    """
+    try:
+        yield
+    except StateError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError,
+            AttributeError) as exc:
+        raise StateError(
+            f"corrupt {kind!r} state: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def state_guard(func: Callable) -> Callable:
+    """Decorator form of :func:`state_errors` for ``from_state`` bodies.
+
+    Stack it under ``@classmethod`` so a fuzzer-mutated payload (a
+    deleted key, a list where a dict belonged) surfaces as a typed
+    :class:`StateError` naming the loader, not a bare ``KeyError``
+    three constructors deep.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        with state_errors(func.__qualname__):
+            return func(*args, **kwargs)
+
+    return wrapper

@@ -197,10 +197,9 @@ class Dispatcher:
         """The ``/healthz`` body; 503 while draining so LBs eject us."""
         if self._draining or self.engine.closed:
             return 503, {"status": "draining"}, self.retry_after_s
-        model = self.engine.registry.latest(self.engine.config)
         return 200, {
             "status": "ok",
-            "model_version": model.version if model else 0,
+            "model_version": self.engine.model_version(),
             "inflight": self._inflight,
         }, None
 

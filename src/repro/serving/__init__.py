@@ -13,6 +13,9 @@ shape (the §I/§VI-B mitigation-provider story):
   baselines when the model cannot answer.
 * :mod:`repro.serving.metrics` -- counters, latency histograms and
   cache statistics behind one ``snapshot()``.
+* :mod:`repro.serving.sharded` -- the same engine surface over N
+  worker processes, partitioned by a stable hash of the per-target
+  query key, with crash restart and §VII-A degradation.
 
 Quickstart::
 
@@ -35,10 +38,13 @@ from repro.serving.engine import (
     ForecastEngine,
     ForecastRequest,
 )
+from repro.serving.engine import BaselineFallback
 from repro.serving.metrics import LatencyHistogram, ServingMetrics
 from repro.serving.registry import ModelKey, ModelRegistry, RegisteredModel
+from repro.serving.sharded import ShardedForecastEngine, shard_index
 
 __all__ = [
+    "BaselineFallback",
     "CacheStats",
     "LRUTTLCache",
     "EngineClosedError",
@@ -50,4 +56,6 @@ __all__ = [
     "ModelKey",
     "ModelRegistry",
     "RegisteredModel",
+    "ShardedForecastEngine",
+    "shard_index",
 ]

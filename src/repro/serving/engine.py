@@ -39,6 +39,7 @@ __all__ = [
     "ForecastRequest",
     "Forecast",
     "ForecastEngine",
+    "BaselineFallback",
     "EngineClosedError",
 ]
 
@@ -143,6 +144,56 @@ class Forecast:
         )
 
 
+class BaselineFallback:
+    """§VII-A naive-baseline answers straight off the raw trace.
+
+    One shared implementation for every engine flavor -- the in-process
+    :class:`ForecastEngine` and the multi-process
+    :class:`~repro.serving.sharded.ShardedForecastEngine` parent -- so
+    degraded answers (fit failures, timeouts, shed load, dead shards)
+    are a single code path with a single wire shape.
+    """
+
+    def __init__(self, trace: AttackTrace, metrics: ServingMetrics) -> None:
+        self.trace = trace
+        self.metrics = metrics
+
+    def forecast(self, request: ForecastRequest,
+                 error: str | None = None) -> Forecast:
+        """Baseline-backed degraded answer (§VII-A naive predictors)."""
+        history = self.history_for(request)
+        if not history:
+            self.metrics.incr("engine.unanswerable")
+            return Forecast(
+                request=request, prediction=None, source="none",
+                degraded=True, error=error or "no observable history",
+            )
+        prediction = naive_attack_forecast(history)
+        self.metrics.incr("engine.fallbacks")
+        return Forecast(
+            request=request, prediction=prediction, source="baseline",
+            degraded=True, error=error,
+        )
+
+    def history_for(self, request: ForecastRequest) -> list[AttackRecord]:
+        """Most specific non-empty raw history for a baseline answer.
+
+        Same-AS attacks first (what the target itself observed), then
+        the family's global attacks, then everything -- truncated to
+        strictly before the query time.
+        """
+        horizon = request.now if request.now is not None else float("inf")
+        for pool in (
+            self.trace.by_target_asn(request.asn),
+            self.trace.by_family(request.family),
+            self.trace.attacks,
+        ):
+            history = [a for a in pool if a.start_time < horizon]
+            if history:
+                return history
+        return []
+
+
 class ForecastEngine:
     """Batched, cached, degradation-aware forecast service for one trace."""
 
@@ -162,6 +213,7 @@ class ForecastEngine:
         self.registry = registry or ModelRegistry(metrics=self.metrics)
         self.prediction_cache = prediction_cache or LRUTTLCache(max_entries=4096)
         self.timeout_s = timeout_s
+        self._baseline = BaselineFallback(trace, self.metrics)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="forecast"
         )
@@ -300,6 +352,15 @@ class ForecastEngine:
         self.metrics.incr("engine.timeouts")
         return self.fallback(request, error=f"timeout after {timeout_s}s")
 
+    def model_version(self) -> int:
+        """Current lineage version serving this engine's config (0 = unfitted).
+
+        The health endpoint's view; the sharded engine answers the same
+        question from its workers' boot reports.
+        """
+        model = self.registry.latest(self.config)
+        return model.version if model else 0
+
     def metrics_snapshot(self) -> dict:
         """Full serving telemetry: engine, caches, registry lineages."""
         return self.metrics.snapshot(cache_stats={
@@ -376,34 +437,4 @@ class ForecastEngine:
         shedding: a 429 still carries a naive-baseline forecast, so
         clients degrade instead of starving.
         """
-        history = self._history_for(request)
-        if not history:
-            self.metrics.incr("engine.unanswerable")
-            return Forecast(
-                request=request, prediction=None, source="none",
-                degraded=True, error=error or "no observable history",
-            )
-        prediction = naive_attack_forecast(history)
-        self.metrics.incr("engine.fallbacks")
-        return Forecast(
-            request=request, prediction=prediction, source="baseline",
-            degraded=True, error=error,
-        )
-
-    def _history_for(self, request: ForecastRequest) -> list[AttackRecord]:
-        """Most specific non-empty raw history for a baseline answer.
-
-        Same-AS attacks first (what the target itself observed), then
-        the family's global attacks, then everything -- truncated to
-        strictly before the query time.
-        """
-        horizon = request.now if request.now is not None else float("inf")
-        for pool in (
-            self.trace.by_target_asn(request.asn),
-            self.trace.by_family(request.family),
-            self.trace.attacks,
-        ):
-            history = [a for a in pool if a.start_time < horizon]
-            if history:
-                return history
-        return []
+        return self._baseline.forecast(request, error=error)

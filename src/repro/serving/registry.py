@@ -24,7 +24,11 @@ from repro.core.pipeline import AttackPredictor
 from repro.core.spatiotemporal import SpatiotemporalConfig
 from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.records import AttackTrace
-from repro.persistence.state import STATE_SCHEMA_VERSION, StateSchemaError
+from repro.persistence.state import (
+    STATE_SCHEMA_VERSION,
+    StateSchemaError,
+    state_errors,
+)
 from repro.persistence.store import ModelStore
 from repro.serving.cache import LRUTTLCache
 from repro.serving.metrics import ServingMetrics
@@ -130,15 +134,17 @@ class RegisteredModel:
                 "RegisteredModel payload has no predictor state; "
                 "re-export with to_dict(with_state=True)"
             )
-        predictor = AttackPredictor.from_state(data["state"], trace, env)
-        return cls(
-            key=ModelKey(fingerprint=data["fingerprint"], config=data["config"]),
-            version=int(data["version"]),
-            predictor=predictor,
-            n_attacks=int(data["n_attacks"]),
-            fitted_at=float(data["fitted_at"]),
-            fit_seconds=float(data["fit_seconds"]),
-        )
+        with state_errors("serving.registered_model"):
+            predictor = AttackPredictor.from_state(data["state"], trace, env)
+            return cls(
+                key=ModelKey(fingerprint=data["fingerprint"],
+                             config=data["config"]),
+                version=int(data["version"]),
+                predictor=predictor,
+                n_attacks=int(data["n_attacks"]),
+                fitted_at=float(data["fitted_at"]),
+                fit_seconds=float(data["fit_seconds"]),
+            )
 
 
 class ModelRegistry:

@@ -1,0 +1,772 @@
+"""Multi-process sharded forecast serving.
+
+Per-AS / per-family model work is CPU-bound (ARIMA grid fits, NAR
+Levenberg-Marquardt, pure-python predict paths) and serializes behind
+one interpreter's GIL -- the ceiling the `repro.server` tier hits once
+a single :class:`~repro.serving.engine.ForecastEngine` saturates.
+:class:`ShardedForecastEngine` partitions the per-target query key
+space (the paper's §V/§VI models are trained *per target network*)
+across N worker processes by a **stable hash** of ``(asn, family)`` --
+the same name-spacing the registry's :class:`ModelKey` scheme uses --
+so each worker owns its slice of targets with its own GIL, its own
+:class:`~repro.serving.registry.ModelRegistry`, its own caches.
+
+Topology::
+
+    Dispatcher --> ShardedForecastEngine --+--> worker 0: ModelRegistry + ForecastEngine
+                   (parent: routing,       +--> worker 1: ModelRegistry + ForecastEngine
+                    restart, §VII-A        +--> ...
+                    degradation)           (multiprocessing pipes)
+
+Operational contracts (all mirrored from the single-process tier so
+the two paths cannot drift):
+
+* **Wire format** -- pipes carry the existing ``FORECAST_SCHEMA_VERSION``
+  dicts: workers answer with ``Forecast.to_dict()`` (which embeds
+  :func:`~repro.evaluation.reporting.prediction_to_dict`), the parent
+  rebuilds via ``Forecast.from_dict`` (which enforces the schema
+  version through ``prediction_from_dict``).  A worker speaking a
+  different schema is treated as dead, not trusted.
+* **Warm boot** -- each worker restores its registry from the PR 2
+  :class:`~repro.persistence.store.ModelStore` when ``store_path`` is
+  given, so N shards do not pay N cold fits.
+* **Degradation** -- a dead shard's requests are answered by the
+  parent's §VII-A :class:`~repro.serving.engine.BaselineFallback`
+  (``degraded: true``), mirroring the Dispatcher's 429 policy: load
+  and faults cost accuracy, never availability.
+* **Restart** -- a crashed worker is restarted with bounded
+  exponential backoff; in-flight requests at crash time resolve to
+  baseline answers, and the shard resumes serving model answers once
+  its replacement boots (warm, from the store).
+* **Lifecycle** -- ``close()`` keeps the drain-then-reject contract:
+  submitted work completes with real answers, anything after the close
+  began raises :class:`~repro.serving.engine.EngineClosedError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.spatiotemporal import SpatiotemporalConfig
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.records import AttackTrace
+from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
+from repro.serving.engine import (
+    _UNSET,
+    BaselineFallback,
+    EngineClosedError,
+    Forecast,
+    ForecastEngine,
+    ForecastRequest,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import ModelRegistry
+
+__all__ = ["ShardedForecastEngine", "ShardBoot", "shard_index"]
+
+
+def shard_index(asn: int, family: str, n_shards: int) -> int:
+    """Stable shard owner of the ``(asn, family)`` key space slice.
+
+    SHA-256 based so the mapping is identical across processes, runs,
+    and machines (Python's builtin ``hash`` is salted per process and
+    must not leak into routing).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    digest = hashlib.sha256(f"{asn}|{family}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+@dataclass
+class ShardBoot:
+    """Everything a worker process needs to build its engine.
+
+    Plain data (picklable under the ``spawn`` start method; inherited
+    for free under ``fork``).  ``factory`` is the registry's injectable
+    predictor factory -- tests use it to substitute stubs; it must be
+    picklable (module-level) when spawning.
+    """
+
+    shard_id: int
+    n_shards: int
+    trace: AttackTrace
+    env: SimulationEnvironment
+    config: SpatiotemporalConfig | None
+    store_path: str | None
+    max_workers: int
+    timeout_s: float | None
+    warm: bool
+    prediction_cache_entries: int
+    factory: Callable | None = None
+
+
+def _request_to_wire(request: ForecastRequest) -> dict:
+    return {"asn": request.asn, "family": request.family, "now": request.now}
+
+
+def _request_from_wire(data: dict) -> ForecastRequest:
+    return ForecastRequest(asn=data["asn"], family=data["family"],
+                           now=data["now"])
+
+
+def _shard_main(conn, boot: ShardBoot) -> None:
+    """Worker process body: one registry + engine, serves its pipe."""
+    # The parent owns interactive signals; workers exit via the pipe
+    # ("stop" or EOF), SIGTERM, or SIGKILL (crash-tested).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+    try:
+        from repro.serving.cache import LRUTTLCache
+
+        metrics = ServingMetrics()
+        if boot.factory is not None:
+            registry = ModelRegistry(factory=boot.factory, metrics=metrics)
+        else:
+            registry = ModelRegistry(metrics=metrics)
+        if boot.store_path:
+            registry.load(boot.store_path, boot.trace, boot.env)
+        engine = ForecastEngine(
+            boot.trace, boot.env, config=boot.config, registry=registry,
+            metrics=metrics, max_workers=boot.max_workers,
+            timeout_s=boot.timeout_s,
+            prediction_cache=LRUTTLCache(
+                max_entries=boot.prediction_cache_entries),
+        )
+        if boot.warm:
+            engine.warm()  # a store restore makes this a hit, not a refit
+        conn.send(("ready", {
+            "shard": boot.shard_id,
+            "pid": os.getpid(),
+            "model_version": engine.model_version(),
+        }))
+    except Exception as exc:
+        try:
+            conn.send(("boot_error", {
+                "shard": boot.shard_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+
+    def resolve_timeout(wire_timeout) -> object:
+        return _UNSET if wire_timeout[0] == "default" else wire_timeout[1]
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "stop":
+            break
+        req_id = message[1]
+        try:
+            if op == "query":
+                request = _request_from_wire(message[2])
+                forecast = engine.query(request,
+                                        timeout_s=resolve_timeout(message[3]))
+                conn.send(("forecast", req_id,
+                           {"schema_version": FORECAST_SCHEMA_VERSION}
+                           | forecast.to_dict()))
+            elif op == "query_batch":
+                requests = [_request_from_wire(item) for item in message[2]]
+                forecasts = engine.query_batch(
+                    requests, timeout_s=resolve_timeout(message[3]))
+                conn.send(("forecast_batch", req_id, {
+                    "schema_version": FORECAST_SCHEMA_VERSION,
+                    "forecasts": [f.to_dict() for f in forecasts],
+                }))
+            elif op == "metrics":
+                conn.send(("metrics", req_id, engine.metrics_snapshot()))
+            else:
+                conn.send(("error", req_id,
+                           {"error": f"unknown shard op {op!r}"}))
+        except Exception as exc:  # defensive: answer, never die silently
+            try:
+                conn.send(("error", req_id,
+                           {"error": f"{type(exc).__name__}: {exc}"}))
+            except (BrokenPipeError, OSError):
+                break
+    engine.close()
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+@dataclass
+class _Shard:
+    """Parent-side bookkeeping for one worker process."""
+
+    id: int
+    process: multiprocessing.process.BaseProcess | None = None
+    conn: object = None
+    alive: bool = False
+    pid: int | None = None
+    model_version: int = 0
+    restarts: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    pending: dict = field(default_factory=dict)  # req_id -> (Future, kind)
+    booted: threading.Event = field(default_factory=threading.Event)
+
+
+class ShardedForecastEngine:
+    """N worker processes behind one ForecastEngine-shaped front.
+
+    Drop-in for :class:`~repro.serving.engine.ForecastEngine` wherever
+    the serving tier consumes one (``Dispatcher``, ``ForecastServer``,
+    the CLI): same ``query``/``query_batch``/``submit``/``fallback``/
+    ``timeout_forecast``/``close`` surface, same
+    :class:`~repro.serving.engine.Forecast` answers, same metrics
+    vocabulary (parent-side counters under ``sharded.*`` on top).
+    """
+
+    def __init__(self, trace: AttackTrace, env: SimulationEnvironment,
+                 config: SpatiotemporalConfig | None = None, *,
+                 n_shards: int = 2,
+                 store_path: str | Path | None = None,
+                 factory: Callable | None = None,
+                 max_workers_per_shard: int = 2,
+                 timeout_s: float | None = None,
+                 warm: bool = True,
+                 prediction_cache_entries: int = 4096,
+                 restart_backoff_s: float = 0.5,
+                 max_restart_backoff_s: float = 8.0,
+                 boot_timeout_s: float = 120.0,
+                 drain_timeout_s: float = 10.0,
+                 metrics: ServingMetrics | None = None,
+                 mp_context: str | None = None) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.trace = trace
+        self.env = env
+        self.config = config
+        self.n_shards = n_shards
+        self.metrics = metrics or ServingMetrics()
+        self.timeout_s = timeout_s
+        self.restart_backoff_s = restart_backoff_s
+        self.max_restart_backoff_s = max_restart_backoff_s
+        self.boot_timeout_s = boot_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self._baseline = BaselineFallback(trace, self.metrics)
+        self._boot_template = ShardBoot(
+            shard_id=-1, n_shards=n_shards, trace=trace, env=env,
+            config=config,
+            store_path=str(store_path) if store_path is not None else None,
+            max_workers=max_workers_per_shard, timeout_s=timeout_s,
+            warm=warm, prediction_cache_entries=prediction_cache_entries,
+            factory=factory,
+        )
+        # fork keeps worker boot cheap on POSIX (the trace and imports
+        # are inherited); spawn is the portable fallback.
+        methods = multiprocessing.get_all_start_methods()
+        method = mp_context or ("fork" if "fork" in methods else "spawn")
+        self._mp = multiprocessing.get_context(method)
+        self._shards = [_Shard(id=i) for i in range(n_shards)]
+        self._threads: list[threading.Thread] = []
+        self._req_ids = iter(range(1, 2**63))  # monotonically unique
+        self._req_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._stopping = False
+
+    # ----- lifecycle -----
+
+    def start(self) -> "ShardedForecastEngine":
+        """Boot every shard and wait for first boot attempts (idempotent).
+
+        Shards whose first boot fails stay in degraded mode (baseline
+        answers) while their lifecycle thread keeps retrying with
+        bounded backoff; ``start`` does not raise for them.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if self._started:
+                return self
+            self._started = True
+            for shard in self._shards:
+                thread = threading.Thread(
+                    target=self._shard_loop, args=(shard,),
+                    name=f"shard-{shard.id}", daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        deadline = time.monotonic() + self.boot_timeout_s
+        for shard in self._shards:
+            shard.booted.wait(max(0.0, deadline - time.monotonic()))
+        return self
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun (new queries are rejected)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drain in-flight queries, then reject new ones (idempotent).
+
+        In-flight work (futures already handed out) completes with real
+        answers up to ``drain_timeout_s``; anything still pending at the
+        deadline resolves to a degraded baseline answer -- callers never
+        hang on a dead worker.  Workers are then stopped and joined.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if not started:
+            return
+        deadline = time.monotonic() + self.drain_timeout_s
+        for shard in self._shards:
+            while time.monotonic() < deadline:
+                with shard.lock:
+                    if not shard.pending:
+                        break
+                time.sleep(0.005)
+        self._stopping = True
+        for shard in self._shards:
+            with shard.lock:
+                self._fail_pending_locked(
+                    shard, "engine closed before the shard answered")
+                if shard.conn is not None:
+                    try:
+                        shard.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+        for thread in self._threads:
+            thread.join(timeout=self.drain_timeout_s)
+        for shard in self._shards:
+            process = shard.process
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+        self.metrics.incr("sharded.closes")
+
+    def __enter__(self) -> "ShardedForecastEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----- queries (ForecastEngine surface) -----
+
+    def shard_for(self, request: ForecastRequest) -> int:
+        """Which shard owns this request's (asn, family) slice."""
+        return shard_index(request.asn, request.family, self.n_shards)
+
+    def query(self, request: ForecastRequest | None = None, *,
+              asn: int | None = None, family: str | None = None,
+              now: float | None = None, timeout_s: object = _UNSET) -> Forecast:
+        """Answer one forecast request (built from kwargs if omitted)."""
+        if request is None:
+            if asn is None or family is None:
+                raise ValueError("need a ForecastRequest or asn= and family=")
+            request = ForecastRequest(asn=asn, family=family, now=now)
+        t0 = time.perf_counter()
+        future = self.submit(request, timeout_s=timeout_s)
+        forecast = self._await(request, future, self._resolve_timeout(timeout_s))
+        forecast.latency_s = time.perf_counter() - t0
+        self.metrics.observe("engine.query", forecast.latency_s)
+        return forecast
+
+    def query_batch(self, requests: Sequence[ForecastRequest], *,
+                    timeout_s: object = _UNSET) -> list[Forecast]:
+        """Answer many requests: coalesce, partition by shard, fan out.
+
+        One pipe message per shard carries that shard's whole slice, so
+        large batches amortize IPC; results come back in request order
+        with duplicates sharing one answer, exactly like
+        :meth:`ForecastEngine.query_batch`.
+        """
+        self._ensure_open()
+        self.metrics.incr("engine.batches")
+        self.metrics.incr("engine.queries", len(requests))
+        t0 = time.perf_counter()
+        distinct: dict[tuple, ForecastRequest] = {}
+        for request in requests:
+            distinct.setdefault(request.work_key, request)
+        self.metrics.incr("engine.coalesced", len(requests) - len(distinct))
+
+        by_shard: dict[int, list[ForecastRequest]] = {}
+        for request in distinct.values():
+            by_shard.setdefault(self.shard_for(request), []).append(request)
+
+        futures: list[tuple[list[ForecastRequest], Future]] = []
+        answers: dict[tuple, Forecast] = {}
+        for shard_id, slice_requests in by_shard.items():
+            shard = self._shards[shard_id]
+            future = self._send(
+                shard, "query_batch",
+                [_request_to_wire(r) for r in slice_requests],
+                timeout_s, slice_requests,
+            )
+            futures.append((slice_requests, future))
+
+        timeout = self._resolve_timeout(timeout_s)
+        deadline = (time.monotonic() + self._parent_patience(timeout)
+                    if timeout is not None else None)
+        for slice_requests, future in futures:
+            remaining = (max(0.0, deadline - time.monotonic())
+                         if deadline is not None else None)
+            try:
+                slice_forecasts = future.result(timeout=remaining)
+            except TimeoutError:
+                slice_forecasts = [self.timeout_forecast(r, timeout)
+                                   for r in slice_requests]
+            except Exception as exc:  # defensive: futures should not raise
+                self.metrics.incr("engine.errors")
+                slice_forecasts = [self.fallback(r, error=str(exc))
+                                   for r in slice_requests]
+            for request, forecast in zip(slice_requests, slice_forecasts):
+                answers[request.work_key] = forecast
+        elapsed = time.perf_counter() - t0
+        for forecast in answers.values():
+            forecast.latency_s = elapsed
+        self.metrics.observe("engine.batch", elapsed)
+        return [answers[request.work_key] for request in requests]
+
+    def submit(self, request: ForecastRequest, *,
+               timeout_s: object = _UNSET) -> Future:
+        """Schedule one request on its shard; resolves to a Forecast.
+
+        The future never carries an exception from the answer path: a
+        dead shard, a worker error, or a crash mid-request all resolve
+        to the §VII-A baseline (``degraded: true``).  Raises
+        :class:`EngineClosedError` once :meth:`close` has begun.
+        """
+        self._ensure_open()
+        self.metrics.incr("engine.queries")
+        shard = self._shards[self.shard_for(request)]
+        return self._send(shard, "query", _request_to_wire(request),
+                          timeout_s, request)
+
+    def timeout_forecast(self, request: ForecastRequest,
+                         timeout_s: float) -> Forecast:
+        """Deadline-exceeded answer: count the timeout, degrade to baseline."""
+        self.metrics.incr("engine.timeouts")
+        return self.fallback(request, error=f"timeout after {timeout_s}s")
+
+    def fallback(self, request: ForecastRequest,
+                 error: str | None = None) -> Forecast:
+        """Parent-side §VII-A baseline (shared with the Dispatcher's 429s)."""
+        return self._baseline.forecast(request, error=error)
+
+    def model_version(self) -> int:
+        """Highest model version any live shard reported at boot."""
+        return max((s.model_version for s in self._shards), default=0)
+
+    def warm(self) -> None:
+        """Compatibility hook: shards warm themselves at boot."""
+        self.start()
+
+    def shard_pids(self) -> list[int | None]:
+        """Worker PIDs by shard index (None while a shard is down)."""
+        return [shard.pid if shard.alive else None for shard in self._shards]
+
+    def metrics_snapshot(self, include_workers: bool = True,
+                         worker_timeout_s: float = 1.0) -> dict:
+        """Parent telemetry plus per-shard status and worker snapshots.
+
+        Worker snapshots ride the same pipes as queries; a shard too
+        busy (or dead) to answer within ``worker_timeout_s`` reports
+        only its parent-side status.
+        """
+        snapshot = self.metrics.snapshot()
+        shards: dict[str, dict] = {}
+        pending_metrics: list[tuple[_Shard, Future]] = []
+        for shard in self._shards:
+            with shard.lock:
+                status = {
+                    "alive": shard.alive,
+                    "pid": shard.pid,
+                    "restarts": shard.restarts,
+                    "model_version": shard.model_version,
+                    "inflight": len(shard.pending),
+                }
+            shards[str(shard.id)] = status
+            if include_workers and shard.alive and not self._closed:
+                future = Future()
+                if self._send_raw(shard, "metrics", future, None):
+                    pending_metrics.append((shard, future))
+        deadline = time.monotonic() + worker_timeout_s
+        for shard, future in pending_metrics:
+            try:
+                shards[str(shard.id)]["worker"] = future.result(
+                    timeout=max(0.0, deadline - time.monotonic()))
+            except (TimeoutError, Exception):
+                shards[str(shard.id)]["worker"] = None
+        snapshot["shards"] = shards
+        snapshot["n_shards"] = self.n_shards
+        return snapshot
+
+    # ----- internals -----
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        if not self._started:
+            self.start()
+
+    def _resolve_timeout(self, timeout_s: object) -> float | None:
+        return self.timeout_s if timeout_s is _UNSET else timeout_s  # type: ignore[return-value]
+
+    def _parent_patience(self, timeout: float) -> float:
+        """How long the parent waits before degrading locally.
+
+        The worker applies the same timeout and answers with its own
+        baseline in time; the grace keeps the parent from racing it and
+        only fires when the worker is stuck or the pipe is backed up.
+        """
+        return timeout + max(0.25, 0.1 * timeout)
+
+    def _wire_timeout(self, timeout_s: object) -> tuple:
+        if timeout_s is _UNSET:
+            return ("default",)
+        return ("set", timeout_s)
+
+    def _send(self, shard: _Shard, op: str, wire_payload, timeout_s: object,
+              origin) -> Future:
+        """Queue one op on a shard; resolve immediately when it is down."""
+        future: Future = Future()
+        if not self._send_raw(shard, op, future, (wire_payload, timeout_s)):
+            self.metrics.incr("sharded.down_shard_answers")
+            error = (f"shard {shard.id} is down (restarting); "
+                     "serving the naive baseline")
+            if op == "query":
+                _resolve(future, self.fallback(origin, error=error))
+            else:
+                _resolve(future,
+                         [self.fallback(r, error=error) for r in origin])
+        return future
+
+    def _send_raw(self, shard: _Shard, op: str, future: Future,
+                  payload) -> bool:
+        """Register + transmit; False when the shard cannot take work."""
+        with shard.lock:
+            if not shard.alive or shard.conn is None:
+                return False
+            with self._req_lock:
+                req_id = next(self._req_ids)
+            if payload is None:
+                message = (op, req_id)
+                shard.pending[req_id] = (future, op, None)
+            else:
+                wire_payload, timeout_s = payload
+                message = (op, req_id, wire_payload,
+                           self._wire_timeout(timeout_s))
+                shard.pending[req_id] = (future, op, wire_payload)
+            try:
+                shard.conn.send(message)
+            except (BrokenPipeError, OSError):
+                shard.pending.pop(req_id, None)
+                return False
+        return True
+
+    def _fail_pending_locked(self, shard: _Shard, reason: str) -> None:
+        """Resolve every pending future to a baseline answer (lock held)."""
+        pending, shard.pending = shard.pending, {}
+        for future, op, wire_payload in pending.values():
+            self.metrics.incr("sharded.failed_inflight")
+            error = f"shard {shard.id}: {reason}; serving the naive baseline"
+            if op == "query":
+                request = _request_from_wire(wire_payload)
+                _resolve(future, self.fallback(request, error=error))
+            elif op == "query_batch":
+                requests = [_request_from_wire(item) for item in wire_payload]
+                _resolve(future,
+                         [self.fallback(r, error=error) for r in requests])
+            else:  # metrics and friends: no baseline to give
+                _resolve(future, None)
+
+    def _await(self, request: ForecastRequest, future: Future,
+               timeout: float | None) -> Forecast:
+        patience = self._parent_patience(timeout) if timeout is not None else None
+        try:
+            return future.result(timeout=patience)
+        except TimeoutError:
+            return self.timeout_forecast(request, timeout)
+        except Exception as exc:  # defensive: futures should not raise
+            self.metrics.incr("engine.errors")
+            return self.fallback(request, error=str(exc))
+
+    # ----- per-shard lifecycle thread -----
+
+    def _shard_loop(self, shard: _Shard) -> None:
+        """Boot, pump, and (with bounded backoff) restart one worker."""
+        backoff = self.restart_backoff_s
+        first = True
+        while not self._stopping and not self._closed:
+            booted = self._boot_shard(shard, first_boot=first)
+            shard.booted.set()
+            if booted:
+                backoff = self.restart_backoff_s  # healthy boot resets it
+                self._pump(shard)
+            with shard.lock:
+                shard.alive = False
+                self._fail_pending_locked(shard, "worker died")
+            if self._stopping or self._closed:
+                break
+            self.metrics.incr("sharded.worker_deaths" if booted
+                              else "sharded.boot_failures")
+            if not first or not booted:
+                time.sleep(backoff)
+                backoff = min(backoff * 2, self.max_restart_backoff_s)
+            first = False
+        self._reap(shard)
+
+    def _boot_shard(self, shard: _Shard, first_boot: bool) -> bool:
+        self._reap(shard)
+        boot = ShardBoot(**{**self._boot_template.__dict__,
+                            "shard_id": shard.id})
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_shard_main, args=(child_conn, boot),
+            name=f"repro-shard-{shard.id}", daemon=True,
+        )
+        try:
+            process.start()
+        except Exception:
+            parent_conn.close()
+            child_conn.close()
+            return False
+        child_conn.close()
+        if not parent_conn.poll(self.boot_timeout_s):
+            process.terminate()
+            parent_conn.close()
+            return False
+        try:
+            kind, info = parent_conn.recv()
+        except (EOFError, OSError):
+            process.terminate()
+            parent_conn.close()
+            return False
+        if kind != "ready":
+            self.metrics.incr("sharded.boot_errors")
+            process.join(timeout=2.0)
+            parent_conn.close()
+            return False
+        with shard.lock:
+            shard.process = process
+            shard.conn = parent_conn
+            shard.pid = info.get("pid")
+            shard.model_version = int(info.get("model_version", 0))
+            shard.alive = True
+            if not first_boot:
+                shard.restarts += 1
+        self.metrics.incr("sharded.boots")
+        return True
+
+    def _pump(self, shard: _Shard) -> None:
+        """Deliver worker responses to their futures until EOF."""
+        conn = shard.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind, req_id, payload = message
+            with shard.lock:
+                entry = shard.pending.pop(req_id, None)
+            if entry is None:
+                continue  # caller gave up (parent timeout); drop it
+            future, op, wire_payload = entry
+            if kind == "forecast":
+                _resolve(future, self._forecast_from_wire(
+                    payload, wire_payload, shard))
+            elif kind == "forecast_batch":
+                requests = [_request_from_wire(item) for item in wire_payload]
+                _resolve(future, self._batch_from_wire(
+                    payload, requests, shard))
+            elif kind == "metrics":
+                _resolve(future, payload)
+            else:  # "error": worker answered with a failure note
+                self.metrics.incr("sharded.worker_errors")
+                error = payload.get("error", "worker error")
+                if op == "query_batch":
+                    requests = [_request_from_wire(item)
+                                for item in wire_payload]
+                    _resolve(future, [self.fallback(r, error=error)
+                                      for r in requests])
+                elif op == "query":
+                    request = _request_from_wire(wire_payload)
+                    _resolve(future, self.fallback(request, error=error))
+                else:
+                    _resolve(future, None)
+
+    def _forecast_from_wire(self, payload: dict, wire_request: dict,
+                            shard: _Shard) -> Forecast:
+        """Decode one worker answer, enforcing the forecast schema."""
+        try:
+            if payload.get("schema_version") != FORECAST_SCHEMA_VERSION:
+                raise ValueError(
+                    f"shard {shard.id} speaks forecast schema "
+                    f"{payload.get('schema_version')!r}, parent reads "
+                    f"{FORECAST_SCHEMA_VERSION}")
+            return Forecast.from_dict(payload)
+        except Exception as exc:
+            self.metrics.incr("sharded.wire_errors")
+            return self.fallback(_request_from_wire(wire_request),
+                                 error=str(exc))
+
+    def _batch_from_wire(self, payload: dict,
+                         requests: list[ForecastRequest],
+                         shard: _Shard) -> list[Forecast]:
+        try:
+            if payload.get("schema_version") != FORECAST_SCHEMA_VERSION:
+                raise ValueError(
+                    f"shard {shard.id} speaks forecast schema "
+                    f"{payload.get('schema_version')!r}, parent reads "
+                    f"{FORECAST_SCHEMA_VERSION}")
+            forecasts = [Forecast.from_dict(item)
+                         for item in payload["forecasts"]]
+            if len(forecasts) != len(requests):
+                raise ValueError(
+                    f"shard {shard.id} answered {len(forecasts)} of "
+                    f"{len(requests)} batch requests")
+            return forecasts
+        except Exception as exc:
+            self.metrics.incr("sharded.wire_errors")
+            return [self.fallback(r, error=str(exc)) for r in requests]
+
+    def _reap(self, shard: _Shard) -> None:
+        with shard.lock:
+            process, shard.process = shard.process, None
+            conn, shard.conn = shard.conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if process is not None:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+
+
+def _resolve(future: Future, value) -> None:
+    """Set a result, tolerating callers that cancelled or raced us."""
+    if future.cancelled():
+        return
+    try:
+        future.set_result(value)
+    except Exception:  # InvalidStateError: caller resolved/cancelled first
+        pass

@@ -22,6 +22,7 @@ from repro.persistence.state import (
     encode_array,
     pack_state,
     require_state,
+    state_guard,
 )
 from repro.timeseries.stationarity import difference, undifference
 
@@ -413,6 +414,7 @@ class ARIMA:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "ARIMA":
         """Rebuild a fitted model; predictions are bit-identical."""
         state = require_state(state, "timeseries.arima")

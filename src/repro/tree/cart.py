@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.persistence.state import pack_state, require_state
+from repro.persistence.state import pack_state, require_state, state_guard
 
 __all__ = ["TreeNode", "RegressionTree"]
 
@@ -289,6 +289,7 @@ class RegressionTree:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "RegressionTree":
         """Rebuild a grown tree; routing and predictions are identical."""
         state = require_state(state, "tree.regression_tree")

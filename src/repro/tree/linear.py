@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.persistence.state import decode_array, encode_array, pack_state, require_state
+from repro.persistence.state import decode_array, encode_array, pack_state, require_state, state_guard
 
 __all__ = ["LinearRegression"]
 
@@ -69,6 +69,7 @@ class LinearRegression:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "LinearRegression":
         """Rebuild a fitted model; predictions are bit-identical."""
         state = require_state(state, "tree.linear_regression")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.persistence.state import pack_state, require_state
+from repro.persistence.state import pack_state, require_state, state_guard
 from repro.tree.cart import RegressionTree, TreeNode
 from repro.tree.linear import LinearRegression
 
@@ -115,6 +115,7 @@ class ModelTree:
         })
 
     @classmethod
+    @state_guard
     def from_state(cls, state: dict) -> "ModelTree":
         """Rebuild a fitted model tree; predictions are bit-identical."""
         state = require_state(state, "tree.model_tree")

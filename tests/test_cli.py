@@ -27,6 +27,7 @@ class TestParser:
         args = build_parser().parse_args(["serve"])
         assert args.queries == 32
         assert args.workers == 4
+        assert args.shards == 1
         assert args.timeout is None
         assert args.json is False
         assert args.store is None
@@ -70,11 +71,20 @@ class TestParser:
         assert args.host == "127.0.0.1"
         assert args.port == 8377
         assert args.framed_port is None
-        assert args.workers == 4
+        assert args.workers == 1  # worker processes; 1 = in-process engine
+        assert args.worker_threads == 4
         assert args.timeout == 10.0
         assert args.max_connections == 128
         assert args.max_inflight == 64
         assert args.store is None
+
+    def test_sharding_flags_parse(self):
+        args = build_parser().parse_args(["serve-http", "--workers", "4",
+                                          "--worker-threads", "2"])
+        assert args.workers == 4
+        assert args.worker_threads == 2
+        assert build_parser().parse_args(["serve", "--shards", "3"]).shards == 3
+        assert build_parser().parse_args(["predict", "--shards", "2"]).shards == 2
 
     def test_serve_http_shares_the_dataset_group(self):
         args = build_parser().parse_args(
@@ -218,6 +228,37 @@ class TestModelStoreCommands:
         counters = payload["metrics"]["counters"]
         assert counters.get("registry.restores") == 1
         assert "registry.fits" not in counters
+
+    def test_serve_sharded_warm_starts_from_store(self, exported, capsys):
+        import json
+
+        trace, store = exported
+        code = main(["serve", "--trace", str(trace), "--store", str(store),
+                     "--queries", "6", "--shards", "2", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "booting 2 shard(s)" in captured.err
+        payload = json.loads(captured.out)
+        assert len(payload["forecasts"]) == 6
+        assert all(f["source"] == "model" and not f["degraded"]
+                   for f in payload["forecasts"])
+        assert payload["metrics"]["n_shards"] == 2
+
+    def test_predict_sharded_restores_from_store(self, exported, capsys):
+        import json
+
+        trace, store = exported
+        code = main(["predict", "--trace", str(trace), "--store", str(store),
+                     "--shards", "2", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "booting 2 shard(s)" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["source"] == "model"
+        assert payload["degraded"] is False
+        assert {"hour", "day", "duration_s", "magnitude_bots"} <= set(
+            payload["forecast"]
+        )
 
     def test_missing_store_falls_back_to_fitting(self, exported, capsys):
         trace, _ = exported

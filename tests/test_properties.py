@@ -165,3 +165,251 @@ class TestArimaProperties:
         pred_a = model.predict_continuation(future_a)
         pred_b = model.predict_continuation(future_b)
         assert np.allclose(pred_a[:15], pred_b[:15])
+
+
+# ----- hand-rolled fuzzers (seeded random.Random, no hypothesis) ---------
+#
+# The frame codec and the model-state protocol sit on trust boundaries
+# (network bytes, on-disk stores).  These fuzzers feed them
+# seeded-random garbage -- truncations, oversize claims, byte flips,
+# mutated payloads -- and assert the only possible outcomes are a
+# correct value or a *typed* error (ProtocolError / StateError).
+# Nothing may hang, and nothing may corrupt the pristine payload.
+# Every trial derives from the printed REPRO_TEST_SEED via the
+# conftest ``test_seed`` fixture, so failures replay exactly.
+
+import asyncio
+import copy
+import random
+import struct
+
+from repro.neural.network import MLP
+from repro.persistence import StateError, pack_state, state_errors
+from repro.persistence.state import decode_array, encode_array
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+
+
+def _read_frame_bytes(data: bytes):
+    """Run read_frame over raw bytes; bounded so a hang fails the test."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await asyncio.wait_for(read_frame(reader), timeout=5.0)
+
+    return asyncio.run(run())
+
+
+def _random_json(rnd: random.Random, depth: int = 0):
+    kinds = ["int", "float", "str", "bool", "null"]
+    if depth < 2:
+        kinds += ["list", "dict", "dict"]
+    kind = rnd.choice(kinds)
+    if kind == "int":
+        return rnd.randint(-10**9, 10**9)
+    if kind == "float":
+        return rnd.uniform(-1e9, 1e9)
+    if kind == "str":
+        return "".join(rnd.choice("abcdefghij é中") for _ in range(rnd.randint(0, 12)))
+    if kind == "bool":
+        return rnd.random() < 0.5
+    if kind == "null":
+        return None
+    if kind == "list":
+        return [_random_json(rnd, depth + 1) for _ in range(rnd.randint(0, 4))]
+    return {f"k{i}": _random_json(rnd, depth + 1)
+            for i in range(rnd.randint(0, 4))}
+
+
+class TestFrameCodecFuzz:
+    def test_roundtrip_random_objects(self, test_seed):
+        rnd = random.Random(test_seed)
+        for _ in range(100):
+            obj = {"payload": _random_json(rnd)}
+            assert _read_frame_bytes(encode_frame(obj)) == obj
+
+    def test_truncated_frames_raise_typed_errors(self, test_seed):
+        """Any strict prefix of a valid frame is a clean, typed failure."""
+        rnd = random.Random(test_seed)
+        for _ in range(100):
+            frame = encode_frame({"payload": _random_json(rnd)})
+            cut = rnd.randrange(0, len(frame))
+            if cut == 0:
+                assert _read_frame_bytes(b"") is None  # clean EOF
+            else:
+                with pytest.raises(ProtocolError):
+                    _read_frame_bytes(frame[:cut])
+
+    def test_oversize_length_prefix_rejected_up_front(self, test_seed):
+        """A hostile length claim is refused before any body is read."""
+        rnd = random.Random(test_seed)
+        for _ in range(50):
+            length = rnd.randint(MAX_FRAME_BYTES + 1, 2**32 - 1)
+            data = struct.pack(">I", length) + bytes(rnd.randrange(256)
+                                                    for _ in range(16))
+            with pytest.raises(ProtocolError) as excinfo:
+                _read_frame_bytes(data)
+            assert excinfo.value.status == 413
+            assert excinfo.value.code == "frame_too_large"
+
+    def test_garbage_bodies_never_hang(self, test_seed):
+        """Random bytes under a correct prefix: JSON dict or typed error."""
+        rnd = random.Random(test_seed)
+        for _ in range(150):
+            body = bytes(rnd.randrange(256)
+                         for _ in range(rnd.randrange(0, 200)))
+            data = struct.pack(">I", len(body)) + body
+            try:
+                result = _read_frame_bytes(data)
+            except ProtocolError:
+                continue
+            assert isinstance(result, dict)
+
+    def test_random_byte_flips_cannot_escape(self, test_seed):
+        """Bit rot anywhere in a frame yields a dict or a ProtocolError."""
+        rnd = random.Random(test_seed)
+        for _ in range(150):
+            frame = bytearray(encode_frame({"payload": _random_json(rnd)}))
+            for _ in range(rnd.randint(1, 4)):
+                frame[rnd.randrange(len(frame))] ^= 1 << rnd.randrange(8)
+            try:
+                result = _read_frame_bytes(bytes(frame))
+            except ProtocolError:
+                continue
+            assert result is None or isinstance(result, dict)
+
+
+def _mutate_state(rnd: random.Random, payload):
+    """One random structural mutation of a (nested) state payload."""
+    mutation = rnd.choice(("del", "replace", "version", "kind", "array",
+                           "type"))
+    target = payload
+    # walk into a random nested dict so deep keys get hit too
+    for _ in range(rnd.randrange(3)):
+        nested = [v for v in target.values() if isinstance(v, dict) and v]
+        if not nested:
+            break
+        target = rnd.choice(nested)
+    keys = list(target.keys())
+    if not keys:
+        return payload
+    key = rnd.choice(keys)
+    if mutation == "del":
+        del target[key]
+    elif mutation == "replace":
+        target[key] = rnd.choice(
+            (None, [], {}, "garbage", 3.14, -1, [1, "x"], True))
+    elif mutation == "version":
+        payload["schema_version"] = rnd.choice((0, 2, 99, "1", None))
+    elif mutation == "kind":
+        payload["kind"] = "".join(rnd.choice("abc.xyz") for _ in range(8))
+    elif mutation == "array":
+        if isinstance(target[key], dict) and "dtype" in target[key]:
+            target[key][rnd.choice(("dtype", "shape", "data"))] = rnd.choice(
+                ("nope", [3, -1], ["a", "b"], {"x": 1}, None, 1.5))
+        else:
+            target[key] = {"dtype": "float64", "shape": [5], "data": [1.0]}
+    elif mutation == "type":
+        target[key] = rnd.choice(([target[key]], {"was": target[key]},
+                                  str(target[key])))
+    return payload
+
+
+class TestStateFuzz:
+    """Mutated state dicts: load correctly or fail with StateError."""
+
+    @pytest.fixture(scope="class")
+    def pristine_states(self):
+        from repro.neural.training import MinMaxScaler
+        from repro.timeseries.arima import ARIMA
+
+        rng = np.random.default_rng(424242)
+        series = rng.normal(0, 1, 160).cumsum() * 0.05 + rng.normal(0, 1, 160)
+        arima = ARIMA((1, 0, 1)).fit(series)
+        scaler = MinMaxScaler()
+        scaler.fit(rng.normal(size=(40, 3)))
+        mlp = MLP(3, 4, 1)
+        return {
+            "arima": (ARIMA.from_state, arima.get_state()),
+            "scaler": (MinMaxScaler.from_state, scaler.get_state()),
+            "mlp": (MLP.from_state, mlp.get_state()),
+        }
+
+    def test_mutations_raise_typed_errors_only(self, pristine_states,
+                                               test_seed):
+        rnd = random.Random(test_seed)
+        for _ in range(200):
+            name, (loader, pristine) = rnd.choice(
+                sorted(pristine_states.items()))
+            mutated = _mutate_state(rnd, copy.deepcopy(pristine))
+            for _ in range(rnd.randrange(2)):  # sometimes compound damage
+                mutated = _mutate_state(rnd, mutated)
+            try:
+                loader(mutated)
+            except StateError:
+                pass  # the only sanctioned failure mode
+            except Exception as exc:  # pragma: no cover - the bug itself
+                pytest.fail(f"{name}: {type(exc).__name__} leaked for "
+                            f"mutation of {sorted(pristine)}: {exc!r}")
+
+    def test_pristine_payloads_survive_the_fuzzing(self, pristine_states):
+        """Mutation works on copies: originals still restore exactly."""
+        for loader, pristine in pristine_states.values():
+            snapshot = copy.deepcopy(pristine)
+            assert loader(pristine) is not None
+            assert pristine == snapshot
+
+    def test_decode_array_garbage(self, test_seed):
+        rnd = random.Random(test_seed)
+        for _ in range(200):
+            payload = _random_json(rnd)
+            try:
+                result = decode_array(payload)
+            except StateError:
+                continue
+            assert result is None or isinstance(result, np.ndarray)
+
+    def test_decode_array_shape_mismatch_is_typed(self):
+        bad = encode_array(np.arange(6.0))
+        bad["shape"] = [4, 7]
+        with pytest.raises(StateError):
+            decode_array(bad)
+
+    def test_decode_array_roundtrip_exact(self, rng):
+        array = rng.normal(size=(7, 3))
+        assert np.array_equal(decode_array(encode_array(array)), array)
+
+
+class TestStateErrorsBoundary:
+    def test_converts_structural_exceptions(self):
+        for raiser in (lambda: {}["missing"], lambda: len(None),
+                       lambda: [][3], lambda: int("nope")):
+            with pytest.raises(StateError):
+                with state_errors("test.kind"):
+                    raiser()
+
+    def test_state_error_passes_through_unwrapped(self):
+        original = StateError("already typed")
+        with pytest.raises(StateError) as excinfo:
+            with state_errors("test.kind"):
+                raise original
+        assert excinfo.value is original
+
+    def test_nonstructural_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with state_errors("test.kind"):
+                raise RuntimeError("not a state problem")
+
+    def test_pack_state_then_mutated_header_is_schema_error(self):
+        from repro.persistence import StateSchemaError, require_state
+
+        state = pack_state("test.kind", {"x": 1})
+        state["schema_version"] = 999
+        with pytest.raises(StateSchemaError):
+            require_state(state, "test.kind")

