@@ -11,9 +11,17 @@ Commands:
 * ``serve-http`` -- run the asyncio network front end: concurrent
   forecast queries over plain sockets (HTTP/1.1 + optional
   length-prefixed JSON), warm-started from a model store.
+* ``serve-cluster`` -- boot N supervised ``serve-http`` replicas from
+  one model store; crashed replicas restart with bounded backoff.
 * ``export-models`` -- fit once and snapshot the fitted registry to a
   model store directory for later ``predict``/``serve``/``serve-http``
   ``--store`` runs.
+
+``predict`` can also answer through a live replica set instead of a
+local model: ``--endpoints host:port,host:port`` (or ``--cluster-config
+cluster.json``) routes the question through the failover client, which
+walks the replicas and degrades to the §VII-A baseline only when every
+one is down.
 
 Every command accepts the same dataset options: either ``--trace path``
 (a persisted trace; the environment is rebuilt from its metadata) or
@@ -111,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--shards", type=int, default=1,
                          help="answer through N sharded worker processes "
                               "(1 = in-process)")
+    predict.add_argument("--endpoints",
+                         help="comma-separated replica list "
+                              "(host:port,host:port); answer through the "
+                              "failover client instead of a local model")
+    predict.add_argument("--cluster-config",
+                         help="JSON replica-set spec (alternative to "
+                              "--endpoints)")
     predict.add_argument("--json", action="store_true",
                          help="emit the forecast as JSON")
 
@@ -165,6 +180,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--store",
                             help="model store directory; boot warm from it "
                                  "instead of refitting")
+
+    serve_cluster = sub.add_parser(
+        "serve-cluster",
+        help="boot and supervise N serve-http replicas from one model store",
+    )
+    add_dataset_args(serve_cluster)
+    serve_cluster.add_argument("--replicas", type=int, default=2,
+                               help="replica count")
+    serve_cluster.add_argument("--store", required=True,
+                               help="model store directory every replica "
+                                    "warm-boots from (run export-models "
+                                    "first; N cold refits would defeat the "
+                                    "point)")
+    serve_cluster.add_argument("--host", default="127.0.0.1",
+                               help="listen interface for every replica")
+    serve_cluster.add_argument("--port", type=int, default=0,
+                               help="base HTTP port; replica i listens on "
+                                    "port+i (0 = one ephemeral port each)")
+    serve_cluster.add_argument("--workers", type=int, default=1,
+                               help="worker processes per replica "
+                                    "(serve-http --workers)")
+    serve_cluster.add_argument("--worker-threads", type=int, default=4,
+                               help="engine threads per worker")
+    serve_cluster.add_argument("--probe-interval", type=float, default=1.0,
+                               help="seconds between /healthz probes")
+    serve_cluster.add_argument("--failure-threshold", type=int, default=2,
+                               help="consecutive probe failures before a "
+                                    "replica is marked unready")
+    serve_cluster.add_argument("--boot-timeout", type=float, default=120.0,
+                               help="seconds a replica may take to become "
+                                    "healthy before it is killed and retried")
+    serve_cluster.add_argument("--drain-timeout", type=float, default=15.0,
+                               help="seconds to wait for graceful drains "
+                                    "on shutdown")
 
     export = sub.add_parser(
         "export-models",
@@ -308,9 +357,6 @@ def _busiest_pair(trace) -> tuple[int | None, str | None]:
 
 def _predict_sharded(args: argparse.Namespace, trace, env) -> int:
     """``predict --shards N``: answer through the multi-process engine."""
-    import json
-
-    from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
     from repro.persistence import ModelStore
     from repro.serving import ShardedForecastEngine
 
@@ -329,6 +375,16 @@ def _predict_sharded(args: argparse.Namespace, trace, env) -> int:
     with ShardedForecastEngine(trace, env, n_shards=args.shards,
                                store_path=store) as engine:
         forecast = engine.query(asn=asn, family=family)
+    return _print_forecast(args, forecast, asn, family)
+
+
+def _print_forecast(args: argparse.Namespace, forecast,
+                    asn: int, family: str) -> int:
+    """Render one serving-tier Forecast like the other predict paths."""
+    import json
+
+    from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
+
     if forecast.prediction is None:
         print(f"AS{asn} has no answerable history: {forecast.error}",
               file=sys.stderr)
@@ -350,12 +406,53 @@ def _predict_sharded(args: argparse.Namespace, trace, env) -> int:
     return 0
 
 
+def _predict_cluster(args: argparse.Namespace, trace) -> int:
+    """``predict --endpoints``: route through the failover client."""
+    import asyncio
+
+    from repro.cluster import ClusterConfig, FailoverForecastClient
+    from repro.serving.engine import BaselineFallback
+    from repro.serving.metrics import ServingMetrics
+
+    if args.cluster_config:
+        config = ClusterConfig.from_file(args.cluster_config)
+    else:
+        config = ClusterConfig.from_endpoints(args.endpoints)
+    default_asn, default_family = _busiest_pair(trace)
+    asn = args.asn if args.asn is not None else default_asn
+    family = args.family or default_family
+    if asn is None:
+        print("empty trace: nothing to predict", file=sys.stderr)
+        return 1
+
+    async def ask():
+        metrics = ServingMetrics()
+        client = FailoverForecastClient(
+            config, fallback=BaselineFallback(trace, metrics),
+            metrics=metrics)
+        async with client:
+            return await client.forecast(asn=asn, family=family)
+
+    forecast = asyncio.run(ask())
+    if forecast.degraded:
+        print(f"degraded answer: {forecast.error}", file=sys.stderr)
+    return _print_forecast(args, forecast, asn, family)
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     import json
 
     from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, prediction_to_dict
 
     trace, env = _load_or_generate(args)
+    if args.endpoints or args.cluster_config:
+        from repro.cluster import ClusterConfigError
+
+        try:
+            return _predict_cluster(args, trace)
+        except ClusterConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.shards > 1:
         return _predict_sharded(args, trace, env)
     predictor = _restore_predictor(args.store, trace, env) if args.store else None
@@ -543,10 +640,16 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                                 max_workers=args.worker_threads)
         print("warming up ...", file=sys.stderr)
         engine.warm()  # a store restore makes this a cache hit, not a refit
+    store_info = None
+    if args.store:
+        from repro.persistence import ModelStore
+
+        store_info = ModelStore(args.store).describe()
     dispatcher = Dispatcher(
         engine,
         max_inflight=args.max_inflight,
         default_timeout_s=args.timeout if args.timeout > 0 else None,
+        store_info=store_info,
     )
     server = ForecastServer(
         dispatcher,
@@ -566,6 +669,80 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass  # loops without add_signal_handler support land here
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import signal as signal_module
+    import threading
+
+    from repro.cluster import ClusterConfig, ClusterConfigError, ReplicaEndpoint
+    from repro.cluster.supervisor import ReplicaSupervisor
+
+    if _store_missing(args.store):
+        return EXIT_BAD_STORE
+    try:
+        if args.replicas < 1:
+            raise ClusterConfigError("--replicas must be >= 1")
+        probe = ClusterConfig(
+            endpoints=(ReplicaEndpoint("placeholder", 1),),
+            probe_interval_s=args.probe_interval,
+            failure_threshold=args.failure_threshold,
+        )
+    except ClusterConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Children rebuild the dataset themselves: forward the trace path
+    # when we have one, the generation parameters otherwise.
+    extra_args: list[str] = []
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        extra_args += ["--days", str(args.days), "--seed", str(args.seed),
+                       "--scale", str(args.scale),
+                       "--targets", str(args.targets)]
+    ports = ([args.port + i for i in range(args.replicas)]
+             if args.port else None)
+    supervisor = ReplicaSupervisor(
+        replicas=args.replicas,
+        trace_path=trace_path,
+        store_path=args.store,
+        host=args.host,
+        ports=ports,
+        workers=args.workers,
+        worker_threads=args.worker_threads,
+        config=probe,
+        boot_timeout_s=args.boot_timeout,
+        drain_timeout_s=args.drain_timeout,
+        extra_args=extra_args,
+    )
+    print(f"booting {args.replicas} replica(s) from {args.store} ...",
+          file=sys.stderr)
+    supervisor.start()
+    ready = supervisor.ready_count()
+    if ready == 0:
+        print("error: no replica became healthy", file=sys.stderr)
+        supervisor.stop()
+        return 1
+    endpoints = ",".join(e.address for e in supervisor.endpoints())
+    print(f"cluster ready: {ready}/{args.replicas} replicas "
+          f"(query with: predict --endpoints {endpoints})", file=sys.stderr)
+    print(f"cluster serving on {endpoints}")
+
+    stop = threading.Event()
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        try:
+            signal_module.signal(signum, lambda *_args: stop.set())
+        except ValueError:  # non-main thread (tests)
+            pass
+    try:
+        while not stop.is_set():  # 1s ticks keep signals deliverable
+            stop.wait(1.0)
+    except KeyboardInterrupt:
+        pass
+    print("cluster draining ...", file=sys.stderr)
+    supervisor.stop()
+    print("cluster stopped", file=sys.stderr)
     return 0
 
 
@@ -594,6 +771,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "serve": _cmd_serve,
     "serve-http": _cmd_serve_http,
+    "serve-cluster": _cmd_serve_cluster,
     "export-models": _cmd_export_models,
 }
 

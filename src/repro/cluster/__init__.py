@@ -1,0 +1,67 @@
+"""Replicated forecast serving: supervision + client-side failover.
+
+PR 3 gave one replica a network front end and PR 4 gave one replica
+multiple worker processes -- but the predictor itself was still a
+single point of failure, exactly when *Early Signals from Volumetric
+DDoS Attacks*-style forecasts matter most (the minutes before the
+peak, when one replica is likeliest to be saturated or down).
+``repro.cluster`` closes the last ROADMAP serving item by making the
+replica *set* the unit of deployment:
+
+Topology::
+
+    FailoverForecastClient ──► replica 0: serve-http (optionally --workers N)
+      (round-robin over        replica 1: serve-http
+       ready members,          ...
+       Retry-After-aware       ▲
+       cooldowns, §VII-A       │ boot / SIGTERM drain / restart /
+       exhaustion fallback)    │ rolling store reload
+                            ReplicaSupervisor
+
+* :mod:`repro.cluster.config` -- :class:`ClusterConfig`, the replica-
+  set spec (addresses + probe/failover discipline) parsed from CLI
+  flags (``--endpoints host:port,...``) or a JSON file, with typed
+  :class:`ClusterConfigError` on every malformed input.
+* :mod:`repro.cluster.failover` -- :class:`ReplicaSet` member state
+  machine and :class:`FailoverForecastClient`, the smart client that
+  fails over on connection errors/timeouts/503s, honors ``Retry-After``
+  hints, and degrades to the §VII-A baseline only when every replica
+  is exhausted.
+* :mod:`repro.cluster.supervisor` -- :class:`ReplicaSupervisor`, which
+  boots N ``serve-http`` children from one model store, health-probes
+  them, restarts crashes with bounded backoff, and performs rolling
+  model reloads that keep >= N-1 replicas ready throughout.
+
+CLI: ``repro serve-cluster --replicas N`` (supervisor) and
+``repro predict --endpoints host:port,host:port`` (smart client).
+"""
+
+from repro.cluster.config import (
+    ClusterConfig,
+    ClusterConfigError,
+    ReplicaEndpoint,
+    parse_endpoint,
+    parse_endpoints,
+)
+from repro.cluster.failover import (
+    FailoverForecastClient,
+    NoReplicasAvailableError,
+    ReplicaSet,
+    ReplicaState,
+)
+from repro.cluster.supervisor import ReplicaSupervisor, ReplicaStatus, probe_healthz
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterConfigError",
+    "ReplicaEndpoint",
+    "parse_endpoint",
+    "parse_endpoints",
+    "FailoverForecastClient",
+    "NoReplicasAvailableError",
+    "ReplicaSet",
+    "ReplicaState",
+    "ReplicaSupervisor",
+    "ReplicaStatus",
+    "probe_healthz",
+]

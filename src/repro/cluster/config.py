@@ -1,0 +1,201 @@
+"""Replica-set specification for the cluster tier.
+
+One :class:`ClusterConfig` describes everything a smart client (or a
+supervisor health loop) needs to know about a replica set: the member
+addresses plus the probing/failover discipline (probe cadence, how
+many consecutive probe failures eject a member, how many successes
+readmit it, and the cooldown bounds applied when a replica fails or
+asks to be left alone via ``Retry-After``).
+
+It parses from the two places operators hold this data:
+
+* CLI flags -- ``--endpoints host:port,host:port`` via
+  :meth:`ClusterConfig.from_endpoints`;
+* a JSON file -- ``--cluster-config cluster.json`` via
+  :meth:`ClusterConfig.from_file`.
+
+Every malformed input raises :class:`ClusterConfigError` (a
+``ValueError``) with a message naming the offending field -- a typed
+error the CLI maps onto its bad-arguments exit code, and tests assert
+on directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterConfigError",
+    "ReplicaEndpoint",
+    "parse_endpoint",
+    "parse_endpoints",
+]
+
+
+class ClusterConfigError(ValueError):
+    """A replica-set spec (flags or JSON file) that cannot be used."""
+
+
+@dataclass(frozen=True)
+class ReplicaEndpoint:
+    """One replica's address."""
+
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        """The canonical ``host:port`` spelling."""
+        return f"{self.host}:{self.port}"
+
+    def __str__(self) -> str:  # logs and error messages
+        return self.address
+
+
+def parse_endpoint(spec: str) -> ReplicaEndpoint:
+    """``host:port`` -> :class:`ReplicaEndpoint` (typed errors)."""
+    if not isinstance(spec, str):
+        raise ClusterConfigError(
+            f"endpoint must be a 'host:port' string, got {type(spec).__name__}")
+    host, sep, port_text = spec.strip().rpartition(":")
+    if not sep or not host:
+        raise ClusterConfigError(
+            f"endpoint {spec!r} is not of the form host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterConfigError(
+            f"endpoint {spec!r} has a non-integer port {port_text!r}") from None
+    if not 1 <= port <= 65535:
+        raise ClusterConfigError(
+            f"endpoint {spec!r} port {port} is outside 1..65535")
+    return ReplicaEndpoint(host=host, port=port)
+
+
+def parse_endpoints(spec: str) -> tuple[ReplicaEndpoint, ...]:
+    """Comma-separated ``host:port`` list -> endpoint tuple."""
+    parts = [part for part in (p.strip() for p in spec.split(",")) if part]
+    if not parts:
+        raise ClusterConfigError("endpoint list is empty")
+    endpoints = tuple(parse_endpoint(part) for part in parts)
+    seen: set[str] = set()
+    for endpoint in endpoints:
+        if endpoint.address in seen:
+            raise ClusterConfigError(
+                f"endpoint {endpoint.address} is listed twice")
+        seen.add(endpoint.address)
+    return endpoints
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A replica set plus its probing/failover discipline."""
+
+    endpoints: tuple[ReplicaEndpoint, ...] = field(default_factory=tuple)
+    #: Seconds between health-probe rounds (also the supervisor's
+    #: monitoring cadence; failover itself does not wait for a probe).
+    probe_interval_s: float = 1.0
+    #: Consecutive probe/request failures before a member is ejected.
+    failure_threshold: int = 2
+    #: Consecutive healthy probes before an ejected member is readmitted.
+    recovery_threshold: int = 1
+    #: Per-attempt request deadline on each member client.
+    request_timeout_s: float = 30.0
+    #: Cooldown applied to a failed member when the server sent no
+    #: ``Retry-After`` hint; doubles per consecutive failure up to the cap.
+    cooldown_s: float = 0.5
+    max_cooldown_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise ClusterConfigError("a cluster needs at least one endpoint")
+        for name in ("probe_interval_s", "request_timeout_s",
+                     "cooldown_s", "max_cooldown_s"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ClusterConfigError(
+                    f"{name} must be a positive number, got {value!r}")
+        for name in ("failure_threshold", "recovery_threshold"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ClusterConfigError(
+                    f"{name} must be an integer >= 1, got {value!r}")
+        if self.max_cooldown_s < self.cooldown_s:
+            raise ClusterConfigError(
+                f"max_cooldown_s ({self.max_cooldown_s}) is below "
+                f"cooldown_s ({self.cooldown_s})")
+
+    # ----- constructors -----
+
+    @classmethod
+    def from_endpoints(cls, spec: str, **overrides) -> "ClusterConfig":
+        """Build from the CLI's ``--endpoints host:port,...`` flag."""
+        return cls(endpoints=parse_endpoints(spec), **overrides)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        """Build from a decoded JSON object (typed errors throughout)."""
+        if not isinstance(data, dict):
+            raise ClusterConfigError(
+                f"cluster config must be a JSON object, "
+                f"got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ClusterConfigError(
+                f"unknown cluster config keys: {', '.join(sorted(unknown))}")
+        kwargs = dict(data)
+        raw_endpoints = kwargs.pop("endpoints", None)
+        if raw_endpoints is None:
+            raise ClusterConfigError("cluster config is missing 'endpoints'")
+        if isinstance(raw_endpoints, str):
+            endpoints = parse_endpoints(raw_endpoints)
+        elif isinstance(raw_endpoints, list):
+            if not raw_endpoints:
+                raise ClusterConfigError("endpoint list is empty")
+            endpoints = tuple(parse_endpoint(item) for item in raw_endpoints)
+        else:
+            raise ClusterConfigError(
+                "'endpoints' must be a list of 'host:port' strings "
+                f"or one comma-separated string, "
+                f"got {type(raw_endpoints).__name__}")
+        return cls(endpoints=endpoints, **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ClusterConfig":
+        """Parse a JSON replica-set spec from disk."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ClusterConfigError(
+                f"cannot read cluster config {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ClusterConfigError(
+                f"cluster config {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # ----- helpers -----
+
+    def with_endpoints(self, endpoints) -> "ClusterConfig":
+        """The same discipline over a different member list."""
+        return replace(self, endpoints=tuple(endpoints))
+
+    def to_dict(self) -> dict:
+        """JSON-safe round-trip of the spec (inverse of from_dict)."""
+        return {
+            "endpoints": [e.address for e in self.endpoints],
+            "probe_interval_s": self.probe_interval_s,
+            "failure_threshold": self.failure_threshold,
+            "recovery_threshold": self.recovery_threshold,
+            "request_timeout_s": self.request_timeout_s,
+            "cooldown_s": self.cooldown_s,
+            "max_cooldown_s": self.max_cooldown_s,
+        }

@@ -1,0 +1,439 @@
+"""Replica supervision: boot, monitor, restart, rolling reload.
+
+:class:`ReplicaSupervisor` turns one ``serve-http`` invocation into N
+of them: each replica is a real ``python -m repro serve-http`` child
+process (optionally sharded itself via ``--workers``), booted warm
+from one :class:`~repro.persistence.store.ModelStore`, listening on
+its own port.  The supervisor owns three behaviors:
+
+* **Monitoring** -- one lifecycle thread per replica (the same shape
+  as the sharded engine's per-shard threads) polls the child's
+  ``/healthz`` every ``ClusterConfig.probe_interval_s`` and keeps the
+  parent-side readiness state the CLI and tests read.
+* **Restart** -- a crashed replica (any exit, SIGKILL included) is
+  relaunched with bounded exponential backoff; a boot that never turns
+  healthy within ``boot_timeout_s`` is killed and retried the same
+  way.  Until the replacement is ready, the replica-set answer path is
+  the smart client's problem -- the supervisor never blocks serving.
+* **Rolling reload** -- :meth:`rolling_reload` points replicas at a
+  new store version one at a time: SIGTERM (the server's graceful
+  drain), wait for exit, relaunch against the new store, and only move
+  on once ``/healthz`` proves the replica is ready *and* serving the
+  new store (the ``store`` provenance the dispatcher now exposes).
+  One-at-a-time plus wait-for-ready means the set never drops below
+  N-1 ready members; the report records the observed floor.
+
+Everything here is synchronous (threads + subprocess + a tiny
+``http.client`` probe): the supervisor is an operator-side process
+manager, not a data-path component, so asyncio buys nothing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.config import ClusterConfig, ClusterConfigError, ReplicaEndpoint
+
+__all__ = ["ReplicaSupervisor", "ReplicaStatus", "probe_healthz"]
+
+
+def _free_port(host: str) -> int:
+    """An OS-assigned free TCP port (bind-0, read, close)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def probe_healthz(host: str, port: int,
+                  timeout_s: float = 2.0) -> tuple[int, dict]:
+    """One blocking ``GET /healthz``; raises ``OSError`` family on failure."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        body = response.read()
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            decoded = {}
+        return response.status, decoded
+    finally:
+        conn.close()
+
+
+@dataclass
+class ReplicaStatus:
+    """Parent-side bookkeeping for one replica child process."""
+
+    index: int
+    port: int
+    store_path: str | None
+    process: subprocess.Popen | None = None
+    ready: bool = False
+    pid: int | None = None
+    restarts: int = 0
+    consecutive_probe_failures: int = 0
+    health: dict = field(default_factory=dict)
+    booted: threading.Event = field(default_factory=threading.Event)
+    #: Set while rolling_reload intentionally drains this replica, so
+    #: the lifecycle thread relaunches immediately instead of backing
+    #: off as it would for a crash.
+    reloading: bool = False
+
+    def describe(self) -> dict:
+        """JSON-safe status row (CLI output, tests, CI smoke)."""
+        return {
+            "index": self.index,
+            "port": self.port,
+            "pid": self.pid,
+            "ready": self.ready,
+            "restarts": self.restarts,
+            "store": self.store_path,
+            "model_version": self.health.get("model_version"),
+            "health_store": self.health.get("store"),
+        }
+
+
+class ReplicaSupervisor:
+    """N ``serve-http`` replicas under one lifecycle authority."""
+
+    def __init__(self, *, replicas: int = 2,
+                 trace_path: str | Path | None = None,
+                 store_path: str | Path | None = None,
+                 host: str = "127.0.0.1",
+                 ports: list[int] | None = None,
+                 workers: int = 1,
+                 worker_threads: int = 4,
+                 config: ClusterConfig | None = None,
+                 boot_timeout_s: float = 120.0,
+                 restart_backoff_s: float = 0.5,
+                 max_restart_backoff_s: float = 8.0,
+                 drain_timeout_s: float = 15.0,
+                 extra_args: list[str] | None = None,
+                 log_dir: str | Path | None = None,
+                 log=None) -> None:
+        if replicas < 1:
+            raise ClusterConfigError("a cluster needs at least one replica")
+        if ports is not None and len(ports) != replicas:
+            raise ClusterConfigError(
+                f"{replicas} replicas need {replicas} ports, "
+                f"got {len(ports)}")
+        self.host = host
+        self.trace_path = str(trace_path) if trace_path is not None else None
+        self.store_path = str(store_path) if store_path is not None else None
+        self.workers = workers
+        self.worker_threads = worker_threads
+        self.boot_timeout_s = boot_timeout_s
+        self.restart_backoff_s = restart_backoff_s
+        self.max_restart_backoff_s = max_restart_backoff_s
+        self.drain_timeout_s = drain_timeout_s
+        self.extra_args = list(extra_args or [])
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        self._log = log or (lambda message: print(message, file=sys.stderr))
+        resolved_ports = ports or [_free_port(host) for _ in range(replicas)]
+        self.replicas = [
+            ReplicaStatus(index=i, port=port, store_path=self.store_path)
+            for i, port in enumerate(resolved_ports)
+        ]
+        base = config or ClusterConfig(endpoints=(ReplicaEndpoint("x", 1),))
+        self.config = base.with_endpoints(self.endpoints())
+        self._threads: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+
+    # ----- wiring for clients -----
+
+    def endpoints(self) -> list[ReplicaEndpoint]:
+        """The replica addresses, for smart-client construction."""
+        return [ReplicaEndpoint(self.host, r.port) for r in self.replicas]
+
+    def cluster_config(self) -> ClusterConfig:
+        """A :class:`ClusterConfig` over these replicas' addresses."""
+        return self.config
+
+    # ----- lifecycle -----
+
+    def start(self, wait_ready: bool = True) -> "ReplicaSupervisor":
+        """Launch every replica (idempotent); optionally wait for boots.
+
+        Like the sharded engine's ``start``, a replica whose first boot
+        fails does not raise here -- its lifecycle thread keeps
+        retrying with backoff while the rest of the set serves.
+        """
+        with self._state_lock:
+            if self._stopping:
+                raise RuntimeError("supervisor is stopped")
+            if self._started:
+                return self
+            self._started = True
+            for replica in self.replicas:
+                thread = threading.Thread(
+                    target=self._replica_loop, args=(replica,),
+                    name=f"replica-{replica.index}", daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        if wait_ready:
+            deadline = time.monotonic() + self.boot_timeout_s
+            for replica in self.replicas:
+                replica.booted.wait(max(0.0, deadline - time.monotonic()))
+        return self
+
+    def stop(self) -> None:
+        """SIGTERM every replica (graceful drain), then reap (idempotent)."""
+        with self._state_lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for replica in self.replicas:
+            process = replica.process
+            if process is not None and process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + self.drain_timeout_s
+        for replica in self.replicas:
+            process = replica.process
+            if process is None:
+                continue
+            try:
+                process.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+            replica.ready = False
+        for thread in self._threads:
+            thread.join(timeout=self.drain_timeout_s)
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ----- observation -----
+
+    def ready_count(self) -> int:
+        """Replicas currently answering ``/healthz`` with 200/ok."""
+        return sum(1 for replica in self.replicas if replica.ready)
+
+    def status(self) -> list[dict]:
+        """One JSON-safe row per replica."""
+        return [replica.describe() for replica in self.replicas]
+
+    def wait_ready(self, count: int | None = None,
+                   timeout_s: float = 60.0) -> bool:
+        """Block until ``count`` (default: all) replicas are ready."""
+        want = len(self.replicas) if count is None else count
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.ready_count() >= want:
+                return True
+            time.sleep(0.05)
+        return self.ready_count() >= want
+
+    # ----- rolling reload -----
+
+    def rolling_reload(self, new_store_path: str | Path, *,
+                       per_replica_timeout_s: float = 120.0) -> dict:
+        """Move every replica to ``new_store_path``, one at a time.
+
+        Sequence per replica: wait until the *rest* of the set is
+        ready, mark the new store, SIGTERM (graceful drain), wait for
+        exit, and wait for the relaunched child to answer ``/healthz``
+        ready *with the new store's path in its provenance*.  Because
+        exactly one replica is ever down on purpose, the set holds at
+        >= N-1 ready members; the returned report carries the observed
+        floor so tests and operators can verify rather than trust.
+        """
+        new_store = str(new_store_path)
+        t0 = time.monotonic()
+        floor = self.ready_count()
+        report: dict = {"replicas": len(self.replicas), "steps": []}
+        for replica in self.replicas:
+            deadline = time.monotonic() + per_replica_timeout_s
+            # Do not take a replica down while another is still out.
+            while time.monotonic() < deadline:
+                others_ready = sum(1 for r in self.replicas
+                                   if r is not replica and r.ready)
+                if others_ready >= len(self.replicas) - 1:
+                    break
+                floor = min(floor, self.ready_count())
+                time.sleep(0.05)
+            step_t0 = time.monotonic()
+            replica.store_path = new_store
+            replica.reloading = True
+            process = replica.process
+            if process is not None and process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+            floor = min(floor, self._await_reloaded(
+                replica, new_store, deadline))
+            report["steps"].append({
+                "index": replica.index,
+                "port": replica.port,
+                "ready": replica.ready,
+                "store": replica.health.get("store"),
+                "duration_s": round(time.monotonic() - step_t0, 3),
+            })
+        report["min_ready"] = floor
+        report["duration_s"] = round(time.monotonic() - t0, 3)
+        report["ok"] = all(step["ready"] for step in report["steps"])
+        self._log(f"rolling reload to {new_store}: "
+                  f"{'ok' if report['ok'] else 'FAILED'} in "
+                  f"{report['duration_s']}s (ready floor {floor})")
+        return report
+
+    def _await_reloaded(self, replica: ReplicaStatus, new_store: str,
+                        deadline: float) -> int:
+        """Wait for one drained replica to return on the new store.
+
+        Returns the minimum ready count observed while waiting, so the
+        caller can fold it into the reload report's floor.
+        """
+        floor = self.ready_count()
+        while time.monotonic() < deadline:
+            floor = min(floor, self.ready_count())
+            health_store = (replica.health or {}).get("store") or {}
+            if (replica.ready and not replica.reloading
+                    and health_store.get("path") == new_store):
+                return floor
+            time.sleep(0.05)
+        return floor
+
+    # ----- per-replica lifecycle thread -----
+
+    def _replica_loop(self, replica: ReplicaStatus) -> None:
+        """Boot, watch, and (with bounded backoff) relaunch one child."""
+        backoff = self.restart_backoff_s
+        first = True
+        while not self._stopping:
+            booted = self._boot_replica(replica, first_boot=first)
+            replica.booted.set()
+            if booted:
+                backoff = self.restart_backoff_s  # healthy boot resets it
+                self._watch(replica)
+            replica.ready = False
+            if self._stopping:
+                break
+            if replica.reloading:
+                # Intentional drain: relaunch immediately, no penalty.
+                replica.reloading = False
+                first = False
+                continue
+            wait = 0.0 if (first and booted) else backoff
+            self._log(f"replica {replica.index} (port {replica.port}) "
+                      f"{'died' if booted else 'failed to boot'}; "
+                      f"restarting in {wait:g}s")
+            if wait:
+                time.sleep(wait)
+                backoff = min(backoff * 2, self.max_restart_backoff_s)
+            first = False
+        self._reap(replica)
+
+    def _spawn(self, replica: ReplicaStatus) -> subprocess.Popen | None:
+        argv = [sys.executable, "-m", "repro", "serve-http",
+                "--host", self.host, "--port", str(replica.port),
+                "--workers", str(self.workers),
+                "--worker-threads", str(self.worker_threads)]
+        if self.trace_path:
+            argv += ["--trace", self.trace_path]
+        if replica.store_path:
+            argv += ["--store", replica.store_path]
+        argv += self.extra_args
+        stdout = stderr = subprocess.DEVNULL
+        log_handle = None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            log_handle = open(self.log_dir / f"replica-{replica.index}.log",
+                              "ab")
+            stdout = stderr = log_handle
+        try:
+            process = subprocess.Popen(argv, stdout=stdout, stderr=stderr)
+        except OSError as exc:
+            self._log(f"replica {replica.index}: cannot launch: {exc}")
+            process = None
+        finally:
+            if log_handle is not None:
+                log_handle.close()  # the child holds its own descriptor
+        return process
+
+    def _boot_replica(self, replica: ReplicaStatus,
+                      first_boot: bool = False) -> bool:
+        self._reap(replica)
+        process = self._spawn(replica)
+        if process is None:
+            return False
+        replica.process = process
+        replica.pid = process.pid
+        deadline = time.monotonic() + self.boot_timeout_s
+        while time.monotonic() < deadline and not self._stopping:
+            if process.poll() is not None:
+                self._log(f"replica {replica.index} exited "
+                          f"(code {process.returncode}) during boot")
+                return False
+            try:
+                status, body = probe_healthz(self.host, replica.port)
+            except OSError:
+                time.sleep(0.1)
+                continue
+            if status == 200 and body.get("status") == "ok":
+                replica.health = body
+                replica.ready = True
+                replica.consecutive_probe_failures = 0
+                if not first_boot:
+                    replica.restarts += 1
+                self._log(f"replica {replica.index} ready on "
+                          f"http://{self.host}:{replica.port} "
+                          f"(pid {replica.pid}, "
+                          f"model v{body.get('model_version')})")
+                return True
+            time.sleep(0.1)
+        if self._stopping:
+            return False
+        self._log(f"replica {replica.index} never became healthy within "
+                  f"{self.boot_timeout_s}s; killing it")
+        process.kill()
+        return False
+
+    def _watch(self, replica: ReplicaStatus) -> None:
+        """Probe one live replica until it exits (or we stop)."""
+        interval = self.config.probe_interval_s
+        while not self._stopping:
+            process = replica.process
+            if process is None or process.poll() is not None:
+                return
+            try:
+                status, body = probe_healthz(self.host, replica.port)
+            except OSError:
+                replica.consecutive_probe_failures += 1
+                if (replica.consecutive_probe_failures
+                        >= self.config.failure_threshold):
+                    replica.ready = False
+            else:
+                replica.health = body
+                if status == 200 and body.get("status") == "ok":
+                    replica.consecutive_probe_failures = 0
+                    replica.ready = True
+                else:  # draining or sick: out of rotation, not dead
+                    replica.consecutive_probe_failures += 1
+                    replica.ready = False
+            time.sleep(interval)
+
+    def _reap(self, replica: ReplicaStatus) -> None:
+        process, replica.process = replica.process, None
+        replica.ready = False
+        if process is not None and process.poll() is None:
+            process.kill()
+        if process is not None:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass

@@ -129,6 +129,24 @@ class ModelStore:
             raise StateError(f"corrupt store manifest at {manifest_path}: {exc}") from exc
         return require_state(manifest, _STORE_KIND)
 
+    def describe(self) -> dict:
+        """Small provenance dict for health/monitoring endpoints.
+
+        Identifies the store *version* a process is serving from --
+        ``saved_at`` changes on every (re-)export even when the path
+        does not, which is what a rolling reload watches -- without
+        shipping the full manifest index over every ``/healthz`` poll.
+        """
+        manifest = self.manifest()
+        entries = manifest.get("entries", [])
+        return {
+            "path": str(self.path),
+            "saved_at": manifest.get("saved_at"),
+            "entries": len(entries),
+            "max_version": max(
+                (int(e.get("version", 0)) for e in entries), default=0),
+        }
+
     def load(self, fingerprint: str | None = None) -> list[StoredModel]:
         """Load stored entries, optionally filtered by trace fingerprint."""
         manifest = self.manifest()

@@ -9,6 +9,14 @@ callers inspect ``forecast.degraded`` rather than catching exceptions,
 mirroring the engine's own degradation contract.  Hard failures (400,
 404, 503 ...) raise :class:`ForecastServiceError`.
 
+Backpressure hints are first-class: the ``Retry-After`` header a 429
+or 503 carries (``retry_after_s`` on the framed transport) is parsed
+on every response, surfaced on :class:`ForecastServiceError`, kept as
+:attr:`AsyncForecastClient.last_retry_after_s` for forecast-bearing
+429s, and folded into the :class:`ReplicaHealth` readiness state that
+:meth:`AsyncForecastClient.healthz` returns -- the inputs a failover
+client needs to pick, eject, and cool down replicas.
+
 Connections are persistent (keep-alive / one framed stream) and
 re-opened transparently once per request if the server dropped them --
 forecast queries are read-only, so the single retry is safe.
@@ -22,12 +30,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+from dataclasses import dataclass, field
 
 from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
 from repro.serving.engine import Forecast, ForecastRequest
 from repro.server.protocol import ProtocolError, encode_frame, read_frame
 
-__all__ = ["AsyncForecastClient", "ForecastServiceError"]
+__all__ = ["AsyncForecastClient", "ForecastServiceError", "ReplicaHealth"]
 
 
 class ForecastServiceError(RuntimeError):
@@ -41,6 +50,57 @@ class ForecastServiceError(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
+@dataclass(frozen=True)
+class ReplicaHealth:
+    """One replica's readiness, decoded from its ``/healthz`` answer.
+
+    The structured form of the health body: ``ready`` is the one bit a
+    load balancer routes on (HTTP 200 + ``status: ok``), ``draining``
+    flags graceful shutdown in progress (503 + ``Retry-After``), and
+    the model/store provenance is what a rolling reload watches to
+    confirm a replica came back on the *new* store version.  ``raw``
+    keeps the full wire body for anything not lifted into a field.
+    """
+
+    status: str
+    ready: bool
+    draining: bool
+    model_version: int = 0
+    inflight: int = 0
+    store: dict | None = None
+    retry_after_s: float | None = None
+    raw: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_wire(cls, http_status: int, body: dict,
+                  retry_after_s: float | None = None) -> "ReplicaHealth":
+        """Decode one ``/healthz`` response (either transport)."""
+        if not isinstance(body, dict):
+            body = {}
+        status = str(body.get("status", "unknown"))
+        return cls(
+            status=status,
+            ready=(http_status == 200 and status == "ok"),
+            draining=(status == "draining" or bool(body.get("draining"))),
+            model_version=int(body.get("model_version", 0) or 0),
+            inflight=int(body.get("inflight", 0) or 0),
+            store=body.get("store"),
+            retry_after_s=retry_after_s,
+            raw=body,
+        )
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds from a ``Retry-After`` header (delta form only)."""
+    if not value:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None  # HTTP-date form: not emitted by this server
+    return max(0.0, seconds)
+
+
 class AsyncForecastClient:
     """One connection to a forecast server, either transport."""
 
@@ -52,6 +112,10 @@ class AsyncForecastClient:
         self.port = port
         self.transport = transport
         self.request_timeout_s = request_timeout_s
+        #: Backpressure hint from the most recent response (seconds),
+        #: or None when the server sent none.  Forecast-bearing 429s
+        #: do not raise, so this is where their hint surfaces.
+        self.last_retry_after_s: float | None = None
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -87,8 +151,9 @@ class AsyncForecastClient:
         payload: dict = {"asn": asn, "family": family, "now": now}
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        status, body = await self._call("forecast", "POST", "/v1/forecast", payload)
-        self._check(status, body, forecast_bearing=True)
+        status, body, retry = await self._call(
+            "forecast", "POST", "/v1/forecast", payload)
+        self._check(status, body, retry, forecast_bearing=True)
         return Forecast.from_dict(body)
 
     async def forecast_batch(self, requests, *,
@@ -106,33 +171,35 @@ class AsyncForecastClient:
         payload: dict = {"requests": items}
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        status, body = await self._call(
+        status, body, retry = await self._call(
             "forecast_batch", "POST", "/v1/forecast/batch", payload)
-        self._check(status, body, forecast_bearing=True)
+        self._check(status, body, retry, forecast_bearing=True)
         return [Forecast.from_dict(item) for item in body["forecasts"]]
 
     async def metrics(self) -> dict:
         """The server's full telemetry snapshot."""
-        status, body = await self._call("metrics", "GET", "/metrics", None)
-        self._check(status, body)
+        status, body, retry = await self._call("metrics", "GET", "/metrics", None)
+        self._check(status, body, retry)
         return body
 
-    async def healthz(self) -> dict:
-        """Liveness body; ``{"status": "draining"}`` is returned, not raised."""
-        _status, body = await self._call("healthz", "GET", "/healthz", None)
-        return body
+    async def healthz(self) -> ReplicaHealth:
+        """Structured readiness; ``draining`` is a state, not an error."""
+        status, body, retry = await self._call("healthz", "GET", "/healthz", None)
+        return ReplicaHealth.from_wire(status, body, retry_after_s=retry)
 
     # ----- plumbing -----
 
-    def _check(self, status: int, body: dict,
+    def _check(self, status: int, body: dict, retry_after_s: float | None,
                forecast_bearing: bool = False) -> None:
         ok = (200, 429) if forecast_bearing else (200,)
         if status not in ok:
             error = body.get("error", {}) if isinstance(body, dict) else {}
+            if retry_after_s is None:
+                retry_after_s = error.get("retry_after_s")
             raise ForecastServiceError(
                 status, error.get("code", "error"),
                 error.get("message", f"server answered {status}"),
-                retry_after_s=error.get("retry_after_s"),
+                retry_after_s=retry_after_s,
             )
         if forecast_bearing and body.get("schema_version") != FORECAST_SCHEMA_VERSION:
             raise ForecastServiceError(
@@ -142,27 +209,30 @@ class AsyncForecastClient:
             )
 
     async def _call(self, op: str, method: str, path: str,
-                    payload: dict | None) -> tuple[int, dict]:
+                    payload: dict | None) -> tuple[int, dict, float | None]:
         attempt = self._call_once(op, method, path, payload)
         try:
-            return await asyncio.wait_for(attempt, self.request_timeout_s)
+            status, body, retry = await asyncio.wait_for(
+                attempt, self.request_timeout_s)
         except (ConnectionError, asyncio.IncompleteReadError, ProtocolError):
             # Stale keep-alive (server restarted or cut us off): one
             # clean reconnect, then let failures propagate.
             await self.close()
-            return await asyncio.wait_for(
+            status, body, retry = await asyncio.wait_for(
                 self._call_once(op, method, path, payload),
                 self.request_timeout_s)
+        self.last_retry_after_s = retry
+        return status, body, retry
 
     async def _call_once(self, op: str, method: str, path: str,
-                         payload: dict | None) -> tuple[int, dict]:
+                         payload: dict | None) -> tuple[int, dict, float | None]:
         await self.connect()
         if self.transport == "http":
             return await self._http_call(method, path, payload)
         return await self._framed_call(op, payload)
 
     async def _http_call(self, method: str, path: str,
-                         payload: dict | None) -> tuple[int, dict]:
+                         payload: dict | None) -> tuple[int, dict, float | None]:
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
@@ -187,18 +257,21 @@ class AsyncForecastClient:
             if line:
                 name, _, value = line.partition(":")
                 headers[name.strip().lower()] = value.strip()
+        retry = _parse_retry_after(headers.get("retry-after"))
         length = int(headers.get("content-length", 0))
         raw = await self._reader.readexactly(length) if length else b"{}"
         if headers.get("connection", "").lower() == "close":
             await self.close()
-        return status, json.loads(raw.decode("utf-8"))
+        return status, json.loads(raw.decode("utf-8")), retry
 
     async def _framed_call(self, op: str,
-                           payload: dict | None) -> tuple[int, dict]:
+                           payload: dict | None) -> tuple[int, dict, float | None]:
         frame = {"op": op} | (payload or {})
         self._writer.write(encode_frame(frame))
         await self._writer.drain()
         response = await read_frame(self._reader)
         if response is None:
             raise asyncio.IncompleteReadError(b"", None)
-        return int(response.get("status", 500)), response.get("body", {})
+        retry = response.get("retry_after_s")
+        return (int(response.get("status", 500)), response.get("body", {}),
+                float(retry) if retry is not None else None)

@@ -50,7 +50,8 @@ class Dispatcher:
                  max_inflight: int = 64,
                  default_timeout_s: float | None = 10.0,
                  max_timeout_s: float = 60.0,
-                 retry_after_s: float = DEFAULT_RETRY_AFTER_S) -> None:
+                 retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+                 store_info: dict | None = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self.engine = engine
@@ -59,6 +60,11 @@ class Dispatcher:
         self.default_timeout_s = default_timeout_s
         self.max_timeout_s = max_timeout_s
         self.retry_after_s = retry_after_s
+        #: Model-store provenance (``ModelStore.describe()``), exposed
+        #: on ``/healthz`` so a rolling reload can verify each replica
+        #: came back serving the *new* store version.  None when the
+        #: replica fitted from scratch.
+        self.store_info = store_info
         self._inflight = 0  # event-loop confined; no lock needed
         self._draining = False
         #: Optional callable the transport installs so ``/metrics`` can
@@ -194,14 +200,24 @@ class Dispatcher:
         return snapshot
 
     def health(self) -> tuple[int, dict, float | None]:
-        """The ``/healthz`` body; 503 while draining so LBs eject us."""
-        if self._draining or self.engine.closed:
-            return 503, {"status": "draining"}, self.retry_after_s
-        return 200, {
-            "status": "ok",
+        """The ``/healthz`` body; 503 while draining so LBs eject us.
+
+        Ready or not, the body carries the full readiness state --
+        ``model_version`` and the store provenance in particular, so
+        rolling reloads can observe each replica switching to the new
+        store version rather than inferring it from uptime.
+        """
+        draining = self._draining or self.engine.closed
+        body = {
+            "status": "draining" if draining else "ok",
+            "draining": draining,
             "model_version": self.engine.model_version(),
             "inflight": self._inflight,
-        }, None
+            "store": self.store_info,
+        }
+        if draining:
+            return 503, body, self.retry_after_s
+        return 200, body, None
 
     # ----- internals -----
 

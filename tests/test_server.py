@@ -120,7 +120,8 @@ class TestRoundTrip:
         forecast, health = asyncio.run(scenario())
         assert forecast.source == "model"
         assert forecast.prediction.hour == 3.5
-        assert health["status"] == "ok"
+        assert health.status == "ok"
+        assert health.ready and not health.draining
 
     def test_batch_preserves_order_and_coalesces(self, make_engine, small_trace):
         asns = [a.target_asn for a in small_trace.attacks[:3]]
@@ -154,8 +155,32 @@ class TestRoundTrip:
         assert metrics["counters"]["server.requests"] == 1
         assert metrics["server"]["max_inflight"] == 64
         assert metrics["server"]["connections"] >= 1
-        assert health == {"status": "ok", "model_version": 1, "inflight": 0}
+        assert health.ready and not health.draining
+        assert health.model_version == 1
+        assert health.inflight == 0
+        assert health.store is None  # no model store behind this engine
+        assert health.raw["status"] == "ok"  # wire body kept verbatim
         json.dumps(metrics)  # JSON-safe end to end
+
+    def test_healthz_exposes_store_provenance(self, make_engine):
+        """Rolling reloads watch /healthz for the store a replica serves."""
+        store_info = {"path": "/stores/v2", "saved_at": 123.0,
+                      "entries": 1, "max_version": 3}
+
+        async def scenario():
+            engine = make_engine()
+            server = ForecastServer(
+                Dispatcher(engine, store_info=store_info),
+                port=0, log=lambda _msg: None)
+            async with server:
+                host, port = server.http_address
+                async with AsyncForecastClient(host, port) as client:
+                    return await client.healthz()
+
+        health = asyncio.run(scenario())
+        assert health.ready
+        assert health.store == store_info
+        assert health.model_version == 0  # nothing fitted yet
 
 
 class TestMalformedRequests:
@@ -261,21 +286,28 @@ class TestBackpressure:
                 host, port = server.http_address
                 clients = [AsyncForecastClient(host, port) for _ in asns]
                 try:
-                    return await asyncio.gather(*(
+                    forecasts = await asyncio.gather(*(
                         client.forecast(asn=asn, family=family)
                         for client, asn in zip(clients, asns)
                     ))
+                    hints = [client.last_retry_after_s for client in clients]
+                    return forecasts, hints
                 finally:
                     for client in clients:
                         await client.close()
 
-        forecasts = asyncio.run(scenario())
+        forecasts, hints = asyncio.run(scenario())
         shed = [f for f in forecasts if f.degraded and "overloaded" in (f.error or "")]
         served = [f for f in forecasts if f.source == "model"]
         assert shed, "no request was shed at max_inflight=2"
         assert served, "no request was served at all"
         assert all(f.ok for f in shed)  # 429s still carry baseline numbers
         assert engine.metrics.counter("server.shed") == len(shed)
+        # A forecast-bearing 429 does not raise, so its Retry-After hint
+        # surfaces on the client instead -- one per shed response.
+        throttled = [hint for hint in hints if hint is not None]
+        assert len(throttled) == len(shed)
+        assert all(hint > 0 for hint in throttled)
 
     def test_connection_cap_answers_503(self, make_engine):
         async def scenario():
@@ -344,7 +376,10 @@ class TestGracefulDrain:
                     return health, excinfo.value
 
         health, error = asyncio.run(scenario())
-        assert health["status"] == "draining"
+        assert health.status == "draining"
+        assert health.draining and not health.ready
+        # The 503's Retry-After header surfaces as the probe cooldown hint.
+        assert health.retry_after_s > 0
         assert error.status == 503
         assert error.code == "draining"
         assert error.retry_after_s > 0
