@@ -86,7 +86,7 @@ def test_warm_refit_speedup(fitted_world):
     refreshed = registry.refresh(trace, env)
     warm_s = refreshed.fit_seconds
     counters = registry.metrics.snapshot()["counters"]
-    assert counters.get("registry.warm_starts", 0) >= 1
+    assert counters.get("serving.registry.warm_starts", 0) >= 1
 
     emit_report("persistence_warm_refit", "\n".join([
         "PERSISTENCE -- WARM REFIT VS COLD FIT",

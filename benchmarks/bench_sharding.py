@@ -86,7 +86,7 @@ def _drive(trace, env, store, requests, n_shards):
     snapshot = engine.metrics_snapshot(include_workers=True)
     engine.close()
     hits = sum((shard.get("worker") or {}).get("counters", {})
-               .get("engine.prediction_cache_hits", 0)
+               .get("serving.prediction_cache_hits", 0)
                for shard in snapshot["shards"].values())
     return {"boot_s": boot_s, "serve_s": serve_s, "served": served,
             "hits": hits, "rps": served / (boot_s + serve_s)}

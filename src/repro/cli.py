@@ -128,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "--endpoints)")
     predict.add_argument("--json", action="store_true",
                          help="emit the forecast as JSON")
+    predict.add_argument("--show-trace", action="store_true",
+                         help="trace the request end to end and print the "
+                              "span tree (serving paths: --shards or "
+                              "--endpoints/--cluster-config)")
 
     serve = sub.add_parser(
         "serve", help="answer a batch of forecast queries via the serving engine"
@@ -180,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--store",
                             help="model store directory; boot warm from it "
                                  "instead of refitting")
+    serve_http.add_argument("--access-log", action="store_true",
+                            help="emit one JSON access-log line per request "
+                                 "on stderr")
+    serve_http.add_argument("--access-log-sample", type=int, default=1,
+                            metavar="N",
+                            help="log every Nth request (slow and 5xx "
+                                 "requests always log)")
+    serve_http.add_argument("--slow-ms", type=float, default=None,
+                            help="requests slower than this always log, "
+                                 "flagged slow")
 
     serve_cluster = sub.add_parser(
         "serve-cluster",
@@ -214,6 +228,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cluster.add_argument("--drain-timeout", type=float, default=15.0,
                                help="seconds to wait for graceful drains "
                                     "on shutdown")
+    serve_cluster.add_argument("--access-log", action="store_true",
+                               help="replicas emit JSON access-log lines "
+                                    "(pair with --log-dir to capture them)")
+    serve_cluster.add_argument("--log-dir",
+                               help="directory for per-replica log files")
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="fetch /metrics from a live replica (or merge a replica set)",
+    )
+    metrics_cmd.add_argument("endpoint", nargs="?",
+                             help="one replica as host:port")
+    metrics_cmd.add_argument("--endpoints",
+                             help="comma-separated host:port list; the "
+                                  "per-replica snapshots are merged into one "
+                                  "cluster view")
+    metrics_cmd.add_argument("--prometheus", action="store_true",
+                             help="print Prometheus text exposition instead "
+                                  "of JSON")
 
     export = sub.add_parser(
         "export-models",
@@ -371,10 +404,15 @@ def _predict_sharded(args: argparse.Namespace, trace, env) -> int:
     if asn is None:
         print("empty trace: nothing to predict", file=sys.stderr)
         return 1
+    trace_id = None
+    if getattr(args, "show_trace", False):
+        from repro.telemetry import new_trace_id
+
+        trace_id = new_trace_id()
     print(f"booting {args.shards} shard(s) ...", file=sys.stderr)
     with ShardedForecastEngine(trace, env, n_shards=args.shards,
                                store_path=store) as engine:
-        forecast = engine.query(asn=asn, family=family)
+        forecast = engine.query(asn=asn, family=family, trace_id=trace_id)
     return _print_forecast(args, forecast, asn, family)
 
 
@@ -390,11 +428,16 @@ def _print_forecast(args: argparse.Namespace, forecast,
               file=sys.stderr)
         return 1
     prediction = forecast.prediction
+    traced = (getattr(args, "show_trace", False)
+              and forecast.trace_id is not None)
     if args.json:
         payload = {"schema_version": FORECAST_SCHEMA_VERSION,
                    "asn": asn, "family": family,
                    "source": forecast.source, "degraded": forecast.degraded,
                    "forecast": forecast.to_dict()["forecast"]}
+        if traced:
+            payload["trace_id"] = forecast.trace_id
+            payload["spans"] = forecast.spans
         print(json.dumps(payload, indent=2))
         return 0
     tag = f" [{forecast.source}]" if forecast.degraded else ""
@@ -403,6 +446,11 @@ def _print_forecast(args: argparse.Namespace, forecast,
     print(f"  hour      : {prediction.hour:.1f}")
     print(f"  duration  : {prediction.duration:.0f} s")
     print(f"  magnitude : {prediction.magnitude:.0f} bots")
+    if traced:
+        from repro.telemetry import format_span_tree
+
+        print()
+        print(format_span_tree(forecast.trace_id, forecast.spans))
     return 0
 
 
@@ -431,7 +479,9 @@ def _predict_cluster(args: argparse.Namespace, trace) -> int:
             config, fallback=BaselineFallback(trace, metrics),
             metrics=metrics)
         async with client:
-            return await client.forecast(asn=asn, family=family)
+            return await client.forecast(
+                asn=asn, family=family,
+                trace=getattr(args, "show_trace", False))
 
     forecast = asyncio.run(ask())
     if forecast.degraded:
@@ -455,6 +505,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             return 2
     if args.shards > 1:
         return _predict_sharded(args, trace, env)
+    if args.show_trace:
+        print("--show-trace needs a serving path (--shards or "
+              "--endpoints/--cluster-config); ignored", file=sys.stderr)
     predictor = _restore_predictor(args.store, trace, env) if args.store else None
     if predictor is None:
         predictor = AttackPredictor(trace, env).fit()
@@ -570,7 +623,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ))
         return 0
     print(f"served {len(forecasts)} queries "
-          f"({snapshot['counters'].get('engine.coalesced', 0)} coalesced)")
+          f"({snapshot['counters'].get('serving.coalesced', 0)} coalesced)")
     for forecast in forecasts:
         request = forecast.request
         tag = forecast.source + (" DEGRADED" if forecast.degraded else "")
@@ -651,6 +704,15 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout if args.timeout > 0 else None,
         store_info=store_info,
     )
+    access_log = None
+    if args.access_log:
+        from repro.telemetry import AccessLog
+
+        access_log = AccessLog(
+            sys.stderr,
+            sample_every=max(1, args.access_log_sample),
+            slow_s=args.slow_ms / 1000.0 if args.slow_ms else None,
+        )
     server = ForecastServer(
         dispatcher,
         host=args.host,
@@ -658,6 +720,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         framed_sock=framed_sock,
         max_connections=args.max_connections,
         drain_timeout_s=args.drain_timeout,
+        access_log=access_log,
     )
 
     async def run() -> None:
@@ -701,6 +764,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         extra_args += ["--days", str(args.days), "--seed", str(args.seed),
                        "--scale", str(args.scale),
                        "--targets", str(args.targets)]
+    if args.access_log:
+        extra_args.append("--access-log")
     ports = ([args.port + i for i in range(args.replicas)]
              if args.port else None)
     supervisor = ReplicaSupervisor(
@@ -715,6 +780,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         boot_timeout_s=args.boot_timeout,
         drain_timeout_s=args.drain_timeout,
         extra_args=extra_args,
+        log_dir=args.log_dir,
     )
     print(f"booting {args.replicas} replica(s) from {args.store} ...",
           file=sys.stderr)
@@ -746,6 +812,89 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics host:port``: the observability quick look.
+
+    One endpoint prints that replica's ``/metrics`` verbatim (JSON, or
+    the server's own Prometheus rendering with ``--prometheus``).  A
+    ``--endpoints`` list scrapes every member's JSON snapshot and
+    merges them into one cluster view -- the same merge the supervisor
+    uses -- rendered as JSON or Prometheus locally.
+    """
+    import json
+
+    from repro.cluster import ClusterConfigError, parse_endpoints
+    from repro.telemetry import merge_snapshots, to_prometheus
+
+    if bool(args.endpoint) == bool(args.endpoints):
+        print("error: give one endpoint (host:port) or --endpoints, "
+              "not both or neither", file=sys.stderr)
+        return 2
+    try:
+        endpoints = parse_endpoints(args.endpoints or args.endpoint)
+    except ClusterConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.endpoint and args.prometheus:
+        # Single replica: let the server render, proving the wire
+        # content negotiation end to end.
+        import http.client
+
+        endpoint = endpoints[0]
+        try:
+            conn = http.client.HTTPConnection(endpoint.host, endpoint.port,
+                                              timeout=5.0)
+            try:
+                conn.request("GET", "/metrics",
+                             headers={"Accept": "text/plain; version=0.0.4"})
+                response = conn.getresponse()
+                body = response.read().decode("utf-8", "replace")
+            finally:
+                conn.close()
+        except OSError as exc:
+            print(f"error: {endpoint.address}: {exc}", file=sys.stderr)
+            return 1
+        if response.status != 200:
+            print(f"error: {endpoint.address} answered {response.status}",
+                  file=sys.stderr)
+            return 1
+        print(body, end="" if body.endswith("\n") else "\n")
+        return 0
+
+    from repro.cluster.supervisor import probe_metrics
+
+    snapshots: list[dict] = []
+    errors: dict[str, str] = {}
+    for endpoint in endpoints:
+        try:
+            status, body = probe_metrics(endpoint.host, endpoint.port,
+                                         timeout_s=5.0)
+        except OSError as exc:
+            errors[endpoint.address] = f"{type(exc).__name__}: {exc}".strip(": ")
+            continue
+        if status != 200 or not isinstance(body, dict):
+            errors[endpoint.address] = f"metrics answered {status}"
+            continue
+        snapshots.append(body)
+    for address, error in errors.items():
+        print(f"warning: {address}: {error}", file=sys.stderr)
+    if not snapshots:
+        print("error: no replica answered /metrics", file=sys.stderr)
+        return 1
+
+    if args.endpoint:
+        snapshot = snapshots[0]
+    else:
+        snapshot = merge_snapshots(snapshots)
+        snapshot["replica_errors"] = errors
+    if args.prometheus:
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(json.dumps(snapshot, indent=2))
+    return 0
+
+
 def _cmd_export_models(args: argparse.Namespace) -> int:
     from repro.serving import ModelRegistry
 
@@ -772,6 +921,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "serve-http": _cmd_serve_http,
     "serve-cluster": _cmd_serve_cluster,
+    "metrics": _cmd_metrics,
     "export-models": _cmd_export_models,
 }
 

@@ -49,7 +49,12 @@ from repro.cluster.failover import (
     ReplicaSet,
     ReplicaState,
 )
-from repro.cluster.supervisor import ReplicaSupervisor, ReplicaStatus, probe_healthz
+from repro.cluster.supervisor import (
+    ReplicaSupervisor,
+    ReplicaStatus,
+    probe_healthz,
+    probe_metrics,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -64,4 +69,5 @@ __all__ = [
     "ReplicaSupervisor",
     "ReplicaStatus",
     "probe_healthz",
+    "probe_metrics",
 ]

@@ -26,6 +26,8 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 
+from repro.errors import ClusterConfigError
+
 __all__ = [
     "ClusterConfig",
     "ClusterConfigError",
@@ -33,10 +35,6 @@ __all__ = [
     "parse_endpoint",
     "parse_endpoints",
 ]
-
-
-class ClusterConfigError(ValueError):
-    """A replica-set spec (flags or JSON file) that cannot be used."""
 
 
 @dataclass(frozen=True)

@@ -42,9 +42,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cluster.config import ClusterConfig, ReplicaEndpoint
-from repro.server.client import AsyncForecastClient, ForecastServiceError, ReplicaHealth
+from repro.errors import NoReplicasAvailableError
+from repro.server.client import (
+    AsyncForecastClient,
+    BaseForecastClient,
+    ForecastServiceError,
+    ReplicaHealth,
+)
 from repro.serving.engine import Forecast, ForecastRequest
-from repro.serving.metrics import ServingMetrics
+from repro.telemetry import ServingMetrics, Span, new_trace_id
 
 __all__ = [
     "FailoverForecastClient",
@@ -56,15 +62,6 @@ __all__ = [
 #: Failures that mean "this replica, right now" -- not "this request".
 _FAILOVER_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError,
                     asyncio.IncompleteReadError, EOFError)
-
-
-class NoReplicasAvailableError(ConnectionError):
-    """Every replica failed and no baseline fallback is installed."""
-
-    def __init__(self, message: str, errors: dict[str, str]):
-        super().__init__(message)
-        #: ``address -> error`` for the attempt on each member.
-        self.errors = errors
 
 
 @dataclass
@@ -241,13 +238,22 @@ class ReplicaSet:
             await member.client.close()
 
 
-class FailoverForecastClient:
+class FailoverForecastClient(BaseForecastClient):
     """A smart client: one replica set, transparent failover.
 
     The surface mirrors :class:`AsyncForecastClient` (``forecast``,
     ``forecast_batch``, ``metrics``, ``healthz``) so call sites swap a
     single endpoint for a replica list without rewriting; answers are
-    the same :class:`~repro.serving.engine.Forecast` objects.
+    the same :class:`~repro.serving.engine.Forecast` objects.  Request
+    payloads and response checking come from the shared
+    :class:`~repro.server.client.BaseForecastClient`.
+
+    Tracing starts here: pass ``trace=True`` (or an explicit
+    ``trace_id``) and the client mints one identifier that survives
+    every failover hop -- each attempt (successful or not) becomes a
+    ``client.attempt`` span and the whole walk a ``client.request``
+    span on the returned forecast, while the same id tags the winning
+    replica's access-log line and worker-side ``shard.query`` span.
     """
 
     def __init__(self, config: ClusterConfig, *,
@@ -306,28 +312,32 @@ class FailoverForecastClient:
     async def forecast(self, asn: int | None = None,
                        family: str | None = None, *,
                        now: float | None = None,
-                       timeout_s: float | None = None) -> Forecast:
+                       timeout_s: float | None = None,
+                       trace: bool = False,
+                       trace_id: str | None = None) -> Forecast:
         """One forecast, from whichever replica answers first."""
+        if trace and trace_id is None:
+            trace_id = new_trace_id()
         request = ForecastRequest(asn=asn, family=family, now=now)
         return await self._failover(
             lambda client: client.forecast(
-                asn=asn, family=family, now=now, timeout_s=timeout_s),
-            [request], single=True,
+                asn=asn, family=family, now=now, timeout_s=timeout_s,
+                trace_id=trace_id),
+            [request], single=True, trace_id=trace_id,
         )
 
     async def forecast_batch(self, requests, *,
-                             timeout_s: float | None = None) -> list[Forecast]:
+                             timeout_s: float | None = None,
+                             trace: bool = False,
+                             trace_id: str | None = None) -> list[Forecast]:
         """One batch, entirely answered by a single healthy replica."""
-        normalized = [
-            r if isinstance(r, ForecastRequest)
-            else ForecastRequest(asn=r[0], family=r[1],
-                                 now=r[2] if len(r) > 2 else None)
-            for r in requests
-        ]
+        if trace and trace_id is None:
+            trace_id = new_trace_id()
+        normalized = self._normalize_requests(requests)
         return await self._failover(
             lambda client: client.forecast_batch(
-                normalized, timeout_s=timeout_s),
-            normalized, single=False,
+                normalized, timeout_s=timeout_s, trace_id=trace_id),
+            normalized, single=False, trace_id=trace_id,
         )
 
     async def metrics_snapshot(self) -> dict:
@@ -349,25 +359,34 @@ class FailoverForecastClient:
 
     # ----- the failover walk -----
 
-    async def _failover(self, attempt, requests, *, single: bool):
+    async def _failover(self, attempt, requests, *, single: bool,
+                        trace_id: str | None = None):
         """Try candidates in order; degrade (or raise) when all fail.
 
         ``requests`` is the original request list for baseline
         degradation -- None for non-forecast operations, which have no
         baseline to give and always raise on exhaustion.  ``single``
-        says whether the caller expects one answer or a list.
+        says whether the caller expects one answer or a list.  With a
+        ``trace_id`` every attempt is recorded as a ``client.attempt``
+        span on the answer -- one id across however many replicas the
+        walk touched.
         """
         self.metrics.incr("cluster.requests")
         errors: dict[str, str] = {}
+        spans: list[dict] = []
+        walk_start, walk_t0 = time.time(), time.perf_counter()
         first = True
         for member in self.replicas.candidates():
             if not first:
                 self.metrics.incr("cluster.failovers")
             first = False
             member.requests += 1
+            attempt_start, attempt_t0 = time.time(), time.perf_counter()
             try:
                 result = await attempt(member.client)
             except ForecastServiceError as exc:
+                self._attempt_span(spans, trace_id, member, attempt_start,
+                                   attempt_t0, f"{exc.status} {exc.code}")
                 if exc.status in (503, 429):
                     # The replica asked us to go away (draining, full):
                     # honor its Retry-After and walk on.
@@ -380,16 +399,21 @@ class FailoverForecastClient:
                 raise
             except _FAILOVER_ERRORS as exc:
                 error = f"{type(exc).__name__}: {exc}".strip(": ")
+                self._attempt_span(spans, trace_id, member, attempt_start,
+                                   attempt_t0, error)
                 errors[member.address] = error
                 self.replicas.record_failure(member, error)
                 continue
+            self._attempt_span(spans, trace_id, member, attempt_start,
+                               attempt_t0, None)
             self.replicas.record_success(member)
             retry_hint = member.client.last_retry_after_s
             if retry_hint is not None:
                 # Forecast-bearing 429: answer accepted, member parked.
                 self.metrics.incr("cluster.throttled_answers")
                 self.replicas.cool_down(member, retry_hint)
-            return result
+            return self._attach_trace(result, trace_id, spans,
+                                      walk_start, walk_t0)
 
         self.metrics.incr("cluster.exhausted")
         detail = "; ".join(f"{addr}: {err}" for addr, err in errors.items())
@@ -398,6 +422,46 @@ class FailoverForecastClient:
                      "serving the naive baseline")
             forecasts = [self.fallback.forecast(r, error=error)
                          for r in requests]
+            self._attach_trace(forecasts, trace_id, spans,
+                               walk_start, walk_t0)
             return forecasts[0] if single else forecasts
         raise NoReplicasAvailableError(
             f"all {len(self.replicas)} replicas failed: {detail}", errors)
+
+    # ----- client-side spans -----
+
+    @staticmethod
+    def _attempt_span(spans: list[dict], trace_id: str | None,
+                      member: ReplicaState, start_s: float, t0: float,
+                      error: str | None) -> None:
+        """Record one replica attempt on the trace (no-op untraced)."""
+        if trace_id is None:
+            return
+        detail = {"replica": member.address}
+        if error is not None:
+            detail["error"] = error
+        spans.append(Span(
+            name="client.attempt", start_s=start_s,
+            elapsed_s=time.perf_counter() - t0,
+            outcome="ok" if error is None else "error",
+            detail=detail,
+        ).to_dict())
+
+    @staticmethod
+    def _attach_trace(result, trace_id: str | None, spans: list[dict],
+                      walk_start: float, walk_t0: float):
+        """Pin the trace id + client spans onto the returned forecasts."""
+        if trace_id is None:
+            return result
+        client_spans = spans + [Span(
+            name="client.request", start_s=walk_start,
+            elapsed_s=time.perf_counter() - walk_t0,
+            detail={"attempts": len(spans)},
+        ).to_dict()]
+        forecasts = result if isinstance(result, list) else [result]
+        for forecast in forecasts:
+            if isinstance(forecast, Forecast):
+                if forecast.trace_id is None:
+                    forecast.trace_id = trace_id
+                forecast.spans = list(forecast.spans) + client_spans
+        return result

@@ -42,8 +42,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cluster.config import ClusterConfig, ClusterConfigError, ReplicaEndpoint
+from repro.telemetry import merge_snapshots
 
-__all__ = ["ReplicaSupervisor", "ReplicaStatus", "probe_healthz"]
+__all__ = ["ReplicaSupervisor", "ReplicaStatus", "probe_healthz",
+           "probe_metrics"]
 
 
 def _free_port(host: str) -> int:
@@ -56,9 +58,20 @@ def _free_port(host: str) -> int:
 def probe_healthz(host: str, port: int,
                   timeout_s: float = 2.0) -> tuple[int, dict]:
     """One blocking ``GET /healthz``; raises ``OSError`` family on failure."""
+    return _probe_json(host, port, "/healthz", timeout_s)
+
+
+def probe_metrics(host: str, port: int,
+                  timeout_s: float = 2.0) -> tuple[int, dict]:
+    """One blocking ``GET /metrics`` (JSON view); ``OSError`` on failure."""
+    return _probe_json(host, port, "/metrics", timeout_s)
+
+
+def _probe_json(host: str, port: int, path: str,
+                timeout_s: float) -> tuple[int, dict]:
     conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
     try:
-        conn.request("GET", "/healthz")
+        conn.request("GET", path)
         response = conn.getresponse()
         body = response.read()
         try:
@@ -239,6 +252,34 @@ class ReplicaSupervisor:
                 return True
             time.sleep(0.05)
         return self.ready_count() >= want
+
+    def scrape_metrics(self, timeout_s: float = 2.0) -> dict:
+        """Scrape ``/metrics`` across the set and merge the snapshots.
+
+        The cluster-wide telemetry view: per-replica JSON snapshots
+        folded by :func:`repro.telemetry.merge_snapshots` (counters
+        summed, latency histograms bucket-merged, quantiles
+        re-estimated), plus a ``replica_errors`` map naming members
+        that could not be scraped.  An empty set of reachable replicas
+        still returns a valid (all-zero) merged snapshot.
+        """
+        snapshots: list[dict] = []
+        errors: dict[str, str] = {}
+        for replica in self.replicas:
+            address = f"{self.host}:{replica.port}"
+            try:
+                status, body = probe_metrics(self.host, replica.port,
+                                             timeout_s=timeout_s)
+            except OSError as exc:
+                errors[address] = f"{type(exc).__name__}: {exc}".strip(": ")
+                continue
+            if status != 200 or not isinstance(body, dict):
+                errors[address] = f"metrics answered {status}"
+                continue
+            snapshots.append(body)
+        merged = merge_snapshots(snapshots)
+        merged["replica_errors"] = errors
+        return merged
 
     # ----- rolling reload -----
 

@@ -1,0 +1,157 @@
+"""One error family for the whole serving stack.
+
+Before this module existed the stack raised five unrelated exception
+families (engine lifecycle, persistence state, cluster config, replica
+exhaustion, wire protocol) and clients had to know which module grew
+which class.  Every repro-defined operational error now derives from
+:class:`ReproError` and carries a **stable machine-readable** ``code``
+-- the same slug :func:`repro.evaluation.reporting.error_payload`
+mirrors into HTTP error bodies, so a string seen in a response body
+can be grepped straight to the exception that produced it.
+
+Each class keeps its historical builtin base (``ValueError``,
+``RuntimeError``, ``ConnectionError``) so existing ``except`` clauses
+-- ours and downstream users' -- keep working; consolidation adds a
+common root, it does not move anyone's goalposts.
+
+The classes remain importable from their historical homes
+(``repro.serving.engine.EngineClosedError``,
+``repro.persistence.StateError``, ...); those are thin re-exports of
+the definitions here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EngineClosedError",
+    "StateError",
+    "StateSchemaError",
+    "ClusterConfigError",
+    "NoReplicasAvailableError",
+    "ForecastServiceError",
+    "ProtocolError",
+    "ERROR_CODES",
+]
+
+
+class ReproError(Exception):
+    """Base of every repro-defined operational error.
+
+    ``code`` is a stable slug clients may switch on; it is mirrored
+    into wire error bodies via ``error_payload`` and never renamed
+    without a note in the DESIGN.md error-code table.
+    """
+
+    code: str = "error"
+
+    def payload_fields(self) -> dict:
+        """The ``error`` object fields a wire body carries for this error."""
+        return {"code": self.code, "message": str(self)}
+
+
+class EngineClosedError(ReproError, RuntimeError):
+    """A query arrived after the engine's ``close()`` began.
+
+    Closing drains in-flight work and *then* rejects; callers (the
+    network front end in particular) turn this into a 503.
+    """
+
+    code = "engine_closed"
+
+
+class StateError(ReproError, ValueError):
+    """A persisted model-state payload is structurally unusable."""
+
+    code = "bad_state"
+
+
+class StateSchemaError(StateError):
+    """A state payload with the wrong ``schema_version`` or ``kind``."""
+
+    code = "bad_state_schema"
+
+
+class ClusterConfigError(ReproError, ValueError):
+    """A replica-set spec (flags or JSON file) that cannot be used."""
+
+    code = "bad_cluster_config"
+
+
+class NoReplicasAvailableError(ReproError, ConnectionError):
+    """Every replica failed and no baseline fallback is installed."""
+
+    code = "no_replicas"
+
+    def __init__(self, message: str, errors: dict[str, str]):
+        super().__init__(message)
+        #: ``address -> error`` for the attempt on each member.
+        self.errors = errors
+
+
+class ForecastServiceError(ReproError, RuntimeError):
+    """A non-forecast answer from the service (4xx/5xx error payload).
+
+    ``code`` here is per-instance: it echoes whatever slug the server
+    put in its error body, so a client exception carries the same
+    machine-readable identity the wire did.
+    """
+
+    code = "service_error"
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after_s: float | None = None,
+                 trace_id: str | None = None) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+        #: Request trace id echoed by the server, when one came back.
+        self.trace_id = trace_id
+
+
+class ProtocolError(ReproError, ValueError):
+    """A malformed or oversized request; maps to an HTTP 4xx.
+
+    ``status`` is the HTTP status both transports report (the framed
+    protocol reuses the numeric values), ``code`` the stable slug for
+    clients that switch on error kinds.
+    """
+
+    code = "bad_request"
+
+    def __init__(self, message: str, *, status: int = 400,
+                 code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+#: The stable error-code vocabulary every serving surface draws from.
+#: Exception-backed codes name their class; wire-only codes are minted
+#: by the dispatcher/transports for conditions that never surface as a
+#: Python exception server-side.  Documented in DESIGN.md §13.
+ERROR_CODES: dict[str, str] = {
+    # exception-backed
+    "engine_closed": "EngineClosedError: query after close() began",
+    "bad_state": "StateError: persisted model state unusable",
+    "bad_state_schema": "StateSchemaError: wrong state schema_version/kind",
+    "bad_cluster_config": "ClusterConfigError: unusable replica-set spec",
+    "no_replicas": "NoReplicasAvailableError: replica set exhausted",
+    "bad_request": "ProtocolError: malformed request (default slug)",
+    "service_error": "ForecastServiceError: error body carried no code",
+    # wire-only (minted by the dispatcher / transports)
+    "draining": "server is draining; retry another replica (503)",
+    "overloaded": "max_inflight reached; body is a degraded forecast (429)",
+    "too_many_connections": "connection cap reached (503)",
+    "not_found": "no such endpoint (404)",
+    "method_not_allowed": "method not allowed on this endpoint (405)",
+    "unknown_op": "framed transport op not recognized (404)",
+    "headers_too_large": "request head beyond the cap (431)",
+    "body_too_large": "request body beyond the cap (413)",
+    "batch_too_large": "batch beyond MAX_BATCH_REQUESTS (413)",
+    "frame_too_large": "framed payload beyond MAX_FRAME_BYTES (413)",
+    "timeout": "request deadline exceeded (408)",
+    "schema_mismatch": "client/server forecast schema versions differ",
+    "internal": "unexpected server-side failure (500)",
+}

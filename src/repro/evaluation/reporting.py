@@ -257,18 +257,25 @@ def prediction_from_dict(data: dict) -> "AttackPrediction":
 
 
 def error_payload(code: str, message: str, *,
-                  retry_after_s: float | None = None) -> dict:
+                  retry_after_s: float | None = None,
+                  trace_id: str | None = None) -> dict:
     """The machine-readable error body every serving surface emits.
 
     Lives beside the forecast schema (and under the same
     ``schema_version`` counter) because clients parse the two from one
     stream: a forecast endpoint either returns a forecast payload or
-    this shape, never a bare string.  ``code`` is a stable slug
-    (``bad_request``, ``overloaded``, ``draining`` ...) for clients
-    that switch on error kinds; ``retry_after_s`` is a hint mirrored
-    into HTTP's ``Retry-After`` header by the network front end.
+    this shape, never a bare string.  ``code`` is a stable slug drawn
+    from :data:`repro.errors.ERROR_CODES` (``bad_request``,
+    ``overloaded``, ``draining`` ...) for clients that switch on error
+    kinds; ``retry_after_s`` is a hint mirrored into HTTP's
+    ``Retry-After`` header by the network front end; ``trace_id``
+    echoes the request's trace so failed requests correlate with
+    access-log lines too.
     """
     error: dict = {"code": code, "message": message}
     if retry_after_s is not None:
         error["retry_after_s"] = round(float(retry_after_s), 3)
-    return {"schema_version": FORECAST_SCHEMA_VERSION, "error": error}
+    payload = {"schema_version": FORECAST_SCHEMA_VERSION, "error": error}
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    return payload

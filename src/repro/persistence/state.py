@@ -37,6 +37,11 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+# The state error types live in the repo-wide taxonomy; re-exported
+# here so `from repro.persistence.state import StateError` keeps
+# working at every historical call site.
+from repro.errors import StateError, StateSchemaError
+
 __all__ = [
     "STATE_SCHEMA_VERSION",
     "StateError",
@@ -56,12 +61,6 @@ STATE_SCHEMA_VERSION = 1
 _RESERVED_KEYS = ("schema_version", "kind")
 
 
-class StateError(ValueError):
-    """A state payload is structurally unusable."""
-
-
-class StateSchemaError(StateError):
-    """A state payload has an unsupported version or the wrong kind."""
 
 
 def encode_array(array: np.ndarray | None) -> dict | None:

@@ -36,13 +36,19 @@ Quickstart (serving side; see ``repro serve-http`` for the CLI)::
         await server.serve_forever()
 """
 
-from repro.server.client import AsyncForecastClient, ForecastServiceError, ReplicaHealth
+from repro.server.client import (
+    AsyncForecastClient,
+    BaseForecastClient,
+    ForecastServiceError,
+    ReplicaHealth,
+)
 from repro.server.dispatcher import Dispatcher
 from repro.server.protocol import ProtocolError, encode_frame, read_frame
 from repro.server.server import ForecastServer, bind_socket
 
 __all__ = [
     "AsyncForecastClient",
+    "BaseForecastClient",
     "ForecastServiceError",
     "ReplicaHealth",
     "Dispatcher",

@@ -9,6 +9,12 @@ callers inspect ``forecast.degraded`` rather than catching exceptions,
 mirroring the engine's own degradation contract.  Hard failures (400,
 404, 503 ...) raise :class:`ForecastServiceError`.
 
+Request building and response checking live on
+:class:`BaseForecastClient`, shared with the cluster-level
+:class:`~repro.cluster.failover.FailoverForecastClient` so the two
+client surfaces cannot drift: one payload shape, one schema check, one
+error type (:class:`~repro.errors.ForecastServiceError`).
+
 Backpressure hints are first-class: the ``Retry-After`` header a 429
 or 503 carries (``retry_after_s`` on the framed transport) is parsed
 on every response, surfaced on :class:`ForecastServiceError`, kept as
@@ -16,6 +22,12 @@ on every response, surfaced on :class:`ForecastServiceError`, kept as
 429s, and folded into the :class:`ReplicaHealth` readiness state that
 :meth:`AsyncForecastClient.healthz` returns -- the inputs a failover
 client needs to pick, eject, and cool down replicas.
+
+Tracing is opt-in per request: pass ``trace_id`` (or let the failover
+client mint one) and it rides the ``X-Repro-Trace`` header (HTTP) or
+the frame's ``trace_id`` field (framed), comes back in the response
+body, and tags the server's access-log line.  Untraced requests are
+byte-identical to pre-telemetry clients.
 
 Connections are persistent (keep-alive / one framed stream) and
 re-opened transparently once per request if the server dropped them --
@@ -32,22 +44,18 @@ import asyncio
 import json
 from dataclasses import dataclass, field
 
+from repro.errors import ForecastServiceError
 from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION
 from repro.serving.engine import Forecast, ForecastRequest
 from repro.server.protocol import ProtocolError, encode_frame, read_frame
+from repro.telemetry import TRACE_HEADER
 
-__all__ = ["AsyncForecastClient", "ForecastServiceError", "ReplicaHealth"]
-
-
-class ForecastServiceError(RuntimeError):
-    """A non-forecast answer from the service (4xx/5xx error payload)."""
-
-    def __init__(self, status: int, code: str, message: str,
-                 retry_after_s: float | None = None) -> None:
-        super().__init__(f"[{status}/{code}] {message}")
-        self.status = status
-        self.code = code
-        self.retry_after_s = retry_after_s
+__all__ = [
+    "AsyncForecastClient",
+    "BaseForecastClient",
+    "ForecastServiceError",
+    "ReplicaHealth",
+]
 
 
 @dataclass(frozen=True)
@@ -101,7 +109,87 @@ def _parse_retry_after(value: str | None) -> float | None:
     return max(0.0, seconds)
 
 
-class AsyncForecastClient:
+class BaseForecastClient:
+    """Request building + response checking shared by every client.
+
+    Both the single-endpoint :class:`AsyncForecastClient` and the
+    cluster-level failover client derive their wire payloads and their
+    error/schema discipline from here, so a forecast question always
+    serializes the same way and a bad answer always raises the same
+    :class:`ForecastServiceError` -- whichever client asked.
+    """
+
+    @staticmethod
+    def _forecast_payload(asn: int, family: str,
+                          now: float | None = None,
+                          timeout_s: float | None = None) -> dict:
+        """The ``POST /v1/forecast`` body for one question."""
+        payload: dict = {"asn": asn, "family": family, "now": now}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return payload
+
+    @staticmethod
+    def _normalize_requests(requests) -> list[ForecastRequest]:
+        """Accept ForecastRequests or ``(asn, family[, now])`` tuples."""
+        normalized = []
+        for request in requests:
+            if isinstance(request, ForecastRequest):
+                normalized.append(request)
+            else:
+                asn, family = request[0], request[1]
+                now = request[2] if len(request) > 2 else None
+                normalized.append(ForecastRequest(asn=asn, family=family,
+                                                  now=now))
+        return normalized
+
+    @classmethod
+    def _batch_payload(cls, requests,
+                       timeout_s: float | None = None) -> dict:
+        """The ``POST /v1/forecast/batch`` body for many questions."""
+        payload: dict = {
+            "requests": [
+                {"asn": r.asn, "family": r.family, "now": r.now}
+                for r in cls._normalize_requests(requests)
+            ],
+        }
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return payload
+
+    @staticmethod
+    def _check(status: int, body: dict, retry_after_s: float | None,
+               forecast_bearing: bool = False) -> None:
+        """Raise :class:`ForecastServiceError` on non-answer statuses.
+
+        Forecast-bearing calls additionally accept 429 (the body still
+        carries a degraded forecast) and enforce the forecast
+        ``schema_version``.  The error carries the response's
+        ``trace_id`` when the request was traced, so a failure still
+        correlates with server-side log lines.
+        """
+        trace_id = body.get("trace_id") if isinstance(body, dict) else None
+        ok = (200, 429) if forecast_bearing else (200,)
+        if status not in ok:
+            error = body.get("error", {}) if isinstance(body, dict) else {}
+            if retry_after_s is None:
+                retry_after_s = error.get("retry_after_s")
+            raise ForecastServiceError(
+                status, error.get("code", "error"),
+                error.get("message", f"server answered {status}"),
+                retry_after_s=retry_after_s,
+                trace_id=trace_id,
+            )
+        if forecast_bearing and body.get("schema_version") != FORECAST_SCHEMA_VERSION:
+            raise ForecastServiceError(
+                status, "schema_mismatch",
+                f"server speaks forecast schema {body.get('schema_version')!r}, "
+                f"client reads {FORECAST_SCHEMA_VERSION}",
+                trace_id=trace_id,
+            )
+
+
+class AsyncForecastClient(BaseForecastClient):
     """One connection to a forecast server, either transport."""
 
     def __init__(self, host: str, port: int, *, transport: str = "http",
@@ -146,35 +234,34 @@ class AsyncForecastClient:
 
     async def forecast(self, asn: int, family: str, *,
                        now: float | None = None,
-                       timeout_s: float | None = None) -> Forecast:
+                       timeout_s: float | None = None,
+                       trace_id: str | None = None) -> Forecast:
         """One forecast; a 429 comes back as a ``degraded`` Forecast."""
-        payload: dict = {"asn": asn, "family": family, "now": now}
-        if timeout_s is not None:
-            payload["timeout_s"] = timeout_s
+        payload = self._forecast_payload(asn, family, now, timeout_s)
         status, body, retry = await self._call(
-            "forecast", "POST", "/v1/forecast", payload)
+            "forecast", "POST", "/v1/forecast", payload, trace_id=trace_id)
         self._check(status, body, retry, forecast_bearing=True)
         return Forecast.from_dict(body)
 
     async def forecast_batch(self, requests, *,
-                             timeout_s: float | None = None) -> list[Forecast]:
+                             timeout_s: float | None = None,
+                             trace_id: str | None = None) -> list[Forecast]:
         """Batched forecasts, answers in request order."""
-        items = []
-        for request in requests:
-            if isinstance(request, ForecastRequest):
-                items.append({"asn": request.asn, "family": request.family,
-                              "now": request.now})
-            else:
-                asn, family = request[0], request[1]
-                now = request[2] if len(request) > 2 else None
-                items.append({"asn": asn, "family": family, "now": now})
-        payload: dict = {"requests": items}
-        if timeout_s is not None:
-            payload["timeout_s"] = timeout_s
+        payload = self._batch_payload(requests, timeout_s)
         status, body, retry = await self._call(
-            "forecast_batch", "POST", "/v1/forecast/batch", payload)
+            "forecast_batch", "POST", "/v1/forecast/batch", payload,
+            trace_id=trace_id)
         self._check(status, body, retry, forecast_bearing=True)
-        return [Forecast.from_dict(item) for item in body["forecasts"]]
+        forecasts = [Forecast.from_dict(item) for item in body["forecasts"]]
+        # Hops that handled the batch as a whole (server.handle) stamp
+        # the body, not each member; fold them into every traced answer.
+        shared = body.get("spans")
+        if shared:
+            for forecast in forecasts:
+                if forecast.trace_id is not None:
+                    forecast.spans = list(forecast.spans) + [
+                        dict(span) for span in shared]
+        return forecasts
 
     async def metrics(self) -> dict:
         """The server's full telemetry snapshot."""
@@ -189,28 +276,10 @@ class AsyncForecastClient:
 
     # ----- plumbing -----
 
-    def _check(self, status: int, body: dict, retry_after_s: float | None,
-               forecast_bearing: bool = False) -> None:
-        ok = (200, 429) if forecast_bearing else (200,)
-        if status not in ok:
-            error = body.get("error", {}) if isinstance(body, dict) else {}
-            if retry_after_s is None:
-                retry_after_s = error.get("retry_after_s")
-            raise ForecastServiceError(
-                status, error.get("code", "error"),
-                error.get("message", f"server answered {status}"),
-                retry_after_s=retry_after_s,
-            )
-        if forecast_bearing and body.get("schema_version") != FORECAST_SCHEMA_VERSION:
-            raise ForecastServiceError(
-                status, "schema_mismatch",
-                f"server speaks forecast schema {body.get('schema_version')!r}, "
-                f"client reads {FORECAST_SCHEMA_VERSION}",
-            )
-
     async def _call(self, op: str, method: str, path: str,
-                    payload: dict | None) -> tuple[int, dict, float | None]:
-        attempt = self._call_once(op, method, path, payload)
+                    payload: dict | None, *,
+                    trace_id: str | None = None) -> tuple[int, dict, float | None]:
+        attempt = self._call_once(op, method, path, payload, trace_id)
         try:
             status, body, retry = await asyncio.wait_for(
                 attempt, self.request_timeout_s)
@@ -219,20 +288,22 @@ class AsyncForecastClient:
             # clean reconnect, then let failures propagate.
             await self.close()
             status, body, retry = await asyncio.wait_for(
-                self._call_once(op, method, path, payload),
+                self._call_once(op, method, path, payload, trace_id),
                 self.request_timeout_s)
         self.last_retry_after_s = retry
         return status, body, retry
 
     async def _call_once(self, op: str, method: str, path: str,
-                         payload: dict | None) -> tuple[int, dict, float | None]:
+                         payload: dict | None,
+                         trace_id: str | None = None) -> tuple[int, dict, float | None]:
         await self.connect()
         if self.transport == "http":
-            return await self._http_call(method, path, payload)
-        return await self._framed_call(op, payload)
+            return await self._http_call(method, path, payload, trace_id)
+        return await self._framed_call(op, payload, trace_id)
 
     async def _http_call(self, method: str, path: str,
-                         payload: dict | None) -> tuple[int, dict, float | None]:
+                         payload: dict | None,
+                         trace_id: str | None = None) -> tuple[int, dict, float | None]:
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
@@ -243,6 +314,8 @@ class AsyncForecastClient:
             f"Content-Length: {len(body)}",
             "Connection: keep-alive",
         ]
+        if trace_id is not None:
+            head.append(f"{TRACE_HEADER}: {trace_id}")
         self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
         await self._writer.drain()
 
@@ -264,9 +337,11 @@ class AsyncForecastClient:
             await self.close()
         return status, json.loads(raw.decode("utf-8")), retry
 
-    async def _framed_call(self, op: str,
-                           payload: dict | None) -> tuple[int, dict, float | None]:
+    async def _framed_call(self, op: str, payload: dict | None,
+                           trace_id: str | None = None) -> tuple[int, dict, float | None]:
         frame = {"op": op} | (payload or {})
+        if trace_id is not None:
+            frame["trace_id"] = trace_id
         self._writer.write(encode_frame(frame))
         await self._writer.drain()
         response = await read_frame(self._reader)

@@ -27,6 +27,7 @@ model threads.
 from __future__ import annotations
 
 import asyncio
+import time
 
 from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, error_payload
 from repro.serving.engine import EngineClosedError, Forecast, ForecastEngine, ForecastRequest
@@ -36,6 +37,7 @@ from repro.server.protocol import (
     parse_forecast_request,
     parse_timeout,
 )
+from repro.telemetry import TraceContext, to_prometheus
 
 __all__ = ["Dispatcher"]
 
@@ -100,7 +102,8 @@ class Dispatcher:
 
     # ----- the one entry point transports call -----
 
-    async def handle(self, op: str, payload: dict) -> tuple[int, dict, float | None]:
+    async def handle(self, op: str, payload: dict,
+                     ctx: TraceContext | None = None) -> tuple[int, dict, float | None]:
         """Execute one wire operation.
 
         Returns ``(status, body, retry_after_s)`` where ``status`` uses
@@ -109,72 +112,86 @@ class Dispatcher:
         payloads come back as their :class:`ProtocolError` status with
         an :func:`error_payload` body -- this method does not raise for
         bad input, only for dispatcher bugs.
+
+        ``ctx`` is the request's trace (None for untraced requests);
+        its ``trace_id`` rides through the engine into the forecast
+        body and is echoed on error payloads, so one identifier links
+        client attempt, access-log line, and worker span.
         """
+        t0 = time.perf_counter()
+        trace_id = ctx.trace_id if ctx is not None else None
         try:
             if op == "forecast":
-                return await self._forecast(payload)
+                return await self._forecast(payload, ctx)
             if op == "forecast_batch":
-                return await self._forecast_batch(payload)
+                return await self._forecast_batch(payload, ctx)
             if op == "metrics":
                 stats = self.transport_stats() if self.transport_stats else None
                 return 200, self.metrics_payload(stats), None
             if op == "healthz":
                 return self.health()
-            return 404, error_payload("unknown_op", f"unknown operation {op!r}"), None
+            return 404, error_payload("unknown_op", f"unknown operation {op!r}",
+                                      trace_id=trace_id), None
         except ProtocolError as exc:
             self.metrics.incr("server.bad_requests")
-            return exc.status, error_payload(exc.code, str(exc)), None
+            return exc.status, error_payload(exc.code, str(exc),
+                                             trace_id=trace_id), None
+        finally:
+            self.metrics.observe("server.request", time.perf_counter() - t0)
 
     # ----- operations -----
 
-    async def _forecast(self, payload: dict) -> tuple[int, dict, float | None]:
+    async def _forecast(self, payload: dict,
+                        ctx: TraceContext | None) -> tuple[int, dict, float | None]:
         request = parse_forecast_request(payload)
         timeout = parse_timeout(payload, self.max_timeout_s)
-        if (refused := self._refuse()) is not None:
+        if (refused := self._refuse(ctx)) is not None:
             return refused
         if self._inflight >= self.max_inflight:
-            return self._shed(request)
+            return self._shed(request, ctx)
         self._inflight += 1
         try:
-            forecast = await self._run(request, timeout)
+            forecast = await self._run(request, timeout, ctx)
         except EngineClosedError:
-            return self._drained_response()
+            return self._drained_response(ctx)
         finally:
             self._inflight -= 1
         self.metrics.incr("server.requests")
         return 200, self._envelope(forecast), None
 
-    async def _forecast_batch(self, payload: dict) -> tuple[int, dict, float | None]:
+    async def _forecast_batch(self, payload: dict,
+                              ctx: TraceContext | None) -> tuple[int, dict, float | None]:
         requests = parse_batch_request(payload)
         timeout = parse_timeout(payload, self.max_timeout_s)
-        if (refused := self._refuse()) is not None:
+        if (refused := self._refuse(ctx)) is not None:
             return refused
         if self._inflight >= self.max_inflight:
             self.metrics.incr("server.shed", len(requests))
             body = {
                 "schema_version": FORECAST_SCHEMA_VERSION,
                 "forecasts": [
-                    self._shed_forecast(request).to_dict() for request in requests
+                    self._stamp(self._shed_forecast(request), ctx).to_dict()
+                    for request in requests
                 ],
             }
             return 429, body, self.retry_after_s
         # Mirror ForecastEngine.query_batch's coalescing (and its
         # counter semantics) without blocking the event loop on it.
-        self.metrics.incr("engine.batches")
+        self.metrics.incr("serving.batches")
         distinct: dict[tuple, ForecastRequest] = {}
         for request in requests:
             distinct.setdefault(request.work_key, request)
         coalesced = len(requests) - len(distinct)
         if coalesced:
-            self.metrics.incr("engine.coalesced", coalesced)
-            self.metrics.incr("engine.queries", coalesced)
+            self.metrics.incr("serving.coalesced", coalesced)
+            self.metrics.incr("serving.queries", coalesced)
         self._inflight += len(distinct)  # a batch holds one slot per computation
         try:
             answers = await asyncio.gather(
-                *(self._run(request, timeout) for request in distinct.values())
+                *(self._run(request, timeout, ctx) for request in distinct.values())
             )
         except EngineClosedError:
-            return self._drained_response()
+            return self._drained_response(ctx)
         finally:
             self._inflight -= len(distinct)
         by_key = {request.work_key: forecast
@@ -199,6 +216,22 @@ class Dispatcher:
             snapshot["server"].update(transport_stats)
         return snapshot
 
+    def metrics_exposition(self, transport_stats: dict | None = None) -> str:
+        """The ``/metrics`` body in Prometheus text exposition format.
+
+        Rendered from the same snapshot the JSON view serves -- one
+        registry, two encodings -- with the server admission state
+        (inflight, connection counts, draining) exported as gauges.
+        """
+        snapshot = self.metrics_payload(transport_stats)
+        gauges: dict[str, float] = {}
+        for key, value in snapshot.get("server", {}).items():
+            if isinstance(value, bool):
+                gauges[f"server.{key}"] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                gauges[f"server.{key}"] = float(value)
+        return to_prometheus(snapshot, extra_gauges=gauges)
+
     def health(self) -> tuple[int, dict, float | None]:
         """The ``/healthz`` body; 503 while draining so LBs eject us.
 
@@ -221,32 +254,48 @@ class Dispatcher:
 
     # ----- internals -----
 
-    async def _run(self, request: ForecastRequest,
-                   timeout_s: float | None) -> Forecast:
+    async def _run(self, request: ForecastRequest, timeout_s: float | None,
+                   ctx: TraceContext | None = None) -> Forecast:
         if timeout_s is None:
             timeout_s = self.default_timeout_s
-        future = self.engine.submit(request)
+        trace_id = ctx.trace_id if ctx is not None else None
+        future = self.engine.submit(request, trace_id)
         try:
-            return await asyncio.wait_for(asyncio.wrap_future(future), timeout_s)
+            forecast = await asyncio.wait_for(
+                asyncio.wrap_future(future), timeout_s
+            )
         except asyncio.TimeoutError:
             future.cancel()  # frees the slot if the pool never started it
-            return self.engine.timeout_forecast(request, timeout_s)
+            forecast = self.engine.timeout_forecast(request, timeout_s)
+        return self._stamp(forecast, ctx)
 
-    def _refuse(self) -> tuple[int, dict, float | None] | None:
+    def _stamp(self, forecast: Forecast, ctx: TraceContext | None) -> Forecast:
+        """Attach the request's trace id to answers minted outside the
+        engine's traced path (timeouts, sheds, parent-side fallbacks)."""
+        if ctx is not None and forecast.trace_id is None:
+            forecast.trace_id = ctx.trace_id
+        return forecast
+
+    def _refuse(self, ctx: TraceContext | None = None
+                ) -> tuple[int, dict, float | None] | None:
         if self._draining or self.engine.closed:
-            return self._drained_response()
+            return self._drained_response(ctx)
         return None
 
-    def _drained_response(self) -> tuple[int, dict, float]:
+    def _drained_response(self, ctx: TraceContext | None = None
+                          ) -> tuple[int, dict, float]:
         self.metrics.incr("server.refused_draining")
         return 503, error_payload(
             "draining", "server is draining; retry another replica",
             retry_after_s=self.retry_after_s,
+            trace_id=ctx.trace_id if ctx is not None else None,
         ), self.retry_after_s
 
-    def _shed(self, request: ForecastRequest) -> tuple[int, dict, float]:
+    def _shed(self, request: ForecastRequest,
+              ctx: TraceContext | None = None) -> tuple[int, dict, float]:
         self.metrics.incr("server.shed")
-        return 429, self._envelope(self._shed_forecast(request)), self.retry_after_s
+        forecast = self._stamp(self._shed_forecast(request), ctx)
+        return 429, self._envelope(forecast), self.retry_after_s
 
     def _shed_forecast(self, request: ForecastRequest) -> Forecast:
         """Overload answer: the engine's §VII-A naive-baseline fallback."""

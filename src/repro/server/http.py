@@ -18,13 +18,16 @@ import json
 from dataclasses import dataclass, field
 
 from repro.server.protocol import ProtocolError
+from repro.telemetry import TRACE_HEADER
 
 __all__ = [
     "HttpRequest",
     "read_http_request",
     "render_response",
     "route_to_op",
+    "wants_prometheus",
     "MAX_BODY_BYTES",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
 
 #: Request bodies beyond this are a 413, not a buffer.
@@ -153,16 +156,49 @@ async def read_http_request(reader: asyncio.StreamReader) -> HttpRequest | None:
     return HttpRequest(method=method, path=path, headers=headers, body=body)
 
 
-def render_response(status: int, body: dict, *, keep_alive: bool = True,
-                    retry_after_s: float | None = None) -> bytes:
-    """Serialize one JSON response, headers included."""
-    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+#: Content type of the Prometheus text exposition format (0.0.4), the
+#: version every Prometheus scraper sends in its ``Accept`` header.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def wants_prometheus(headers: dict[str, str]) -> bool:
+    """Whether the request's ``Accept`` header prefers Prometheus text.
+
+    JSON stays the default -- only an explicit ask for the exposition
+    format (``text/plain`` with or without the ``version=0.0.4`` tag,
+    or ``application/openmetrics-text``) flips ``GET /metrics`` to the
+    scrape encoding.  ``*/*`` and absent headers keep JSON so existing
+    curl/jq consumers never change behavior.
+    """
+    accept = headers.get("accept", "").lower()
+    return "text/plain" in accept or "openmetrics-text" in accept
+
+
+def render_response(status: int, body: dict | str, *, keep_alive: bool = True,
+                    retry_after_s: float | None = None,
+                    trace_id: str | None = None) -> bytes:
+    """Serialize one response, headers included.
+
+    A ``dict`` body goes out as JSON; a ``str`` body goes out verbatim
+    as Prometheus text exposition (the only non-JSON shape on this wire
+    surface).  ``trace_id`` echoes the request's ``X-Repro-Trace``
+    header back so clients can correlate responses without parsing the
+    body.
+    """
+    if isinstance(body, str):
+        payload = body.encode("utf-8")
+        content_type = PROMETHEUS_CONTENT_TYPE
+    else:
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        content_type = "application/json"
     headers = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(payload)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
     if retry_after_s is not None:
         headers.append(f"Retry-After: {max(1, round(retry_after_s))}")
+    if trace_id is not None:
+        headers.append(f"{TRACE_HEADER}: {trace_id}")
     return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload

@@ -24,6 +24,7 @@ import asyncio
 import json
 import struct
 
+from repro.errors import ProtocolError
 from repro.serving.engine import ForecastRequest
 
 __all__ = [
@@ -45,21 +46,6 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 MAX_BATCH_REQUESTS = 1024
 
 _LENGTH = struct.Struct(">I")
-
-
-class ProtocolError(ValueError):
-    """A malformed or oversized request; maps to an HTTP 4xx.
-
-    ``status`` is the HTTP status both transports report (the framed
-    protocol reuses the numeric values), ``code`` a stable
-    machine-readable slug for clients that switch on error kinds.
-    """
-
-    def __init__(self, message: str, *, status: int = 400,
-                 code: str = "bad_request") -> None:
-        super().__init__(message)
-        self.status = status
-        self.code = code
 
 
 def _require_mapping(payload: object, what: str) -> dict:

@@ -31,11 +31,18 @@ import asyncio
 import signal
 import socket
 import sys
+import time
 
 from repro.evaluation.reporting import error_payload
 from repro.server.dispatcher import Dispatcher
-from repro.server.http import read_http_request, render_response, route_to_op
+from repro.server.http import (
+    read_http_request,
+    render_response,
+    route_to_op,
+    wants_prometheus,
+)
 from repro.server.protocol import ProtocolError, encode_frame, read_frame
+from repro.telemetry import AccessLog, Span, TraceContext
 
 __all__ = ["ForecastServer", "bind_socket"]
 
@@ -68,8 +75,12 @@ class ForecastServer:
                  max_connections: int = 128,
                  drain_timeout_s: float = 10.0,
                  close_engine: bool = True,
+                 access_log: AccessLog | None = None,
                  log=None) -> None:
         self.dispatcher = dispatcher
+        #: Structured request logging (None = off).  One JSON line per
+        #: served request, subject to the log's own sampling policy.
+        self.access_log = access_log
         self.host = host
         self.port = port
         self.framed_port = framed_port
@@ -200,6 +211,8 @@ class ForecastServer:
                     request = await read_http_request(reader)
                 except ProtocolError as exc:
                     self.dispatcher.metrics.incr("server.bad_requests")
+                    self._access("http", None, exc.status, 0.0, None,
+                                 path="<malformed>")
                     writer.write(render_response(
                         exc.status, error_payload(exc.code, str(exc)),
                         keep_alive=False))
@@ -207,17 +220,33 @@ class ForecastServer:
                     break
                 if request is None:
                     break
+                ctx = TraceContext.from_wire(
+                    request.headers.get("x-repro-trace"))
+                start_s, t0 = time.time(), time.perf_counter()
+                op = None
                 try:
                     op = route_to_op(request)
-                    payload = request.json() if request.method == "POST" else {}
-                    status, body, retry = await self.dispatcher.handle(op, payload)
+                    if op == "metrics" and wants_prometheus(request.headers):
+                        status, body, retry = 200, self.dispatcher.metrics_exposition(
+                            self._transport_stats()), None
+                    else:
+                        payload = request.json() if request.method == "POST" else {}
+                        status, body, retry = await self.dispatcher.handle(
+                            op, payload, ctx)
                 except ProtocolError as exc:
                     self.dispatcher.metrics.incr("server.bad_requests")
                     status, body, retry = exc.status, error_payload(
-                        exc.code, str(exc)), None
+                        exc.code, str(exc),
+                        trace_id=ctx.trace_id if ctx else None), None
+                elapsed_s = time.perf_counter() - t0
+                self._stamp_body(body, ctx, op or request.path, start_s,
+                                 elapsed_s, status)
+                self._access("http", op, status, elapsed_s, ctx,
+                             path=request.path)
                 keep = request.keep_alive and not self._shutting_down
                 writer.write(render_response(
-                    status, body, keep_alive=keep, retry_after_s=retry))
+                    status, body, keep_alive=keep, retry_after_s=retry,
+                    trace_id=ctx.trace_id if ctx else None))
                 await writer.drain()
                 if not keep:
                     break
@@ -253,13 +282,22 @@ class ForecastServer:
                     break
                 if frame is None:
                     break
+                ctx = TraceContext.from_wire(frame.get("trace_id"))
+                start_s, t0 = time.time(), time.perf_counter()
                 op = frame.get("op")
                 if not isinstance(op, str):
                     self.dispatcher.metrics.incr("server.bad_requests")
                     status, body, retry = 400, error_payload(
-                        "bad_request", "'op' must be a string"), None
+                        "bad_request", "'op' must be a string",
+                        trace_id=ctx.trace_id if ctx else None), None
+                    op = None
                 else:
-                    status, body, retry = await self.dispatcher.handle(op, frame)
+                    status, body, retry = await self.dispatcher.handle(
+                        op, frame, ctx)
+                elapsed_s = time.perf_counter() - t0
+                self._stamp_body(body, ctx, op or "<bad-op>", start_s,
+                                 elapsed_s, status)
+                self._access("framed", op, status, elapsed_s, ctx)
                 response = {"status": status, "body": body}
                 if retry is not None:
                     response["retry_after_s"] = retry
@@ -272,6 +310,47 @@ class ForecastServer:
         finally:
             self._connections.discard(asyncio.current_task())
             await self._close_writer(writer)
+
+    # ----- telemetry -----
+
+    @staticmethod
+    def _stamp_body(body, ctx: TraceContext | None, op: str,
+                    start_s: float, elapsed_s: float, status: int) -> None:
+        """Attach the server hop to a traced response body.
+
+        Appends a ``server.handle`` span (covering routing, dispatch
+        and engine wait) to the body's span list and pins ``trace_id``
+        at the top level, so clients see the full hop chain without a
+        log join.  No-op for untraced requests and non-JSON bodies --
+        untraced responses stay byte-identical to pre-telemetry builds.
+        """
+        if ctx is None or not isinstance(body, dict):
+            return
+        span = Span(
+            name="server.handle", start_s=start_s, elapsed_s=elapsed_s,
+            outcome="ok" if status < 400 else "error",
+            detail={"op": op, "status": status},
+        )
+        body["trace_id"] = ctx.trace_id
+        body["spans"] = list(body.get("spans", ())) + [span.to_dict()]
+
+    def _access(self, transport: str, op: str | None, status: int,
+                elapsed_s: float, ctx: TraceContext | None,
+                path: str | None = None) -> None:
+        """Emit one access-log record (if logging is enabled)."""
+        if self.access_log is None:
+            return
+        record = {
+            "transport": transport,
+            "op": op,
+            "status": status,
+            "elapsed_s": round(elapsed_s, 6),
+        }
+        if path is not None:
+            record["path"] = path
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
+        self.access_log.emit(record)
 
     async def _finish(self, writer: asyncio.StreamWriter, data: bytes) -> None:
         try:

@@ -39,7 +39,7 @@ from repro.serving.engine import (
     ForecastRequest,
 )
 from repro.serving.engine import BaselineFallback
-from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.metrics import LatencyHistogram, ServingMetrics, Telemetry
 from repro.serving.registry import ModelKey, ModelRegistry, RegisteredModel
 from repro.serving.sharded import ShardedForecastEngine, shard_index
 
@@ -53,6 +53,7 @@ __all__ = [
     "ForecastRequest",
     "LatencyHistogram",
     "ServingMetrics",
+    "Telemetry",
     "ModelKey",
     "ModelRegistry",
     "RegisteredModel",

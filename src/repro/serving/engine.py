@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.baselines import naive_attack_forecast
@@ -31,9 +31,10 @@ from repro.core.spatiotemporal import AttackPrediction, SpatiotemporalConfig
 from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.records import AttackRecord, AttackTrace
 from repro.evaluation.reporting import prediction_from_dict, prediction_to_dict
+from repro.errors import EngineClosedError
 from repro.serving.cache import LRUTTLCache
-from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.telemetry import ServingMetrics, Span
 
 __all__ = [
     "ForecastRequest",
@@ -46,14 +47,6 @@ __all__ = [
 #: Sentinel for "use the engine-level default timeout" on per-call
 #: timeout overrides (``None`` is a meaningful value: no timeout).
 _UNSET = object()
-
-
-class EngineClosedError(RuntimeError):
-    """A query arrived after :meth:`ForecastEngine.close` began.
-
-    Closing drains in-flight work and *then* rejects; callers (the
-    network front end in particular) turn this into a 503.
-    """
 
 
 @dataclass(frozen=True)
@@ -82,6 +75,12 @@ class Forecast:
     ``source`` records which layer produced the numbers (``model``,
     ``baseline``, or ``none`` when there is no history at all);
     ``degraded`` is True whenever the fitted model did not answer.
+
+    ``trace_id``/``spans`` are set only on traced requests: the id the
+    caller minted plus one span dict per hop that handled the answer
+    (``serving.query``, ``shard.query``, ...).  Untraced requests
+    leave both empty and their wire dicts carry neither key, so the
+    PR 1..6 payload shape is unchanged byte for byte.
     """
 
     request: ForecastRequest
@@ -92,6 +91,8 @@ class Forecast:
     cached: bool = False
     error: str | None = None
     latency_s: float = 0.0
+    trace_id: str | None = None
+    spans: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -115,6 +116,10 @@ class Forecast:
         }
         if self.error:
             payload["error"] = self.error
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+            if self.spans:
+                payload["spans"] = [dict(span) for span in self.spans]
         return payload
 
     @classmethod
@@ -141,6 +146,8 @@ class Forecast:
             cached=bool(data.get("cached", False)),
             error=data.get("error"),
             latency_s=float(data.get("latency_s", 0.0)),
+            trace_id=data.get("trace_id"),
+            spans=[dict(s) for s in data.get("spans") or []],
         )
 
 
@@ -163,13 +170,13 @@ class BaselineFallback:
         """Baseline-backed degraded answer (§VII-A naive predictors)."""
         history = self.history_for(request)
         if not history:
-            self.metrics.incr("engine.unanswerable")
+            self.metrics.incr("serving.unanswerable")
             return Forecast(
                 request=request, prediction=None, source="none",
                 degraded=True, error=error or "no observable history",
             )
         prediction = naive_attack_forecast(history)
-        self.metrics.incr("engine.fallbacks")
+        self.metrics.incr("serving.fallbacks")
         return Forecast(
             request=request, prediction=prediction, source="baseline",
             degraded=True, error=error,
@@ -231,7 +238,7 @@ class ForecastEngine:
         try:
             return self.registry.get(self.trace, self.env, self.config)
         except Exception:
-            self.metrics.incr("engine.fit_failures")
+            self.metrics.incr("serving.fit_failures")
             return None
 
     def close(self) -> None:
@@ -265,12 +272,15 @@ class ForecastEngine:
 
     def query(self, request: ForecastRequest | None = None, *,
               asn: int | None = None, family: str | None = None,
-              now: float | None = None, timeout_s: object = _UNSET) -> Forecast:
+              now: float | None = None, timeout_s: object = _UNSET,
+              trace_id: str | None = None) -> Forecast:
         """Answer one forecast request (built from kwargs if omitted).
 
         ``timeout_s`` overrides the engine-level default for this call
         only -- the hook the network front end uses to map per-request
-        deadlines onto engine timeouts.
+        deadlines onto engine timeouts.  ``trace_id`` marks the call as
+        traced: the answer echoes the id and carries a
+        ``serving.query`` span.
         """
         if request is None:
             if asn is None or family is None:
@@ -279,35 +289,40 @@ class ForecastEngine:
         if self._closed:
             raise EngineClosedError("engine is closed")
         timeout = self.timeout_s if timeout_s is _UNSET else timeout_s
-        self.metrics.incr("engine.queries")
+        self.metrics.incr("serving.queries")
+        start_s = time.time()
         t0 = time.perf_counter()
         if timeout is not None:
             forecast = self._await(request, self._submit_answer(request), timeout)
         else:
             forecast = self._answer(request)
         forecast.latency_s = time.perf_counter() - t0
-        self.metrics.observe("engine.query", forecast.latency_s)
+        self.metrics.observe("serving.query", forecast.latency_s)
+        self._stamp_trace(forecast, trace_id, start_s)
         return forecast
 
     def query_batch(self, requests: Sequence[ForecastRequest], *,
-                    timeout_s: object = _UNSET) -> list[Forecast]:
+                    timeout_s: object = _UNSET,
+                    trace_id: str | None = None) -> list[Forecast]:
         """Answer many requests, coalescing duplicates across the pool.
 
         Results come back in request order; duplicate requests share
         one computation (and therefore one answer object).
         ``timeout_s`` overrides the engine default per call, as in
-        :meth:`query`.
+        :meth:`query`; ``trace_id`` (one per batch -- the batch is the
+        request) stamps every distinct answer.
         """
         if self._closed:
             raise EngineClosedError("engine is closed")
         timeout = self.timeout_s if timeout_s is _UNSET else timeout_s
-        self.metrics.incr("engine.batches")
-        self.metrics.incr("engine.queries", len(requests))
+        self.metrics.incr("serving.batches")
+        self.metrics.incr("serving.queries", len(requests))
+        start_s = time.time()
         t0 = time.perf_counter()
         distinct: dict[tuple, ForecastRequest] = {}
         for request in requests:
             distinct.setdefault(request.work_key, request)
-        self.metrics.incr("engine.coalesced", len(requests) - len(distinct))
+        self.metrics.incr("serving.coalesced", len(requests) - len(distinct))
 
         futures: dict[tuple, Future] = {
             key: self._submit_answer(request)
@@ -320,24 +335,27 @@ class ForecastEngine:
         elapsed = time.perf_counter() - t0
         for forecast in answers.values():
             forecast.latency_s = elapsed
-        self.metrics.observe("engine.batch", elapsed)
+            self._stamp_trace(forecast, trace_id, start_s)
+        self.metrics.observe("serving.batch", elapsed)
         return [answers[request.work_key] for request in requests]
 
-    def submit(self, request: ForecastRequest) -> Future:
+    def submit(self, request: ForecastRequest,
+               trace_id: str | None = None) -> Future:
         """Async-completion hook: schedule one request, return its future.
 
         The future resolves to a fully accounted :class:`Forecast`
-        (latency stamped, ``engine.query`` observed) and never carries
-        an exception from the answer path itself.  The asyncio front
-        end wraps it with :func:`asyncio.wrap_future`; synchronous
-        callers should prefer :meth:`query`.  Raises
+        (latency stamped, ``serving.query`` observed, trace span
+        attached when ``trace_id`` is given) and never carries an
+        exception from the answer path itself.  The asyncio front end
+        wraps it with :func:`asyncio.wrap_future`; synchronous callers
+        should prefer :meth:`query`.  Raises
         :class:`EngineClosedError` once :meth:`close` has begun.
         """
         if self._closed:
             raise EngineClosedError("engine is closed")
-        self.metrics.incr("engine.queries")
+        self.metrics.incr("serving.queries")
         try:
-            return self._pool.submit(self._timed_answer, request)
+            return self._pool.submit(self._timed_answer, request, trace_id)
         except RuntimeError as exc:  # pool shut down between check and submit
             raise EngineClosedError("engine is closed") from exc
 
@@ -349,7 +367,7 @@ class ForecastEngine:
         so network deadlines and engine timeouts land on the same
         fallback path and the same ``engine.timeouts`` counter.
         """
-        self.metrics.incr("engine.timeouts")
+        self.metrics.incr("serving.timeouts")
         return self.fallback(request, error=f"timeout after {timeout_s}s")
 
     def model_version(self) -> int:
@@ -376,12 +394,28 @@ class ForecastEngine:
         except RuntimeError as exc:  # pool shut down between check and submit
             raise EngineClosedError("engine is closed") from exc
 
-    def _timed_answer(self, request: ForecastRequest) -> Forecast:
+    def _timed_answer(self, request: ForecastRequest,
+                      trace_id: str | None = None) -> Forecast:
+        start_s = time.time()
         t0 = time.perf_counter()
         forecast = self._answer(request)
         forecast.latency_s = time.perf_counter() - t0
-        self.metrics.observe("engine.query", forecast.latency_s)
+        self.metrics.observe("serving.query", forecast.latency_s)
+        self._stamp_trace(forecast, trace_id, start_s)
         return forecast
+
+    def _stamp_trace(self, forecast: Forecast, trace_id: str | None,
+                     start_s: float) -> None:
+        """Mark a traced answer: echo the id, record this hop's span."""
+        if trace_id is None:
+            return
+        forecast.trace_id = trace_id
+        forecast.spans = forecast.spans + [Span(
+            name="serving.query", start_s=start_s,
+            elapsed_s=forecast.latency_s,
+            outcome="degraded" if forecast.degraded else "ok",
+            detail={"source": forecast.source, "cached": forecast.cached},
+        ).to_dict()]
 
     def _await(self, request: ForecastRequest, future: Future,
                timeout_s: float | None) -> Forecast:
@@ -390,20 +424,20 @@ class ForecastEngine:
         except TimeoutError:
             return self.timeout_forecast(request, timeout_s)
         except Exception as exc:  # defensive: _answer should not raise
-            self.metrics.incr("engine.errors")
+            self.metrics.incr("serving.errors")
             return self.fallback(request, error=str(exc))
 
     def _answer(self, request: ForecastRequest) -> Forecast:
         try:
             model = self.registry.get(self.trace, self.env, self.config)
         except Exception as exc:
-            self.metrics.incr("engine.fit_failures")
+            self.metrics.incr("serving.fit_failures")
             return self.fallback(request, error=f"model fit failed: {exc}")
 
         cache_key = (model.key, model.version, request.work_key)
         cached = self.prediction_cache.get(cache_key)
         if cached is not None:
-            self.metrics.incr("engine.prediction_cache_hits")
+            self.metrics.incr("serving.prediction_cache_hits")
             return Forecast(
                 request=request, prediction=cached, source="model",
                 degraded=False, model_version=model.version, cached=True,
@@ -413,17 +447,17 @@ class ForecastEngine:
                 request.asn, request.family, now=request.now
             )
         except Exception as exc:
-            self.metrics.incr("engine.predict_failures")
+            self.metrics.incr("serving.predict_failures")
             return self.fallback(request, error=f"prediction failed: {exc}")
         if prediction is None:
-            self.metrics.incr("engine.thin_history")
+            self.metrics.incr("serving.thin_history")
             return self.fallback(
                 request,
                 error=(f"AS{request.asn} below the §VI-B history floor "
                        "for the fitted model"),
             )
         self.prediction_cache.put(cache_key, prediction)
-        self.metrics.incr("engine.model_answers")
+        self.metrics.incr("serving.model_answers")
         return Forecast(
             request=request, prediction=prediction, source="model",
             degraded=False, model_version=model.version,

@@ -1,141 +1,23 @@
-"""Serving telemetry: counters, latency histograms, cache stats.
+"""Historical home of the serving metrics primitives.
 
-Everything an operator dashboard would scrape from the forecast
-service lives here.  The primitives are deliberately dependency-free
-(no prometheus client in the image): fixed-bucket histograms plus a
-bounded reservoir of recent samples for quantiles, all behind one
-lock, all exported through :meth:`ServingMetrics.snapshot`.
+The registry moved to :mod:`repro.telemetry.metrics` when the stack's
+three telemetry surfaces were unified; this module re-exports the
+public names so PR 1-era imports (``from repro.serving.metrics import
+ServingMetrics``) keep working unchanged.
 """
 
-from __future__ import annotations
-
-import threading
-import time
-from collections import defaultdict, deque
-
-import numpy as np
-
-__all__ = ["LatencyHistogram", "ServingMetrics"]
-
-# Bucket upper bounds in seconds; chosen to straddle the two regimes a
-# forecast query lives in -- sub-millisecond cache hits and multi-second
-# cold fits.
-DEFAULT_BUCKETS: tuple[float, ...] = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    LatencyHistogram,
+    ServingMetrics,
+    Telemetry,
 )
 
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with recent-sample quantiles."""
-
-    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-                 reservoir: int = 2048) -> None:
-        if list(buckets) != sorted(buckets):
-            raise ValueError("bucket bounds must be ascending")
-        self.buckets = tuple(buckets)
-        self.counts = [0] * (len(self.buckets) + 1)  # +1 overflow bucket
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-        self._recent: deque[float] = deque(maxlen=reservoir)
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (in seconds)."""
-        seconds = max(0.0, float(seconds))
-        i = int(np.searchsorted(self.buckets, seconds, side="left"))
-        self.counts[i] += 1
-        self.count += 1
-        self.total += seconds
-        self.max = max(self.max, seconds)
-        self._recent.append(seconds)
-
-    def quantile(self, q: float) -> float:
-        """Quantile over the recent-sample reservoir (0 when empty)."""
-        if not self._recent:
-            return 0.0
-        return float(np.quantile(np.array(self._recent), q))
-
-    def snapshot(self) -> dict:
-        """JSON-safe summary."""
-        mean = self.total / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "mean_s": round(mean, 6),
-            "max_s": round(self.max, 6),
-            "p50_s": round(self.quantile(0.50), 6),
-            "p95_s": round(self.quantile(0.95), 6),
-            "p99_s": round(self.quantile(0.99), 6),
-            "buckets": {
-                f"le_{bound:g}": count
-                for bound, count in zip(self.buckets, self.counts)
-            }
-            | {"overflow": self.counts[-1]},
-        }
-
-
-class ServingMetrics:
-    """Thread-safe counter + histogram registry for the forecast service."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = defaultdict(int)
-        self._histograms: dict[str, LatencyHistogram] = {}
-        self._started = time.time()
-
-    def incr(self, name: str, by: int = 1) -> None:
-        """Bump a named counter."""
-        with self._lock:
-            self._counters[name] += by
-
-    def observe(self, name: str, seconds: float) -> None:
-        """Record a latency sample under ``name``."""
-        with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = LatencyHistogram()
-            hist.record(seconds)
-
-    def timer(self, name: str) -> "_Timer":
-        """Context manager recording its block's wall time under ``name``."""
-        return _Timer(self, name)
-
-    def counter(self, name: str) -> int:
-        """Current value of a counter (0 if never bumped)."""
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def snapshot(self, cache_stats: dict | None = None) -> dict:
-        """One JSON-safe view of every counter and histogram.
-
-        ``cache_stats`` lets the caller splice in :class:`CacheStats`
-        dictionaries from the caches it owns, so one snapshot carries
-        the whole serving picture.
-        """
-        with self._lock:
-            snap = {
-                "uptime_s": round(time.time() - self._started, 3),
-                "counters": dict(sorted(self._counters.items())),
-                "latency": {
-                    name: hist.snapshot()
-                    for name, hist in sorted(self._histograms.items())
-                },
-            }
-        if cache_stats is not None:
-            snap["caches"] = cache_stats
-        return snap
-
-
-class _Timer:
-    def __init__(self, metrics: ServingMetrics, name: str) -> None:
-        self._metrics = metrics
-        self._name = name
-        self.elapsed = 0.0
-
-    def __enter__(self) -> "_Timer":
-        self._t0 = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.elapsed = time.perf_counter() - self._t0
-        self._metrics.observe(self._name, self.elapsed)
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA_VERSION",
+    "LatencyHistogram",
+    "ServingMetrics",
+    "Telemetry",
+]

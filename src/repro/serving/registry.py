@@ -184,7 +184,7 @@ class ModelRegistry:
         key = self.key_for(trace, config)
 
         def fit() -> RegisteredModel:
-            self.metrics.incr("registry.fits")
+            self.metrics.incr("serving.registry.fits")
             # Incremental refresh (ROADMAP): seed the optimizers from the
             # lineage's previous fit -- same config, refreshed trace.
             warm_from = None
@@ -195,7 +195,7 @@ class ModelRegistry:
                     warm_from = previous.predictor
             t0 = time.perf_counter()
             if warm_from is not None:
-                self.metrics.incr("registry.warm_starts")
+                self.metrics.incr("serving.registry.warm_starts")
                 predictor = self.factory(trace, env, config, warm_from=warm_from)
             else:
                 predictor = self.factory(trace, env, config)
@@ -214,9 +214,11 @@ class ModelRegistry:
                 self._latest[key.lineage] = model
             return model
 
-        with self.metrics.timer("registry.get"):
+        with self.metrics.timer("serving.registry.get"):
             model, hit = self.cache.get_or_create(key, fit)
-        self.metrics.incr("registry.hits" if hit else "registry.misses")
+        self.metrics.incr(
+            "serving.registry.hits" if hit else "serving.registry.misses"
+        )
         return model
 
     def refresh(self, trace: AttackTrace, env: SimulationEnvironment,
@@ -228,7 +230,7 @@ class ModelRegistry:
         """
         key = self.key_for(trace, config)
         self.cache.invalidate(key)
-        self.metrics.incr("registry.refreshes")
+        self.metrics.incr("serving.registry.refreshes")
         return self.get(trace, env, config)
 
     def roll(self, trace: AttackTrace, env: SimulationEnvironment,
@@ -244,7 +246,7 @@ class ModelRegistry:
         online = OnlinePredictor(trace, env, config=config)
         predictor = online.predictor_at(origin_day)
         if predictor is None:
-            self.metrics.incr("registry.roll_skips")
+            self.metrics.incr("serving.registry.roll_skips")
             return None
         key = ModelKey(
             fingerprint=f"{trace.fingerprint()}@d{origin_day:g}",
@@ -263,7 +265,7 @@ class ModelRegistry:
             )
             self._latest[key.lineage] = model
         self.cache.put(key, model)
-        self.metrics.incr("registry.rolls")
+        self.metrics.incr("serving.registry.rolls")
         return model
 
     # ----- persistence -----
@@ -281,7 +283,7 @@ class ModelRegistry:
         manifest = ModelStore(path).save(
             [model.to_dict(with_state=True) for model in models]
         )
-        self.metrics.incr("registry.saves")
+        self.metrics.incr("serving.registry.saves")
         return manifest
 
     def load(self, path: str | Path, trace: AttackTrace,
@@ -292,14 +294,14 @@ class ModelRegistry:
         into the cache and lineage tables (so ``get`` serves them
         directly and ``refresh`` continues their version counters).
         Entries fitted on other traces are skipped and counted in
-        ``registry.restore_skips``.  Returns the restored models.
+        ``serving.registry.restore_skips``.  Returns the restored models.
         """
         store = ModelStore(path)
         fingerprint = trace.fingerprint()
         restored: list[RegisteredModel] = []
         for stored in store.load():
             if stored.fingerprint != fingerprint:
-                self.metrics.incr("registry.restore_skips")
+                self.metrics.incr("serving.registry.restore_skips")
                 continue
             model = RegisteredModel.from_dict(stored.payload, trace, env)
             with self._lock:
@@ -307,7 +309,7 @@ class ModelRegistry:
                 self._versions[model.key.lineage] = max(known, model.version)
                 self._latest[model.key.lineage] = model
             self.cache.put(model.key, model)
-            self.metrics.incr("registry.restores")
+            self.metrics.incr("serving.registry.restores")
             restored.append(model)
         return restored
 

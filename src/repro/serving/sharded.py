@@ -68,8 +68,8 @@ from repro.serving.engine import (
     ForecastEngine,
     ForecastRequest,
 )
-from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
+from repro.telemetry import ServingMetrics, Span
 
 __all__ = ["ShardedForecastEngine", "ShardBoot", "shard_index"]
 
@@ -164,6 +164,18 @@ def _shard_main(conn, boot: ShardBoot) -> None:
     def resolve_timeout(wire_timeout) -> object:
         return _UNSET if wire_timeout[0] == "default" else wire_timeout[1]
 
+    def stamp_shard_span(forecasts, trace_id, start_s, elapsed_s) -> None:
+        """Label traced answers with this worker's ``shard.query`` hop."""
+        if trace_id is None:
+            return
+        span = Span(
+            name="shard.query", start_s=start_s, elapsed_s=elapsed_s,
+            outcome="ok", detail={"shard": boot.shard_id, "pid": os.getpid()},
+        ).to_dict()
+        for forecast in {id(f): f for f in forecasts}.values():
+            if forecast.trace_id is not None:
+                forecast.spans = forecast.spans + [span]
+
     while True:
         try:
             message = conn.recv()
@@ -173,18 +185,29 @@ def _shard_main(conn, boot: ShardBoot) -> None:
         if op == "stop":
             break
         req_id = message[1]
+        trace_id = message[4] if len(message) > 4 else None
         try:
             if op == "query":
                 request = _request_from_wire(message[2])
+                start_s = time.time()
+                t0 = time.perf_counter()
                 forecast = engine.query(request,
-                                        timeout_s=resolve_timeout(message[3]))
+                                        timeout_s=resolve_timeout(message[3]),
+                                        trace_id=trace_id)
+                stamp_shard_span([forecast], trace_id, start_s,
+                                 time.perf_counter() - t0)
                 conn.send(("forecast", req_id,
                            {"schema_version": FORECAST_SCHEMA_VERSION}
                            | forecast.to_dict()))
             elif op == "query_batch":
                 requests = [_request_from_wire(item) for item in message[2]]
+                start_s = time.time()
+                t0 = time.perf_counter()
                 forecasts = engine.query_batch(
-                    requests, timeout_s=resolve_timeout(message[3]))
+                    requests, timeout_s=resolve_timeout(message[3]),
+                    trace_id=trace_id)
+                stamp_shard_span(forecasts, trace_id, start_s,
+                                 time.perf_counter() - t0)
                 conn.send(("forecast_batch", req_id, {
                     "schema_version": FORECAST_SCHEMA_VERSION,
                     "forecasts": [f.to_dict() for f in forecasts],
@@ -231,7 +254,7 @@ class ShardedForecastEngine:
     the CLI): same ``query``/``query_batch``/``submit``/``fallback``/
     ``timeout_forecast``/``close`` surface, same
     :class:`~repro.serving.engine.Forecast` answers, same metrics
-    vocabulary (parent-side counters under ``sharded.*`` on top).
+    vocabulary (parent-side counters under ``shard.*`` on top).
     """
 
     def __init__(self, trace: AttackTrace, env: SimulationEnvironment,
@@ -358,7 +381,7 @@ class ShardedForecastEngine:
                 if process.is_alive():
                     process.kill()
                     process.join(timeout=2.0)
-        self.metrics.incr("sharded.closes")
+        self.metrics.incr("shard.closes")
 
     def __enter__(self) -> "ShardedForecastEngine":
         return self.start()
@@ -374,21 +397,23 @@ class ShardedForecastEngine:
 
     def query(self, request: ForecastRequest | None = None, *,
               asn: int | None = None, family: str | None = None,
-              now: float | None = None, timeout_s: object = _UNSET) -> Forecast:
+              now: float | None = None, timeout_s: object = _UNSET,
+              trace_id: str | None = None) -> Forecast:
         """Answer one forecast request (built from kwargs if omitted)."""
         if request is None:
             if asn is None or family is None:
                 raise ValueError("need a ForecastRequest or asn= and family=")
             request = ForecastRequest(asn=asn, family=family, now=now)
         t0 = time.perf_counter()
-        future = self.submit(request, timeout_s=timeout_s)
+        future = self.submit(request, timeout_s=timeout_s, trace_id=trace_id)
         forecast = self._await(request, future, self._resolve_timeout(timeout_s))
         forecast.latency_s = time.perf_counter() - t0
-        self.metrics.observe("engine.query", forecast.latency_s)
+        self.metrics.observe("serving.query", forecast.latency_s)
         return forecast
 
     def query_batch(self, requests: Sequence[ForecastRequest], *,
-                    timeout_s: object = _UNSET) -> list[Forecast]:
+                    timeout_s: object = _UNSET,
+                    trace_id: str | None = None) -> list[Forecast]:
         """Answer many requests: coalesce, partition by shard, fan out.
 
         One pipe message per shard carries that shard's whole slice, so
@@ -397,13 +422,13 @@ class ShardedForecastEngine:
         :meth:`ForecastEngine.query_batch`.
         """
         self._ensure_open()
-        self.metrics.incr("engine.batches")
-        self.metrics.incr("engine.queries", len(requests))
+        self.metrics.incr("serving.batches")
+        self.metrics.incr("serving.queries", len(requests))
         t0 = time.perf_counter()
         distinct: dict[tuple, ForecastRequest] = {}
         for request in requests:
             distinct.setdefault(request.work_key, request)
-        self.metrics.incr("engine.coalesced", len(requests) - len(distinct))
+        self.metrics.incr("serving.coalesced", len(requests) - len(distinct))
 
         by_shard: dict[int, list[ForecastRequest]] = {}
         for request in distinct.values():
@@ -416,7 +441,7 @@ class ShardedForecastEngine:
             future = self._send(
                 shard, "query_batch",
                 [_request_to_wire(r) for r in slice_requests],
-                timeout_s, slice_requests,
+                timeout_s, slice_requests, trace_id=trace_id,
             )
             futures.append((slice_requests, future))
 
@@ -432,7 +457,7 @@ class ShardedForecastEngine:
                 slice_forecasts = [self.timeout_forecast(r, timeout)
                                    for r in slice_requests]
             except Exception as exc:  # defensive: futures should not raise
-                self.metrics.incr("engine.errors")
+                self.metrics.incr("serving.errors")
                 slice_forecasts = [self.fallback(r, error=str(exc))
                                    for r in slice_requests]
             for request, forecast in zip(slice_requests, slice_forecasts):
@@ -440,10 +465,10 @@ class ShardedForecastEngine:
         elapsed = time.perf_counter() - t0
         for forecast in answers.values():
             forecast.latency_s = elapsed
-        self.metrics.observe("engine.batch", elapsed)
+        self.metrics.observe("serving.batch", elapsed)
         return [answers[request.work_key] for request in requests]
 
-    def submit(self, request: ForecastRequest, *,
+    def submit(self, request: ForecastRequest, trace_id: str | None = None, *,
                timeout_s: object = _UNSET) -> Future:
         """Schedule one request on its shard; resolves to a Forecast.
 
@@ -451,17 +476,19 @@ class ShardedForecastEngine:
         dead shard, a worker error, or a crash mid-request all resolve
         to the §VII-A baseline (``degraded: true``).  Raises
         :class:`EngineClosedError` once :meth:`close` has begun.
+        ``trace_id`` rides the pipe so the worker stamps its
+        ``shard.query`` span into the answer.
         """
         self._ensure_open()
-        self.metrics.incr("engine.queries")
+        self.metrics.incr("serving.queries")
         shard = self._shards[self.shard_for(request)]
         return self._send(shard, "query", _request_to_wire(request),
-                          timeout_s, request)
+                          timeout_s, request, trace_id=trace_id)
 
     def timeout_forecast(self, request: ForecastRequest,
                          timeout_s: float) -> Forecast:
         """Deadline-exceeded answer: count the timeout, degrade to baseline."""
-        self.metrics.incr("engine.timeouts")
+        self.metrics.incr("serving.timeouts")
         return self.fallback(request, error=f"timeout after {timeout_s}s")
 
     def fallback(self, request: ForecastRequest,
@@ -543,11 +570,12 @@ class ShardedForecastEngine:
         return ("set", timeout_s)
 
     def _send(self, shard: _Shard, op: str, wire_payload, timeout_s: object,
-              origin) -> Future:
+              origin, trace_id: str | None = None) -> Future:
         """Queue one op on a shard; resolve immediately when it is down."""
         future: Future = Future()
-        if not self._send_raw(shard, op, future, (wire_payload, timeout_s)):
-            self.metrics.incr("sharded.down_shard_answers")
+        if not self._send_raw(shard, op, future,
+                              (wire_payload, timeout_s, trace_id)):
+            self.metrics.incr("shard.down_shard_answers")
             error = (f"shard {shard.id} is down (restarting); "
                      "serving the naive baseline")
             if op == "query":
@@ -569,9 +597,9 @@ class ShardedForecastEngine:
                 message = (op, req_id)
                 shard.pending[req_id] = (future, op, None)
             else:
-                wire_payload, timeout_s = payload
+                wire_payload, timeout_s, trace_id = payload
                 message = (op, req_id, wire_payload,
-                           self._wire_timeout(timeout_s))
+                           self._wire_timeout(timeout_s), trace_id)
                 shard.pending[req_id] = (future, op, wire_payload)
             try:
                 shard.conn.send(message)
@@ -584,7 +612,7 @@ class ShardedForecastEngine:
         """Resolve every pending future to a baseline answer (lock held)."""
         pending, shard.pending = shard.pending, {}
         for future, op, wire_payload in pending.values():
-            self.metrics.incr("sharded.failed_inflight")
+            self.metrics.incr("shard.failed_inflight")
             error = f"shard {shard.id}: {reason}; serving the naive baseline"
             if op == "query":
                 request = _request_from_wire(wire_payload)
@@ -604,7 +632,7 @@ class ShardedForecastEngine:
         except TimeoutError:
             return self.timeout_forecast(request, timeout)
         except Exception as exc:  # defensive: futures should not raise
-            self.metrics.incr("engine.errors")
+            self.metrics.incr("serving.errors")
             return self.fallback(request, error=str(exc))
 
     # ----- per-shard lifecycle thread -----
@@ -624,8 +652,8 @@ class ShardedForecastEngine:
                 self._fail_pending_locked(shard, "worker died")
             if self._stopping or self._closed:
                 break
-            self.metrics.incr("sharded.worker_deaths" if booted
-                              else "sharded.boot_failures")
+            self.metrics.incr("shard.worker_deaths" if booted
+                              else "shard.boot_failures")
             if not first or not booted:
                 time.sleep(backoff)
                 backoff = min(backoff * 2, self.max_restart_backoff_s)
@@ -659,7 +687,7 @@ class ShardedForecastEngine:
             parent_conn.close()
             return False
         if kind != "ready":
-            self.metrics.incr("sharded.boot_errors")
+            self.metrics.incr("shard.boot_errors")
             process.join(timeout=2.0)
             parent_conn.close()
             return False
@@ -671,7 +699,7 @@ class ShardedForecastEngine:
             shard.alive = True
             if not first_boot:
                 shard.restarts += 1
-        self.metrics.incr("sharded.boots")
+        self.metrics.incr("shard.boots")
         return True
 
     def _pump(self, shard: _Shard) -> None:
@@ -698,7 +726,7 @@ class ShardedForecastEngine:
             elif kind == "metrics":
                 _resolve(future, payload)
             else:  # "error": worker answered with a failure note
-                self.metrics.incr("sharded.worker_errors")
+                self.metrics.incr("shard.worker_errors")
                 error = payload.get("error", "worker error")
                 if op == "query_batch":
                     requests = [_request_from_wire(item)
@@ -722,7 +750,7 @@ class ShardedForecastEngine:
                     f"{FORECAST_SCHEMA_VERSION}")
             return Forecast.from_dict(payload)
         except Exception as exc:
-            self.metrics.incr("sharded.wire_errors")
+            self.metrics.incr("shard.wire_errors")
             return self.fallback(_request_from_wire(wire_request),
                                  error=str(exc))
 
@@ -743,7 +771,7 @@ class ShardedForecastEngine:
                     f"{len(requests)} batch requests")
             return forecasts
         except Exception as exc:
-            self.metrics.incr("sharded.wire_errors")
+            self.metrics.incr("shard.wire_errors")
             return [self.fallback(r, error=str(exc)) for r in requests]
 
     def _reap(self, shard: _Shard) -> None:

@@ -1,0 +1,80 @@
+"""Structured JSON access logging with slow-request sampling.
+
+One line per logged request, JSON object per line, so the output is
+`jq`-able straight off a replica's log file.  Under load an access
+log is its own hot path, so sampling is built in rather than bolted
+on: ``sample_every=N`` keeps every Nth OK-and-fast request, while
+slow requests (``elapsed_s >= slow_s``) and errors (status >= 500)
+are *always* written -- the lines an operator actually greps for must
+never lose to the sampler.  ``on_slow`` is the hook a deployment
+hangs extra work off (dump the span tree, bump a pager counter)
+without the logger knowing about it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, IO
+
+__all__ = ["AccessLog"]
+
+
+class AccessLog:
+    """Sampled JSON-lines access log.
+
+    ``sink`` is a writable text stream (stderr, a file) or a callable
+    taking the formatted line.  Thread-safe: the server handles each
+    connection on the one event loop, but the CLI and tests drive
+    emit() from helper threads too.
+    """
+
+    def __init__(self, sink: IO[str] | Callable[[str], None], *,
+                 sample_every: int = 1,
+                 slow_s: float | None = None,
+                 on_slow: Callable[[dict], None] | None = None) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self._write = sink if callable(sink) else _stream_writer(sink)
+        self.sample_every = int(sample_every)
+        self.slow_s = slow_s
+        self.on_slow = on_slow
+        self._lock = threading.Lock()
+        self._seen = 0
+
+    def emit(self, record: dict) -> None:
+        """Log one request, subject to the sampling policy.
+
+        ``record`` should carry at least ``op``, ``status`` and
+        ``elapsed_s``; a ``trace_id`` when the request was traced.
+        Mutated only by adding ``ts`` (epoch seconds) and, on slow
+        requests, ``slow: true``.
+        """
+        elapsed = float(record.get("elapsed_s", 0.0))
+        status = int(record.get("status", 0))
+        slow = self.slow_s is not None and elapsed >= self.slow_s
+        with self._lock:
+            self._seen += 1
+            sampled = self._seen % self.sample_every == 0
+        if slow:
+            record["slow"] = True
+            if self.on_slow is not None:
+                try:
+                    self.on_slow(dict(record))
+                except Exception:
+                    pass  # a broken hook must not take down serving
+        if not (sampled or slow or status >= 500):
+            return
+        record.setdefault("ts", round(time.time(), 3))
+        self._write(json.dumps(record, sort_keys=True, default=str))
+
+
+def _stream_writer(stream: IO[str]) -> Callable[[str], None]:
+    def write(line: str) -> None:
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except Exception:
+            pass  # a closed log stream must not take down serving
+    return write

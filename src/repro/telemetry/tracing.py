@@ -1,0 +1,185 @@
+"""Request tracing: one ``trace_id`` per request, one span per hop.
+
+A trace is deliberately minimal -- an opaque id plus a *flat* list of
+spans, each recording where a request spent its time on one hop
+(``client.attempt``, ``server.handle``, ``serving.query``,
+``shard.query``).  The id is minted once at the outermost client and
+then *carried*, never re-minted: over HTTP as the ``X-Repro-Trace``
+header, over the framed transport as a ``trace_id`` field, across the
+sharded engine's worker pipes inside the request wire dict.  Every
+forecast and error body echoes the id (and any spans the server
+collected), so the caller can stitch the full picture without a
+tracing backend.
+
+Spans are flat rather than a parent-pointer tree because the stack's
+call graph is a straight line per attempt; nesting is recovered for
+display by :func:`format_span_tree` from the known hop ordering.
+"""
+
+from __future__ import annotations
+
+import re
+import secrets
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "TraceContext",
+    "format_span_tree",
+    "new_trace_id",
+    "valid_trace_id",
+]
+
+#: HTTP request/response header carrying the trace id.
+TRACE_HEADER = "X-Repro-Trace"
+
+# Accepted ids: short, printable, shell-safe.  Anything else from the
+# wire is discarded and the hop mints its own (never trust a peer to
+# inject arbitrary bytes into logs).
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{4,64}$")
+
+# Display order of the stack's hops, outermost first; spans with
+# unknown names sort after these, preserving arrival order.
+_HOP_DEPTH = {
+    "client.request": 0,
+    "client.attempt": 1,
+    "server.handle": 2,
+    "serving.query": 3,
+    "shard.query": 4,
+}
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id."""
+    return secrets.token_hex(8)
+
+
+def valid_trace_id(value: object) -> bool:
+    """True when ``value`` is usable as a trace id off the wire."""
+    return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+@dataclass
+class Span:
+    """One hop's worth of work under a trace.
+
+    ``start_s`` is wall-clock epoch seconds (comparable across
+    processes), ``elapsed_s`` monotonic duration, ``outcome`` one of
+    ``ok`` / ``degraded`` / ``error`` (hops may refine, e.g.
+    ``shed``).  ``detail`` carries hop-specific JSON-safe context:
+    the replica address, the shard index, the worker pid.
+    """
+
+    name: str
+    start_s: float
+    elapsed_s: float = 0.0
+    outcome: str = "ok"
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "elapsed_s": round(self.elapsed_s, 6),
+            "outcome": self.outcome,
+        }
+        if self.detail:
+            d["detail"] = dict(self.detail)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=str(d.get("name", "?")),
+            start_s=float(d.get("start_s", 0.0)),
+            elapsed_s=float(d.get("elapsed_s", 0.0)),
+            outcome=str(d.get("outcome", "ok")),
+            detail=dict(d.get("detail") or {}),
+        )
+
+
+class TraceContext:
+    """The per-request trace a hop threads through its work.
+
+    Created once per request at the edge (client or, for untraced
+    requests, nothing at all -- tracing is opt-in per request and adds
+    zero per-request work when absent).  Accumulates spans from the
+    local hop plus any the downstream hop echoed back.
+    """
+
+    __slots__ = ("trace_id", "spans")
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.spans: list[Span] = []
+
+    @classmethod
+    def from_wire(cls, value: object) -> "TraceContext | None":
+        """A context for a wire-supplied id, or None when absent/bogus."""
+        if valid_trace_id(value):
+            return cls(str(value))
+        return None
+
+    @contextmanager
+    def span(self, name: str, **detail: object) -> Iterator[Span]:
+        """Record the block's wall time as one span.
+
+        The span is appended on exit whatever happens; an escaping
+        exception stamps ``outcome="error"`` unless the block already
+        set something more specific.
+        """
+        sp = Span(name=name, start_s=time.time(), detail=dict(detail))
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        except BaseException:
+            if sp.outcome == "ok":
+                sp.outcome = "error"
+            raise
+        finally:
+            sp.elapsed_s = time.perf_counter() - t0
+            self.spans.append(sp)
+
+    def extend_from_wire(self, spans: object) -> None:
+        """Absorb span dicts a downstream hop echoed in its body."""
+        if not isinstance(spans, list):
+            return
+        for item in spans:
+            if isinstance(item, dict):
+                self.spans.append(Span.from_dict(item))
+
+    def span_dicts(self) -> list[dict]:
+        """All spans, JSON-safe, in start order."""
+        return [s.to_dict() for s in sorted(self.spans, key=lambda s: s.start_s)]
+
+
+def format_span_tree(trace_id: str, spans: Iterable[Span | dict]) -> str:
+    """Render a trace as an indented hop tree for terminals.
+
+    Spans are flat on the wire; indentation comes from the stack's
+    known hop ordering, with ties (several ``client.attempt`` spans
+    from a failover walk) kept in start order.
+    """
+    resolved = [s if isinstance(s, Span) else Span.from_dict(s) for s in spans]
+    resolved.sort(key=lambda s: (s.start_s, _HOP_DEPTH.get(s.name, len(_HOP_DEPTH))))
+    lines = [f"trace {trace_id}"]
+    if not resolved:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    origin = min(s.start_s for s in resolved)
+    for sp in resolved:
+        depth = _HOP_DEPTH.get(sp.name, len(_HOP_DEPTH))
+        indent = "  " * (depth + 1)
+        extra = ""
+        if sp.detail:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(sp.detail.items()))
+            extra = f" [{pairs}]"
+        lines.append(
+            f"{indent}{sp.name}  +{(sp.start_s - origin) * 1000.0:.1f}ms"
+            f"  {sp.elapsed_s * 1000.0:.1f}ms  {sp.outcome}{extra}"
+        )
+    return "\n".join(lines)

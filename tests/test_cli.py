@@ -226,8 +226,8 @@ class TestModelStoreCommands:
         payload = json.loads(captured.out)
         assert payload["schema_version"] == 1
         counters = payload["metrics"]["counters"]
-        assert counters.get("registry.restores") == 1
-        assert "registry.fits" not in counters
+        assert counters.get("serving.registry.restores") == 1
+        assert "serving.registry.fits" not in counters
 
     def test_serve_sharded_warm_starts_from_store(self, exported, capsys):
         import json

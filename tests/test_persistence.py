@@ -372,7 +372,7 @@ class TestRegistryPersistence:
         # get() now serves the restored model without ever fitting.
         served = restored.get(small_trace, small_env)
         assert served is models[0]
-        assert restored.metrics.snapshot()["counters"].get("registry.fits", 0) == 0
+        assert restored.metrics.snapshot()["counters"].get("serving.registry.fits", 0) == 0
 
     def test_load_skips_other_traces(self, fitted_registry, tmp_path, small_env):
         from repro.dataset import DatasetConfig, TraceGenerator
@@ -385,7 +385,7 @@ class TestRegistryPersistence:
         restored = ModelRegistry()
         assert restored.load(tmp_path / "store", other, other_env) == []
         counters = restored.metrics.snapshot()["counters"]
-        assert counters.get("registry.restore_skips") == 1
+        assert counters.get("serving.registry.restore_skips") == 1
 
     def test_registered_model_dict_symmetry(self, fitted_registry,
                                             small_trace, small_env):
@@ -470,7 +470,7 @@ class TestRegistryWarmStart:
         assert seen[0] is None
         assert seen[1] is first.predictor
         counters = registry.metrics.snapshot()["counters"]
-        assert counters.get("registry.warm_starts") == 1
+        assert counters.get("serving.registry.warm_starts") == 1
 
     def test_legacy_three_arg_factory_still_works(self, small_trace, small_env):
         from repro.serving import ModelRegistry
@@ -479,4 +479,4 @@ class TestRegistryWarmStart:
         registry.get(small_trace, small_env)
         registry.refresh(small_trace, small_env)
         counters = registry.metrics.snapshot()["counters"]
-        assert "registry.warm_starts" not in counters
+        assert "serving.registry.warm_starts" not in counters

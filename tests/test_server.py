@@ -139,7 +139,7 @@ class TestRoundTrip:
         batch = asyncio.run(scenario())
         assert [f.request.asn for f in batch] == asns + asns
         assert all(f.source == "model" for f in batch)
-        assert engine.metrics.counter("engine.coalesced") >= 3
+        assert engine.metrics.counter("serving.coalesced") >= 3
 
     def test_metrics_and_healthz_endpoints(self, make_engine, small_trace):
         asn, family = target_of(small_trace)
@@ -272,7 +272,7 @@ class TestDeadlines:
         assert forecast.source == "baseline"
         assert "timeout" in forecast.error
         assert forecast.ok  # baseline still answered
-        assert engine.metrics.counter("engine.timeouts") == 1
+        assert engine.metrics.counter("serving.timeouts") == 1
 
 
 class TestBackpressure:

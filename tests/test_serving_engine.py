@@ -56,7 +56,7 @@ class TestModelPath:
         again = engine.query(request)
         assert not first.cached or again.cached  # second identical query cached
         assert again.prediction.hour == first.prediction.hour
-        assert engine.metrics.counter("engine.prediction_cache_hits") >= 1
+        assert engine.metrics.counter("serving.prediction_cache_hits") >= 1
 
     def test_kwargs_form(self, engine, served_requests):
         request = served_requests[0]
@@ -82,12 +82,12 @@ class TestBatching:
             assert b.prediction.magnitude == s.prediction.magnitude
 
     def test_duplicates_coalesce(self, engine, served_requests):
-        metrics_before = engine.metrics.counter("engine.coalesced")
+        metrics_before = engine.metrics.counter("serving.coalesced")
         request = served_requests[0]
         batch = engine.query_batch([request] * 5)
         assert len(batch) == 5
         assert all(f is batch[0] for f in batch)  # one shared computation
-        assert engine.metrics.counter("engine.coalesced") - metrics_before == 4
+        assert engine.metrics.counter("serving.coalesced") - metrics_before == 4
 
     def test_order_preserved(self, engine, served_requests):
         reordered = list(reversed(served_requests))
@@ -114,8 +114,8 @@ class TestDegradation:
             assert forecast.source == "baseline"
             assert forecast.ok  # baseline still produced numbers
             assert "induced fit failure" in forecast.error
-            assert metrics.counter("engine.fit_failures") == 1
-            assert metrics.counter("engine.fallbacks") == 1
+            assert metrics.counter("serving.fit_failures") == 1
+            assert metrics.counter("serving.fallbacks") == 1
 
     def test_warm_survives_fit_failure(self, small_trace, small_env):
         def failing_factory(trace, env, config):
@@ -135,7 +135,7 @@ class TestDegradation:
         assert forecast.source == "baseline"
         assert forecast.ok
         assert "history floor" in forecast.error
-        assert engine.metrics.counter("engine.thin_history") >= 1
+        assert engine.metrics.counter("serving.thin_history") >= 1
 
     def test_empty_history_is_unanswerable(self, small_trace, small_env):
         import copy
@@ -168,7 +168,7 @@ class TestDegradation:
             assert forecast.degraded
             assert forecast.source == "baseline"
             assert "timeout" in forecast.error
-            assert engine.metrics.counter("engine.timeouts") == 1
+            assert engine.metrics.counter("serving.timeouts") == 1
 
     def test_baseline_forecast_metrics_flagged(self, small_trace, small_env):
         registry = ModelRegistry(
@@ -181,12 +181,12 @@ class TestDegradation:
             ])
             assert all(f.degraded for f in batch)
             snap = engine.metrics_snapshot()
-            assert snap["counters"]["engine.fallbacks"] >= 1
+            assert snap["counters"]["serving.fallbacks"] >= 1
 
 
 class TestThreadSafety:
     def test_hammer_from_many_threads(self, engine, served_requests):
-        queries_before = engine.metrics.counter("engine.queries")
+        queries_before = engine.metrics.counter("serving.queries")
         n_threads, per_thread = 8, 12
         errors = []
         barrier = threading.Barrier(n_threads)
@@ -215,7 +215,7 @@ class TestThreadSafety:
             key = f.request.work_key
             hour = f.prediction.hour
             assert by_key.setdefault(key, hour) == hour
-        assert (engine.metrics.counter("engine.queries") - queries_before
+        assert (engine.metrics.counter("serving.queries") - queries_before
                 == n_threads * per_thread)
 
 
@@ -286,12 +286,12 @@ class TestLifecycle:
 
     def test_timeout_forecast_hook(self, engine, served_requests):
         """The async front end's deadline path lands on the same counters."""
-        before = engine.metrics.counter("engine.timeouts")
+        before = engine.metrics.counter("serving.timeouts")
         forecast = engine.timeout_forecast(served_requests[0], 0.25)
         assert forecast.degraded
         assert forecast.source == "baseline"
         assert "timeout after 0.25s" in forecast.error
-        assert engine.metrics.counter("engine.timeouts") == before + 1
+        assert engine.metrics.counter("serving.timeouts") == before + 1
 
 
 class TestPayloads:

@@ -104,7 +104,7 @@ class TestRoll:
     def test_roll_skips_impossible_origin(self, small_trace, small_env):
         registry = ModelRegistry(factory=counting_factory([]))
         assert registry.roll(small_trace, small_env, origin_day=0.0) is None
-        assert registry.metrics.counter("registry.roll_skips") == 1
+        assert registry.metrics.counter("serving.registry.roll_skips") == 1
 
     def test_roll_wraps_online_refit(self, small_trace, small_env, monkeypatch):
         from repro.core.online import OnlinePredictor
@@ -121,7 +121,7 @@ class TestRoll:
         assert rolled.version == 1
         assert rolled.n_attacks == 100
         assert "@d20" in rolled.key.fingerprint
-        assert registry.metrics.counter("registry.rolls") == 1
+        assert registry.metrics.counter("serving.registry.rolls") == 1
         # The rolled model is retrievable from the cache by its key.
         assert registry.cache.get(rolled.key) is rolled
 

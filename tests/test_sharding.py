@@ -275,8 +275,8 @@ class TestWorkerCrash:
                 assert forecast.ok
             counters = engine.metrics_snapshot(
                 include_workers=False)["counters"]
-            assert (counters.get("sharded.failed_inflight", 0)
-                    + counters.get("engine.model_answers", 0)) >= 1
+            assert (counters.get("shard.failed_inflight", 0)
+                    + counters.get("serving.model_answers", 0)) >= 1
 
     def test_boot_failure_serves_baseline(self, small_trace, small_env,
                                           tmp_path):
