@@ -182,8 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seconds to wait for in-flight forecasts "
                                  "on SIGTERM/SIGINT")
     serve_http.add_argument("--store",
-                            help="model store directory; boot warm from it "
-                                 "instead of refitting")
+                            help="model store directory (flat or versioned "
+                                 "root); boot warm from it instead of "
+                                 "refitting.  A store carrying an embedded "
+                                 "trace snapshot supplies the trace too when "
+                                 "--trace is absent")
+    serve_http.add_argument("--journal",
+                            help="record-journal directory; enables "
+                                 "POST /v1/records (this replica becomes "
+                                 "the journal's single writer)")
     serve_http.add_argument("--access-log", action="store_true",
                             help="emit one JSON access-log line per request "
                                  "on stderr")
@@ -255,6 +262,85 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(export)
     export.add_argument("--store", required=True,
                         help="model store directory to write")
+    export.add_argument("--keep", type=int, default=None, metavar="N",
+                        help="write a *versioned* store root (CURRENT + "
+                             "v-XXXXXXXX dirs, trace embedded) and prune to "
+                             "the newest N versions; omit for a flat store")
+
+    def add_ingest_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--journal", required=True,
+                       help="record-journal directory")
+        p.add_argument("--simulate", action="store_true",
+                       help="append simulated future records (the dataset "
+                            "flags name the base trace being extended)")
+        p.add_argument("--horizon-days", type=int, default=2,
+                       help="simulated days of future records available")
+        p.add_argument("--batch-days", type=float, default=0.25,
+                       help="simulated days appended per batch/cycle")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable status")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append simulated records to a journal, or report ingest state",
+    )
+    add_dataset_args(ingest)
+    ingest.add_argument("action", nargs="?", choices=("append", "status"),
+                        default="append",
+                        help="append records (default) or print journal/"
+                             "store status")
+    add_ingest_common(ingest)
+    ingest.add_argument("--store",
+                        help="store root (status output lists its versions)")
+    ingest.add_argument("--batches", type=int, default=1,
+                        help="batches to append in one invocation")
+
+    ingest_daemon = sub.add_parser(
+        "ingest-daemon",
+        help="continuous refresh: tail the journal, score drift, export "
+             "verified store versions, roll them across a replica set",
+    )
+    add_dataset_args(ingest_daemon)
+    add_ingest_common(ingest_daemon)
+    ingest_daemon.add_argument("--store", required=True,
+                               help="versioned model-store root (seeded "
+                                    "automatically when absent)")
+    ingest_daemon.add_argument("--interval", type=float, default=2.0,
+                               help="seconds between ingest cycles")
+    ingest_daemon.add_argument("--replicas", type=int, default=0,
+                               help="boot and roll N supervised serve-http "
+                                    "replicas (0 = export-only)")
+    ingest_daemon.add_argument("--endpoints",
+                               help="externally managed replicas "
+                                    "(host:port,...); the daemon exports new "
+                                    "versions but cannot roll replicas it "
+                                    "does not supervise")
+    ingest_daemon.add_argument("--host", default="127.0.0.1",
+                               help="listen interface for supervised replicas")
+    ingest_daemon.add_argument("--port", type=int, default=0,
+                               help="base port for supervised replicas "
+                                    "(0 = ephemeral)")
+    ingest_daemon.add_argument("--keep", type=int, default=4, metavar="N",
+                               help="prune the store to the newest N "
+                                    "versions after each refresh")
+    ingest_daemon.add_argument("--cycles", type=int, default=None,
+                               help="stop after N cycles (default: run "
+                                    "until the feed is exhausted, or "
+                                    "forever without --simulate)")
+    ingest_daemon.add_argument("--duration", type=float, default=None,
+                               help="stop after this many seconds")
+    ingest_daemon.add_argument("--drift-window", type=int, default=48,
+                               help="sliding window of scored records")
+    ingest_daemon.add_argument("--drift-min-observations", type=int,
+                               default=12,
+                               help="scored records required before drift "
+                                    "can fire")
+    ingest_daemon.add_argument("--drift-ratio", type=float, default=1.25,
+                               help="model MAE must exceed ratio x baseline "
+                                    "MAE to count as drift")
+    ingest_daemon.add_argument("--staleness", type=float, default=3600.0,
+                               help="seconds without a refresh before one "
+                                    "fires regardless of drift")
     return parser
 
 
@@ -652,6 +738,19 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     # loading or model fitting -- with distinct exit codes.
     if args.store and _store_missing(args.store):
         return EXIT_BAD_STORE
+    if args.store and not getattr(args, "trace", None):
+        # A versioned store exported by the ingest layer carries the
+        # exact trace its models bind to; without it a replica handed
+        # a refreshed store would regenerate the *base* trace, skip
+        # every entry on fingerprint mismatch, and silently cold-refit.
+        from repro.persistence import ModelStore
+
+        embedded = (ModelStore(args.store).resolve().path
+                    / ModelStore.TRACE_FILE)
+        if embedded.is_file():
+            args.trace = str(embedded)
+            print(f"using trace embedded in store: {embedded}",
+                  file=sys.stderr)
     try:
         http_sock = bind_socket(args.host, args.port)
     except OSError as exc:
@@ -704,6 +803,13 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout if args.timeout > 0 else None,
         store_info=store_info,
     )
+    if getattr(args, "journal", None):
+        from repro.ingest import RecordJournal
+
+        journal = RecordJournal(args.journal)
+        dispatcher.record_sink = journal.append_many
+        print(f"accepting records into journal {args.journal} "
+              f"(next offset {journal.next_offset})", file=sys.stderr)
     access_log = None
     if args.access_log:
         from repro.telemetry import AccessLog
@@ -906,10 +1012,167 @@ def _cmd_export_models(args: argparse.Namespace) -> int:
     print("fitting models ...", file=sys.stderr)
     t0 = time.time()
     model = registry.get(trace, env)
+    if args.keep is not None:
+        version = registry.save_version(args.store, keep_last=args.keep,
+                                        trace=trace)
+        print(f"exported store version {version.name} "
+              f"(trace {model.key.fingerprint}, v{model.version}, "
+              f"fitted in {time.time() - t0:.1f}s) under {args.store} "
+              f"(keeping last {args.keep})")
+        return 0
     manifest = registry.save(args.store)
     print(f"exported {len(manifest['entries'])} model(s) "
           f"(trace {model.key.fingerprint}, v{model.version}, "
           f"fitted in {time.time() - t0:.1f}s) to {args.store}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ingest import RecordJournal, SimulatedFeed
+    from repro.persistence import ModelStore
+
+    if args.action == "status":
+        journal = RecordJournal(args.journal)
+        status = {"journal": journal.status()}
+        if args.store:
+            store = ModelStore(args.store)
+            current = store.current_version()
+            status["store"] = {
+                "path": args.store,
+                "current_version": current.name if current else None,
+                "versions": [p.name for p in store.versions()],
+            }
+            if store.exists():
+                status["store"]["describe"] = store.describe()
+        print(json.dumps(status, indent=2))
+        return 0
+
+    if not args.simulate:
+        print("error: 'ingest append' needs --simulate (live records "
+              "arrive via POST /v1/records on a --journal replica)",
+              file=sys.stderr)
+        return 2
+    trace, _ = _load_or_generate(args)
+    journal = RecordJournal(args.journal)
+    feed = SimulatedFeed(trace, horizon_days=args.horizon_days,
+                         batch_days=args.batch_days)
+    appended = 0
+    for _ in range(args.batches):
+        batch = feed.next_batch()
+        if not batch:
+            break
+        _, next_offset = journal.append_many(batch)
+        appended += len(batch)
+    if args.json:
+        print(json.dumps({"appended": appended, **journal.status()}))
+    else:
+        print(f"appended {appended} record(s); journal at offset "
+              f"{journal.next_offset}")
+    return 0
+
+
+def _cmd_ingest_daemon(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ingest import (
+        DriftConfig,
+        DriftMonitor,
+        IngestDaemon,
+        RecordJournal,
+        RefreshPipeline,
+        SimulatedFeed,
+    )
+    from repro.persistence import ModelStore
+    from repro.serving import ModelRegistry
+    from repro.telemetry import Telemetry
+
+    def log(message: str) -> None:
+        print(f"[ingest-daemon] {message}", file=sys.stderr)
+
+    trace, env = _load_or_generate(args)
+    if not trace.attacks:
+        print("empty trace: nothing to ingest against", file=sys.stderr)
+        return 1
+    telemetry = Telemetry()
+    journal = RecordJournal(args.journal)
+    registry = ModelRegistry(metrics=telemetry)
+    pipeline = RefreshPipeline(
+        trace, env, journal, args.store,
+        registry=registry, telemetry=telemetry, keep_last=args.keep,
+    )
+
+    store = ModelStore(args.store)
+    if store.is_versioned_root():
+        restored = pipeline.load_current()
+        if restored is not None:
+            log(f"restored model v{restored.version} from "
+                f"{store.current_version()} "
+                f"(journal offset {pipeline.current_offset})")
+    elif store.exists():
+        print(f"error: --store {args.store} is a flat store; the daemon "
+              "needs a versioned root (export-models --keep N)",
+              file=sys.stderr)
+        return EXIT_BAD_STORE
+    if pipeline.registry.latest(pipeline.config) is None:
+        log("no usable store version; fitting and seeding one")
+        seed = pipeline.refresh(reason="seed")
+        if not seed.ok:
+            print(f"error: cannot seed store: {seed.error}", file=sys.stderr)
+            return EXIT_BAD_STORE
+        log(f"seeded {seed.version_path}")
+
+    supervisor = None
+    if args.replicas > 0:
+        from repro.cluster import ReplicaSupervisor
+
+        current = store.current_version()
+        supervisor = ReplicaSupervisor(
+            replicas=args.replicas,
+            store_path=str(current),
+            host=args.host,
+            ports=([args.port + i for i in range(args.replicas)]
+                   if args.port else None),
+            log=log,
+        )
+        log(f"booting {args.replicas} replica(s) from {current} ...")
+        supervisor.start(wait_ready=True)
+        pipeline.supervisor = supervisor
+    elif args.endpoints:
+        log(f"observing external replicas at {args.endpoints}: new "
+            "versions are exported and activated, but replicas the "
+            "daemon does not supervise must reload themselves")
+
+    drift = DriftMonitor(
+        DriftConfig(
+            window=args.drift_window,
+            min_observations=args.drift_min_observations,
+            ratio=args.drift_ratio,
+            staleness_s=args.staleness,
+        ),
+        telemetry=telemetry,
+    )
+    feed = None
+    if args.simulate:
+        feed = SimulatedFeed(trace, horizon_days=args.horizon_days,
+                             batch_days=args.batch_days)
+    daemon = IngestDaemon(pipeline, drift, feed=feed, telemetry=telemetry,
+                          interval_s=args.interval, log=log)
+    try:
+        daemon.run(duration_s=args.duration, max_cycles=args.cycles)
+    except KeyboardInterrupt:
+        log("interrupted; shutting down")
+    finally:
+        if supervisor is not None:
+            supervisor.stop()
+    status = daemon.status()
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        log(f"done: {status['cycles']} cycle(s), "
+            f"{status['refreshes']} refresh(es), journal at offset "
+            f"{status['journal']['next_offset']}")
     return 0
 
 
@@ -923,6 +1186,8 @@ _COMMANDS = {
     "serve-cluster": _cmd_serve_cluster,
     "metrics": _cmd_metrics,
     "export-models": _cmd_export_models,
+    "ingest": _cmd_ingest,
+    "ingest-daemon": _cmd_ingest_daemon,
 }
 
 

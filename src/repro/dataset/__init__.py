@@ -24,7 +24,13 @@ from repro.dataset.botnet import BotnetPopulation
 from repro.dataset.targets import Target, TargetPopulation
 from repro.dataset.attacks import AttackScheduler
 from repro.dataset.generator import DatasetConfig, SimulationEnvironment, TraceGenerator
-from repro.dataset.loader import load_trace, save_trace, train_test_split
+from repro.dataset.loader import (
+    iter_records,
+    load_trace,
+    record_from_dict,
+    save_trace,
+    train_test_split,
+)
 from repro.dataset.monitoring import FamilyReport, build_reports, report_series
 
 __all__ = [
@@ -42,7 +48,9 @@ __all__ = [
     "DatasetConfig",
     "SimulationEnvironment",
     "TraceGenerator",
+    "iter_records",
     "load_trace",
+    "record_from_dict",
     "save_trace",
     "train_test_split",
     "FamilyReport",

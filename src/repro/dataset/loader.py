@@ -5,6 +5,14 @@ one line per attack and per snapshot.  The split helper reproduces the
 paper's validation protocol (§III-C): a *chronological* 80/20 split --
 40,563 training and 10,141 testing attacks in the original dataset --
 so that testing always predicts the future, never interpolates.
+
+:func:`record_from_dict` is the single schema/validation gate for the
+tagged-line format -- the batch loader here and the streaming ingest
+journal (:mod:`repro.ingest.journal`) both parse through it, so a
+record accepted on one path is accepted on the other.
+:func:`iter_records` is the incremental counterpart of
+:func:`load_trace`: it streams ``(kind, record)`` pairs and can skip
+everything observed before a ``since`` timestamp.
 """
 
 from __future__ import annotations
@@ -12,10 +20,48 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
+from typing import Iterator
 
-from repro.dataset.records import AttackRecord, AttackTrace, HourlySnapshot, TraceMetadata
+from repro.dataset.records import (
+    HOUR,
+    AttackRecord,
+    AttackTrace,
+    HourlySnapshot,
+    TraceMetadata,
+)
 
-__all__ = ["save_trace", "load_trace", "train_test_split"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "record_from_dict",
+    "iter_records",
+    "train_test_split",
+]
+
+
+def record_from_dict(data: dict) -> tuple[str, object]:
+    """Parse one tagged record dict into ``(kind, record)``.
+
+    ``data`` must carry a ``type`` tag of ``metadata``/``attack``/
+    ``snapshot``; the remaining fields are the record's ``to_dict``
+    form.  Raises :class:`ValueError` naming the offending tag or field
+    on anything malformed -- the shared contract both the batch loader
+    and the ingest journal enforce.  The input dict is not mutated.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"record must be a JSON object, got {type(data).__name__}")
+    kind = data.get("type")
+    body = {k: v for k, v in data.items() if k != "type"}
+    try:
+        if kind == "metadata":
+            return kind, TraceMetadata.from_dict(body)
+        if kind == "attack":
+            return kind, AttackRecord.from_dict(body)
+        if kind == "snapshot":
+            return kind, HourlySnapshot.from_dict(body)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed {kind} record: {exc}") from exc
+    raise ValueError(f"unknown record type {kind!r}")
 
 
 def save_trace(trace: AttackTrace, path: str | Path) -> None:
@@ -30,27 +76,54 @@ def save_trace(trace: AttackTrace, path: str | Path) -> None:
             fh.write(json.dumps({"type": "snapshot", **snapshot.to_dict()}) + "\n")
 
 
+def iter_records(path: str | Path,
+                 since: float | None = None) -> Iterator[tuple[str, object]]:
+    """Stream ``(kind, record)`` pairs from a saved trace, incrementally.
+
+    With ``since=None`` every line is yielded (metadata first, as
+    written).  With a ``since`` timestamp (seconds, same clock as
+    ``AttackRecord.start_time``) the metadata line is skipped and only
+    attacks starting at/after ``since`` and snapshots covering hours
+    at/after ``since`` are yielded -- the incremental pull a catch-up
+    ingest does against a growing trace file.
+    """
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"bad JSON line in {path}: {exc}") from exc
+            try:
+                kind, record = record_from_dict(data)
+            except ValueError as exc:
+                raise ValueError(f"{exc} (in {path})") from exc
+            if since is not None:
+                if kind == "metadata":
+                    continue
+                if kind == "attack" and record.start_time < since:
+                    continue
+                if kind == "snapshot" and record.hour_index * HOUR < since:
+                    continue
+            yield kind, record
+
+
 def load_trace(path: str | Path) -> AttackTrace:
     """Read a trace written by :func:`save_trace`."""
     path = Path(path)
     metadata: TraceMetadata | None = None
     attacks: list[AttackRecord] = []
     snapshots: list[HourlySnapshot] = []
-    with gzip.open(path, "rt", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            data = json.loads(line)
-            kind = data.pop("type", None)
-            if kind == "metadata":
-                metadata = TraceMetadata.from_dict(data)
-            elif kind == "attack":
-                attacks.append(AttackRecord.from_dict(data))
-            elif kind == "snapshot":
-                snapshots.append(HourlySnapshot.from_dict(data))
-            else:
-                raise ValueError(f"unknown record type {kind!r} in {path}")
+    for kind, record in iter_records(path):
+        if kind == "metadata":
+            metadata = record
+        elif kind == "attack":
+            attacks.append(record)
+        else:
+            snapshots.append(record)
     if metadata is None:
         raise ValueError(f"no metadata line in {path}")
     return AttackTrace(attacks=attacks, snapshots=snapshots, metadata=metadata)

@@ -31,6 +31,8 @@ __all__ = [
     "NoReplicasAvailableError",
     "ForecastServiceError",
     "ProtocolError",
+    "JournalError",
+    "IngestError",
     "ERROR_CODES",
 ]
 
@@ -110,6 +112,30 @@ class ForecastServiceError(ReproError, RuntimeError):
         self.trace_id = trace_id
 
 
+class JournalError(ReproError, ValueError):
+    """The record journal is unreadable or cannot be written.
+
+    Raised for I/O failures and for corruption anywhere but the torn
+    trailing line (which recovery drops silently).  Not raised for a
+    merely invalid *record* -- that is the submitter's plain
+    ``ValueError`` and maps to a 400, not a journal fault.
+    """
+
+    code = "bad_journal"
+
+
+class IngestError(ReproError, RuntimeError):
+    """A continuous-refresh step failed (verify, activate, or reload).
+
+    The refresh pipeline raises this only for faults it could not
+    contain; a quarantined candidate or a rolled-back reload is a
+    *handled* outcome reported in the ``RefreshResult``, not an
+    exception.
+    """
+
+    code = "ingest_failed"
+
+
 class ProtocolError(ReproError, ValueError):
     """A malformed or oversized request; maps to an HTTP 4xx.
 
@@ -140,6 +166,8 @@ ERROR_CODES: dict[str, str] = {
     "no_replicas": "NoReplicasAvailableError: replica set exhausted",
     "bad_request": "ProtocolError: malformed request (default slug)",
     "service_error": "ForecastServiceError: error body carried no code",
+    "bad_journal": "JournalError: record journal unreadable/unwritable",
+    "ingest_failed": "IngestError: uncontained continuous-refresh fault",
     # wire-only (minted by the dispatcher / transports)
     "draining": "server is draining; retry another replica (503)",
     "overloaded": "max_inflight reached; body is a degraded forecast (429)",
@@ -154,4 +182,6 @@ ERROR_CODES: dict[str, str] = {
     "timeout": "request deadline exceeded (408)",
     "schema_mismatch": "client/server forecast schema versions differ",
     "internal": "unexpected server-side failure (500)",
+    "bad_record": "POSTed record failed shared schema validation (400)",
+    "ingest_disabled": "no journal attached to this server (503)",
 }

@@ -1,0 +1,40 @@
+"""Continuous learning: streaming ingestion -> drift -> refresh -> roll.
+
+The paper's record stream is inherently continuous -- hourly botnet
+snapshots and verified attacks keep arriving (§III) -- and predictive
+value decays as the underlying attack process drifts.  This package
+closes the loop the serving stack left open: records land in a durable
+:class:`~repro.ingest.journal.RecordJournal`, a
+:class:`~repro.ingest.drift.DriftMonitor` scores the live model
+against the §VII-A naive baselines, and a
+:class:`~repro.ingest.refresher.RefreshPipeline` warm-refits, exports
+a verified new store version, and rolls it across a replica set with
+>= N-1 replicas ready throughout.  The
+:class:`~repro.ingest.daemon.IngestDaemon` runs the whole cycle
+(``repro ingest-daemon``); see DESIGN.md §14 for the architecture and
+the failure/rollback matrix.
+"""
+
+from repro.ingest.daemon import IngestDaemon, SimulatedFeed
+from repro.ingest.drift import DriftConfig, DriftDecision, DriftMonitor
+from repro.ingest.journal import JournalRecord, RecordJournal
+from repro.ingest.refresher import (
+    RefreshPipeline,
+    RefreshResult,
+    extend_trace,
+    pick_canaries,
+)
+
+__all__ = [
+    "IngestDaemon",
+    "SimulatedFeed",
+    "DriftConfig",
+    "DriftDecision",
+    "DriftMonitor",
+    "JournalRecord",
+    "RecordJournal",
+    "RefreshPipeline",
+    "RefreshResult",
+    "extend_trace",
+    "pick_canaries",
+]

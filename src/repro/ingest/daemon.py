@@ -1,0 +1,231 @@
+"""The ingest daemon: tail the journal, score, refresh, roll.
+
+One process owns the whole continuous-refresh loop:
+
+* a :class:`SimulatedFeed` (optional) plays the paper's hourly record
+  stream forward past the end of the base trace and appends it to the
+  journal -- the ``repro ingest --simulate`` path; without it the
+  daemon only *reads* a journal some serving replica writes via
+  ``POST /v1/records`` (the journal is single-writer),
+* every cycle the daemon tails new records, scores each attack with
+  the live model (``predict_next_for_network`` at the record's own
+  timestamp) and feeds actual-vs-predicted magnitude to the
+  :class:`~repro.ingest.drift.DriftMonitor`,
+* when drift or staleness fires, the
+  :class:`~repro.ingest.refresher.RefreshPipeline` exports, verifies,
+  activates and (with a supervisor attached) rolls the new version
+  across the replica set.
+
+``step()`` is the whole cycle as a plain synchronous function so tests
+and the CLI loop share one code path; ``run()`` just repeats it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dataset.generator import (
+    DatasetConfig,
+    TraceGenerator,
+)
+from repro.dataset.families import family_by_name
+from repro.dataset.records import DAY, AttackTrace
+from repro.ingest.drift import DriftMonitor
+from repro.ingest.journal import RecordJournal
+from repro.ingest.refresher import RefreshPipeline
+from repro.telemetry import Telemetry
+from repro.topology.generator import TopologyConfig
+
+__all__ = ["SimulatedFeed", "IngestDaemon"]
+
+
+class SimulatedFeed:
+    """Deterministic future records for a base trace.
+
+    Re-runs the generator with the base trace's own parameters over a
+    longer horizon and replays only the records past the base window,
+    in timestamp order, ``batch_days`` of simulated time per pull.
+    The *stream* is deterministic given the base metadata, which is
+    what matters: the journal (not the generator) is the source of
+    truth for what the extended trace contains.
+    """
+
+    def __init__(self, base_trace: AttackTrace, *,
+                 horizon_days: int = 4,
+                 batch_days: float = 0.25) -> None:
+        if horizon_days < 1:
+            raise ValueError("horizon_days must be >= 1")
+        if batch_days <= 0:
+            raise ValueError("batch_days must be positive")
+        meta = base_trace.metadata
+        config = DatasetConfig(
+            n_days=meta.n_days + horizon_days,
+            families=tuple(family_by_name(name) for name in meta.families),
+            n_targets=meta.n_targets,
+            scale=meta.scale,
+            seed=meta.seed,
+            topology=(TopologyConfig(**meta.topology) if meta.topology
+                      else TopologyConfig(seed=meta.topology_seed)),
+        )
+        extended, _ = TraceGenerator(config).generate()
+        cutoff = meta.n_days * DAY
+        tagged = (
+            [("attack", a.start_time, {"type": "attack", **a.to_dict()})
+             for a in extended.attacks if a.start_time >= cutoff]
+            + [("snapshot", s.hour_index * 3600.0,
+                {"type": "snapshot", **s.to_dict()})
+               for s in extended.snapshots if s.hour_index * 3600.0 >= cutoff]
+        )
+        tagged.sort(key=lambda item: (item[1], item[0]))
+        self._records = [record for _, _, record in tagged]
+        self._clock = cutoff
+        self._cursor = 0
+        self.batch_s = batch_days * DAY
+        self.horizon_end = (meta.n_days + horizon_days) * DAY
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the simulated horizon has been fully replayed."""
+        return self._cursor >= len(self._records)
+
+    def next_batch(self) -> list[dict]:
+        """Records in the next ``batch_days`` of simulated time."""
+        if self.exhausted:
+            return []
+        self._clock += self.batch_s
+        batch: list[dict] = []
+        while self._cursor < len(self._records):
+            record = self._records[self._cursor]
+            timestamp = (record["start_time"] if record["type"] == "attack"
+                         else record["hour_index"] * 3600.0)
+            if timestamp >= self._clock:
+                break
+            batch.append(record)
+            self._cursor += 1
+        return batch
+
+
+class IngestDaemon:
+    """Orchestrates feed -> journal -> drift -> refresh -> reload."""
+
+    def __init__(self, pipeline: RefreshPipeline, drift: DriftMonitor, *,
+                 feed: SimulatedFeed | None = None,
+                 telemetry: Telemetry | None = None,
+                 interval_s: float = 2.0,
+                 log=None) -> None:
+        self.pipeline = pipeline
+        self.drift = drift
+        self.feed = feed
+        self.telemetry = telemetry or pipeline.telemetry
+        self.interval_s = interval_s
+        self._log = log or (lambda message: None)
+        self.journal: RecordJournal = pipeline.journal
+        #: Journal offset up to which records have been scored.
+        self.cursor = pipeline.current_offset
+        self.cycles = 0
+        self.refreshes = 0
+
+    @property
+    def lineage(self) -> str:
+        """The registry lineage this daemon monitors."""
+        from repro.serving.registry import _config_key
+        return _config_key(self.pipeline.config)
+
+    # ----- one cycle -----
+
+    def step(self) -> dict:
+        """Pull, score, decide, maybe refresh.  Returns a summary dict."""
+        self.cycles += 1
+        appended = 0
+        if self.feed is not None and not self.feed.exhausted:
+            batch = self.feed.next_batch()
+            if batch:
+                _, _ = self.journal.append_many(batch)
+                appended = len(batch)
+                self.telemetry.incr("ingest.daemon.appended", appended)
+
+        scored = 0
+        latest = self.pipeline.registry.latest(self.pipeline.config)
+        predictor = latest.predictor if latest is not None else None
+        for entry in self.journal.tail(self.cursor):
+            self.cursor = entry.offset + 1
+            if entry.kind != "attack":
+                continue
+            record = entry.record
+            predicted = None
+            if predictor is not None:
+                try:
+                    forecast = predictor.predict_next_for_network(
+                        record.target_asn, record.family,
+                        now=record.start_time)
+                except Exception:
+                    forecast = None
+                    self.telemetry.incr("ingest.daemon.score_errors")
+                if forecast is not None:
+                    predicted = float(forecast.magnitude)
+            self.drift.observe(self.lineage, float(record.magnitude),
+                               predicted)
+            scored += 1
+        if scored:
+            self.telemetry.incr("ingest.daemon.scored", scored)
+
+        decision = self.drift.check(self.lineage)
+        refresh_result = None
+        if decision.fire:
+            self._log(f"refresh trigger: {decision.reason} "
+                      f"(model_mae={decision.model_mae}, "
+                      f"baseline_mae={decision.baseline_mae}, "
+                      f"n={decision.n_observations})")
+            refresh_result = self.pipeline.refresh(reason=decision.reason)
+            if refresh_result.ok:
+                self.refreshes += 1
+                self.drift.mark_refreshed(self.lineage)
+                self._log(
+                    f"refresh ok: {refresh_result.version_path} "
+                    f"(model v{refresh_result.model_version}, "
+                    f"offset {refresh_result.offset})")
+            else:
+                self._log(f"refresh FAILED: {refresh_result.error}")
+        return {
+            "cycle": self.cycles,
+            "appended": appended,
+            "scored": scored,
+            "decision": decision.to_dict(),
+            "refresh": (refresh_result.to_dict()
+                        if refresh_result is not None else None),
+        }
+
+    # ----- the loop -----
+
+    def run(self, *, duration_s: float | None = None,
+            max_cycles: int | None = None,
+            stop=None) -> dict:
+        """Repeat ``step`` until a bound is hit or ``stop()`` is truthy."""
+        started = time.monotonic()
+        while True:
+            self.step()
+            if max_cycles is not None and self.cycles >= max_cycles:
+                break
+            if (duration_s is not None
+                    and time.monotonic() - started >= duration_s):
+                break
+            if stop is not None and stop():
+                break
+            if (self.feed is not None and self.feed.exhausted
+                    and duration_s is None and max_cycles is None):
+                break
+            time.sleep(self.interval_s)
+        return self.status()
+
+    def status(self) -> dict:
+        """JSON-safe daemon state for ``repro ingest status``."""
+        return {
+            "cycles": self.cycles,
+            "refreshes": self.refreshes,
+            "cursor": self.cursor,
+            "feed_exhausted": (self.feed.exhausted
+                               if self.feed is not None else None),
+            "journal": self.journal.status(),
+            "drift": self.drift.status(),
+            "pipeline": self.pipeline.status(),
+        }

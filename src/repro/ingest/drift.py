@@ -1,0 +1,227 @@
+"""Per-lineage drift detection against the §VII-A naive baselines.
+
+The paper's yardstick for "is the model worth its complexity" is the
+pair of naive predictors from §VII-A: *Always Same* (persistence) and
+*Always Mean*.  The drift monitor applies the same yardstick online:
+for every live attack record it receives the model's forecast error
+and replays both baselines over the identical actuals stream, all in
+one sliding window.  The model has drifted when its windowed MAE falls
+behind the better baseline by more than a tolerance ratio -- at that
+point a frozen store version is doing worse than a no-model heuristic
+and a refresh is overdue.  A staleness clock backstops quiet lineages:
+even with no scored traffic, a model older than ``staleness_s`` fires.
+
+All decisions are pure functions of observed values plus an injectable
+clock, so tests drive them deterministically; side effects are limited
+to ``ingest.drift.*`` telemetry counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.baselines import AlwaysMean, AlwaysSame
+from repro.telemetry import Telemetry
+
+__all__ = ["DriftConfig", "DriftDecision", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning knobs for the drift/staleness decision.
+
+    ``ratio`` is multiplicative headroom: the model only counts as
+    drifted when its windowed MAE exceeds ``ratio`` times the *better*
+    of the two baseline MAEs, so noise around parity does not thrash
+    the refresher.
+    """
+
+    window: int = 48
+    min_observations: int = 12
+    ratio: float = 1.25
+    staleness_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        if self.staleness_s <= 0:
+            raise ValueError("staleness_s must be positive")
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one drift check; ``fire`` is the refresh trigger."""
+
+    lineage: str
+    fire: bool
+    drifted: bool
+    stale: bool
+    reason: str
+    n_observations: int
+    model_mae: float | None
+    baseline_mae: float | None
+    seconds_since_refresh: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for status output and logs."""
+        return {
+            "lineage": self.lineage,
+            "fire": self.fire,
+            "drifted": self.drifted,
+            "stale": self.stale,
+            "reason": self.reason,
+            "n_observations": self.n_observations,
+            "model_mae": self.model_mae,
+            "baseline_mae": self.baseline_mae,
+            "seconds_since_refresh": round(self.seconds_since_refresh, 3),
+        }
+
+
+@dataclass
+class _LineageWindow:
+    """Sliding error windows for one model lineage."""
+
+    actuals: deque = field(default_factory=deque)
+    model_errors: deque = field(default_factory=deque)
+    same_errors: deque = field(default_factory=deque)
+    mean_errors: deque = field(default_factory=deque)
+    refreshed_at: float = 0.0
+    observations: int = 0
+
+
+class DriftMonitor:
+    """Scores live forecast error per lineage and decides refreshes.
+
+    ``clock`` defaults to ``time.monotonic`` and exists so tests can
+    advance staleness without sleeping.  Thread-safe: the daemon's
+    poll loop and status endpoint may race.
+    """
+
+    def __init__(self, config: DriftConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 clock=time.monotonic) -> None:
+        self.config = config or DriftConfig()
+        self.telemetry = telemetry or Telemetry()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._lineages: dict[str, _LineageWindow] = {}
+        self._same = AlwaysSame()
+        self._mean = AlwaysMean()
+
+    def _window(self, lineage: str) -> _LineageWindow:
+        window = self._lineages.get(lineage)
+        if window is None:
+            window = _LineageWindow(refreshed_at=self.clock())
+            self._lineages[lineage] = window
+        return window
+
+    # ----- observation -----
+
+    def observe(self, lineage: str, actual: float,
+                predicted: float | None) -> None:
+        """Record one live outcome and the model's forecast for it.
+
+        ``predicted=None`` (the model could not score this record, e.g.
+        an unknown network below the §VI-B history floor) still feeds
+        the baselines -- which never abstain -- and is counted in
+        ``ingest.drift.unscored``; abstention must not mask drift on
+        the records the model *does* score.
+        """
+        maxlen = self.config.window
+        with self._lock:
+            window = self._window(lineage)
+            if window.actuals:
+                same_pred = self._same.predict_next(list(window.actuals))
+                mean_pred = self._mean.predict_next(list(window.actuals))
+                window.same_errors.append(abs(same_pred - actual))
+                window.mean_errors.append(abs(mean_pred - actual))
+            if predicted is not None:
+                window.model_errors.append(abs(float(predicted) - actual))
+                self.telemetry.observe(
+                    "ingest.drift.model_abs_error",
+                    abs(float(predicted) - actual),
+                )
+            else:
+                self.telemetry.incr("ingest.drift.unscored")
+            window.actuals.append(float(actual))
+            window.observations += 1
+            for series in (window.actuals, window.model_errors,
+                           window.same_errors, window.mean_errors):
+                while len(series) > maxlen:
+                    series.popleft()
+        self.telemetry.incr("ingest.drift.observations")
+
+    def mark_refreshed(self, lineage: str) -> None:
+        """Reset the staleness clock and the model's error window.
+
+        The actuals (and thus the baseline replay context) survive --
+        the world did not change, the model did.
+        """
+        with self._lock:
+            window = self._window(lineage)
+            window.refreshed_at = self.clock()
+            window.model_errors.clear()
+        self.telemetry.incr("ingest.drift.refresh_marks")
+
+    # ----- decision -----
+
+    def check(self, lineage: str) -> DriftDecision:
+        """Evaluate drift + staleness for a lineage right now."""
+        cfg = self.config
+        with self._lock:
+            window = self._window(lineage)
+            n = len(window.model_errors)
+            model_mae = (sum(window.model_errors) / n) if n else None
+            baseline_mae = None
+            if window.same_errors and window.mean_errors:
+                same_mae = sum(window.same_errors) / len(window.same_errors)
+                mean_mae = sum(window.mean_errors) / len(window.mean_errors)
+                baseline_mae = min(same_mae, mean_mae)
+            elapsed = self.clock() - window.refreshed_at
+        drifted = (
+            n >= cfg.min_observations
+            and baseline_mae is not None
+            and model_mae > cfg.ratio * baseline_mae
+        )
+        stale = elapsed >= cfg.staleness_s
+        if drifted:
+            reason = "drift"
+        elif stale:
+            reason = "stale"
+        else:
+            reason = "healthy"
+        self.telemetry.incr("ingest.drift.checks")
+        if drifted:
+            self.telemetry.incr("ingest.drift.fired")
+        if stale:
+            self.telemetry.incr("ingest.drift.stale")
+        return DriftDecision(
+            lineage=lineage,
+            fire=drifted or stale,
+            drifted=drifted,
+            stale=stale,
+            reason=reason,
+            n_observations=n,
+            model_mae=model_mae,
+            baseline_mae=baseline_mae,
+            seconds_since_refresh=elapsed,
+        )
+
+    def lineages(self) -> list[str]:
+        """Lineages observed so far."""
+        with self._lock:
+            return sorted(self._lineages)
+
+    def status(self) -> dict:
+        """JSON-safe per-lineage decision snapshot."""
+        return {
+            lineage: self.check(lineage).to_dict()
+            for lineage in self.lineages()
+        }

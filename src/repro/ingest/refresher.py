@@ -1,0 +1,363 @@
+"""Drift-triggered model refresh: journal -> new store version -> cluster.
+
+The :class:`RefreshPipeline` closes the loop the earlier layers left
+open.  PR 2 made refits warm (``ModelRegistry.get(warm_from=...)``),
+PR 6 made deployments rolling (``ReplicaSupervisor.rolling_reload``);
+this module connects them to the record journal:
+
+1. **Extend** -- rebuild the live trace as ``base + journal[0:offset]``.
+   The base metadata is kept verbatim, so the trace at any offset is a
+   pure deterministic function of (base trace, journal contents) and
+   can be reconstructed by any process at any time.
+2. **Refit** -- warm-fit the affected lineage on the extended trace,
+   seeded from the previous model.
+3. **Export** -- stage a complete candidate version directory under the
+   store root (models + the exact trace they bind to + ingest
+   provenance), never touching the active version.
+4. **Verify** -- load the candidate back through a *fresh* registry and
+   diff canary forecasts against the in-memory model.  A candidate
+   that cannot round-trip is moved to ``quarantine/`` and the active
+   version keeps serving; no replica ever observes it.
+5. **Activate + roll** -- atomically repoint ``CURRENT``, prune old
+   versions, and roll the supervised replica set one replica at a time
+   (>= N-1 ready throughout).  A failed roll restores ``CURRENT`` and
+   rolls back to the previous version.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.spatiotemporal import SpatiotemporalConfig
+from repro.dataset.generator import SimulationEnvironment
+from repro.dataset.loader import save_trace
+from repro.dataset.records import AttackRecord, AttackTrace, HourlySnapshot
+from repro.errors import IngestError, StateError
+from repro.evaluation.reporting import prediction_to_dict
+from repro.ingest.journal import RecordJournal
+from repro.persistence.store import ModelStore
+from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.telemetry import Telemetry
+
+__all__ = ["RefreshResult", "RefreshPipeline", "extend_trace", "pick_canaries"]
+
+
+def extend_trace(base: AttackTrace,
+                 attacks: list[AttackRecord],
+                 snapshots: list[HourlySnapshot]) -> AttackTrace:
+    """The base trace plus journaled records, metadata unchanged.
+
+    Returns ``base`` itself when there is nothing to add, so the
+    fingerprint at journal offset 0 is *exactly* the base trace's --
+    the binding a store exported before any ingest ran uses.
+    """
+    if not attacks and not snapshots:
+        return base
+    return AttackTrace(
+        attacks=list(base.attacks) + list(attacks),
+        snapshots=list(base.snapshots) + list(snapshots),
+        metadata=base.metadata,
+    )
+
+
+def pick_canaries(trace: AttackTrace, count: int = 3) -> list[tuple[int, str]]:
+    """The ``(target_asn, family)`` pairs with the most history.
+
+    Deterministic, busiest-first: these networks have the most signal,
+    so a broken restore is most likely to disagree on them.
+    """
+    frequency: dict[tuple[int, str], int] = {}
+    for attack in trace.attacks:
+        key = (attack.target_asn, attack.family)
+        frequency[key] = frequency.get(key, 0) + 1
+    ranked = sorted(frequency.items(), key=lambda item: (-item[1], item[0]))
+    return [key for key, _ in ranked[:count]]
+
+
+@dataclass
+class RefreshResult:
+    """What one refresh attempt did, fully reported (never thrown)."""
+
+    ok: bool
+    reason: str
+    offset: int
+    model_version: int | None = None
+    version_path: Path | None = None
+    quarantined: Path | None = None
+    rolled_back: bool = False
+    reload_report: dict | None = None
+    pruned: list[str] = field(default_factory=list)
+    error: str | None = None
+    duration_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for status output and logs."""
+        return {
+            "ok": self.ok,
+            "reason": self.reason,
+            "offset": self.offset,
+            "model_version": self.model_version,
+            "version_path": (str(self.version_path)
+                             if self.version_path else None),
+            "quarantined": str(self.quarantined) if self.quarantined else None,
+            "rolled_back": self.rolled_back,
+            "reload_ok": (self.reload_report or {}).get("ok"),
+            "pruned": list(self.pruned),
+            "error": self.error,
+            "duration_s": round(self.duration_s, 3),
+        }
+
+
+class RefreshPipeline:
+    """Warm-refit affected lineages and roll new store versions out.
+
+    ``supervisor`` is any object with ``rolling_reload(path) -> dict``
+    (duck-typed so tests can observe/inject); ``None`` means
+    export-only -- verify and activate, let someone else deploy.
+    ``post_export`` is a test hook called with the staged candidate
+    path before verification (fault injection).
+    """
+
+    def __init__(self, base_trace: AttackTrace, env: SimulationEnvironment,
+                 journal: RecordJournal, store_root: str | Path, *,
+                 config: SpatiotemporalConfig | None = None,
+                 registry: ModelRegistry | None = None,
+                 supervisor=None,
+                 telemetry: Telemetry | None = None,
+                 keep_last: int | None = None,
+                 canary_count: int = 3,
+                 post_export: Callable[[Path], None] | None = None) -> None:
+        self.base_trace = base_trace
+        self.env = env
+        self.journal = journal
+        self.store = ModelStore(store_root)
+        self.config = config
+        self.registry = registry or ModelRegistry()
+        self.supervisor = supervisor
+        self.telemetry = telemetry or Telemetry()
+        self.keep_last = keep_last
+        self.canary_count = canary_count
+        self.post_export = post_export
+        #: Journal offset the currently-active store version covers.
+        self.current_offset = 0
+        self.last_result: RefreshResult | None = None
+
+    # ----- trace reconstruction -----
+
+    def records_until(self, offset: int | None = None
+                      ) -> tuple[list[AttackRecord], list[HourlySnapshot], int]:
+        """Journaled records below ``offset`` (default: everything)."""
+        attacks: list[AttackRecord] = []
+        snapshots: list[HourlySnapshot] = []
+        seen = 0
+        for entry in self.journal.tail(0):
+            if offset is not None and entry.offset >= offset:
+                break
+            seen = entry.offset + 1
+            if entry.kind == "attack":
+                attacks.append(entry.record)
+            else:
+                snapshots.append(entry.record)
+        return attacks, snapshots, seen
+
+    def trace_at(self, offset: int | None = None) -> tuple[AttackTrace, int]:
+        """The deterministic trace at a journal offset."""
+        attacks, snapshots, seen = self.records_until(offset)
+        return extend_trace(self.base_trace, attacks, snapshots), seen
+
+    # ----- seeding from an existing store -----
+
+    def load_current(self) -> RegisteredModel | None:
+        """Warm the registry from the store's active version, if any.
+
+        Reads the version's ingest provenance to learn which journal
+        offset its models cover, rebuilds that exact trace, and
+        restores the fingerprint-bound state.  Returns the restored
+        model for this pipeline's lineage (``None`` when the store is
+        empty or covers a different lineage).
+        """
+        if not self.store.exists():
+            return None
+        resolved = self.store.resolve()
+        offset = _ingest_offset(resolved.path)
+        trace, _ = self.trace_at(offset)
+        self.registry.load(resolved.path, trace, self.env)
+        self.current_offset = offset
+        return self.registry.latest(self.config)
+
+    # ----- the refresh itself -----
+
+    def refresh(self, reason: str = "drift") -> RefreshResult:
+        """Run one full extend -> refit -> export -> verify -> roll cycle."""
+        t0 = time.monotonic()
+        with self.telemetry.timer("ingest.refresh.run"):
+            result = self._refresh(reason)
+        result.duration_s = time.monotonic() - t0
+        self.last_result = result
+        self.telemetry.incr(
+            "ingest.refresh.completed" if result.ok
+            else "ingest.refresh.failed"
+        )
+        return result
+
+    def _refresh(self, reason: str) -> RefreshResult:
+        trace, offset = self.trace_at(None)
+        previous = self.registry.latest(self.config)
+        warm = previous.predictor if previous is not None else None
+
+        try:
+            # refresh() invalidates the cache first, so a staleness
+            # trigger with an unchanged journal still refits and bumps
+            # the lineage version instead of re-serving the cached fit.
+            model = self.registry.refresh(trace, self.env, self.config,
+                                          warm_from=warm)
+        except Exception as exc:  # fit failure: keep serving the old model
+            self.telemetry.incr("ingest.refresh.fit_failures")
+            return RefreshResult(ok=False, reason=reason, offset=offset,
+                                 error=f"refit failed: {exc}")
+
+        previous_version = self.store.current_version()
+        staged = self.store.stage_version(
+            [model.to_dict(with_state=True)],
+            extra_files={
+                ModelStore.INGEST_FILE: {
+                    "journal_offset": offset,
+                    "reason": reason,
+                    "created_at": time.time(),
+                    "fingerprint": model.key.fingerprint,
+                    "model_version": model.version,
+                    "n_attacks": model.n_attacks,
+                },
+            },
+        )
+        save_trace(trace, staged / ModelStore.TRACE_FILE)
+        if self.post_export is not None:
+            self.post_export(staged)
+
+        verify_error = self._verify(staged, trace, model)
+        if verify_error is not None:
+            quarantined = self.store.quarantine_version(staged, verify_error)
+            self.telemetry.incr("ingest.refresh.quarantined")
+            return RefreshResult(
+                ok=False, reason=reason, offset=offset,
+                model_version=model.version,
+                quarantined=quarantined, error=verify_error,
+            )
+
+        active = self.store.activate_version(staged)
+        pruned: list[str] = []
+        if self.keep_last is not None:
+            pruned = [p.name for p in self.store.prune(self.keep_last)]
+            if pruned:
+                self.telemetry.incr("ingest.refresh.pruned", len(pruned))
+        self.telemetry.incr("ingest.refresh.exported")
+
+        reload_report = None
+        rolled_back = False
+        if self.supervisor is not None:
+            reload_report = self.supervisor.rolling_reload(str(active))
+            if not reload_report.get("ok"):
+                rolled_back = self._roll_back(previous_version, active)
+                return RefreshResult(
+                    ok=False, reason=reason, offset=offset,
+                    model_version=model.version, version_path=active,
+                    rolled_back=rolled_back, reload_report=reload_report,
+                    pruned=pruned, error="rolling reload failed",
+                )
+
+        self.current_offset = offset
+        return RefreshResult(
+            ok=True, reason=reason, offset=offset,
+            model_version=model.version, version_path=active,
+            reload_report=reload_report, pruned=pruned,
+        )
+
+    def _verify(self, staged: Path, trace: AttackTrace,
+                model: RegisteredModel) -> str | None:
+        """Round-trip the candidate; return an error string or ``None``.
+
+        A fresh registry (no cache, no lineage state) must restore at
+        least one model from the candidate, and the restored predictor
+        must agree bit-for-bit with the in-memory one on the canary
+        forecasts (restore is exact per the persistence layer's
+        contract, so *any* disagreement means a broken export).
+        """
+        probe = ModelRegistry()
+        try:
+            restored = probe.load(staged, trace, self.env)
+        except (StateError, OSError) as exc:
+            return f"candidate store does not load: {exc}"
+        if not restored:
+            return "candidate store restored zero models for the live trace"
+        candidate = probe.latest(self.config)
+        if candidate is None:
+            return "candidate store has no model for this lineage"
+        for asn, family in pick_canaries(trace, self.canary_count):
+            try:
+                expected = model.predictor.predict_next_for_network(
+                    asn, family)
+                got = candidate.predictor.predict_next_for_network(
+                    asn, family)
+            except Exception as exc:
+                return f"canary forecast failed on ({asn}, {family}): {exc}"
+            expected_d = (prediction_to_dict(expected)
+                          if expected is not None else None)
+            got_d = prediction_to_dict(got) if got is not None else None
+            if expected_d != got_d:
+                return (f"canary forecast mismatch on ({asn}, {family}): "
+                        f"{expected_d} != {got_d}")
+        return None
+
+    def _roll_back(self, previous_version: Path | None,
+                   failed: Path) -> bool:
+        """Point CURRENT back at the previous version and re-roll."""
+        self.telemetry.incr("ingest.refresh.rollbacks")
+        if previous_version is None:
+            raise IngestError(
+                f"rolling reload of {failed} failed and there is no "
+                "previous version to roll back to"
+            )
+        self.store.set_current(previous_version.name)
+        if self.supervisor is not None:
+            self.supervisor.rolling_reload(str(previous_version))
+        return True
+
+    def status(self) -> dict:
+        """JSON-safe pipeline state for ``repro ingest status``."""
+        return {
+            "store": str(self.store.path),
+            "current_version": (
+                self.store.current_version().name
+                if self.store.current_version() else None
+            ),
+            "versions": [p.name for p in self.store.versions()],
+            "current_offset": self.current_offset,
+            "journal_next_offset": _reader_next_offset(self.journal),
+            "last_refresh": (self.last_result.to_dict()
+                             if self.last_result else None),
+        }
+
+
+def _ingest_offset(version_dir: Path) -> int:
+    """Journal offset a version's models cover (0 for seed exports)."""
+    import json
+
+    ingest_file = version_dir / ModelStore.INGEST_FILE
+    if not ingest_file.is_file():
+        return 0
+    try:
+        return int(json.loads(
+            ingest_file.read_text(encoding="utf-8"))["journal_offset"])
+    except (ValueError, KeyError, OSError):
+        return 0
+
+
+def _reader_next_offset(journal: RecordJournal) -> int:
+    """Next offset as seen from disk (valid for cross-process readers)."""
+    last = -1
+    for entry in journal.tail(0):
+        last = entry.offset
+    return last + 1

@@ -13,6 +13,24 @@ loader reads the manifest first, rejects unknown schema versions with
 a clear :class:`~repro.persistence.state.StateSchemaError`, and only
 then touches the (much larger) entry files it actually needs.
 
+**Versioned roots.**  Continuous refresh (``repro.ingest``) never
+rewrites a store a replica might be serving from.  Instead a *root*
+directory holds immutable version directories plus a ``CURRENT``
+pointer file naming the active one::
+
+    <root>/
+      CURRENT                  # one line: the active version dir name
+      v-00000001/manifest.json # a complete flat store, never mutated
+      v-00000002/...
+      quarantine/              # candidates that failed verification
+
+New versions are staged under a dot-prefixed temp name, verified by
+the caller, and activated by a rename plus an atomic ``CURRENT``
+replace -- a reader either sees the old complete version or the new
+complete version, never a torn one.  Every read API on
+:class:`ModelStore` resolves through ``CURRENT`` transparently, so
+``--store <root>`` and ``--store <root>/v-00000002`` both work.
+
 The store is model-agnostic: it moves dicts, not objects.  Turning a
 stored state back into a fitted :class:`~repro.core.AttackPredictor`
 is the registry's job (:meth:`repro.serving.ModelRegistry.load`),
@@ -24,6 +42,8 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import os
+import shutil
 import time
 from pathlib import Path
 
@@ -37,6 +57,8 @@ __all__ = ["StoredModel", "ModelStore"]
 
 _STORE_KIND = "persistence.model_store"
 _ENTRY_GLOB = "model-*.json.gz"
+_VERSION_GLOB = "v-*"
+_VERSION_WIDTH = 8
 
 
 class StoredModel:
@@ -63,16 +85,75 @@ class StoredModel:
 
 
 class ModelStore:
-    """Directory-backed persistence for registry snapshots."""
+    """Directory-backed persistence for registry snapshots.
+
+    ``path`` may be a *flat* store (``manifest.json`` directly inside)
+    or a *versioned root* (a ``CURRENT`` pointer plus ``v-*`` version
+    directories).  Read APIs resolve through ``CURRENT``; the
+    versioning APIs (:meth:`stage_version` / :meth:`activate_version`
+    / :meth:`prune`) only make sense on a root.
+    """
 
     MANIFEST = "manifest.json"
+    #: Pointer file naming the active version directory under a root.
+    CURRENT = "CURRENT"
+    #: Optional trace snapshot a version directory may carry so a
+    #: replica can rebind the stored model state without being handed
+    #: the (refreshed) trace out of band.
+    TRACE_FILE = "trace.jsonl.gz"
+    #: Ingest provenance a refresh writes next to the manifest.
+    INGEST_FILE = "ingest.json"
+    #: Where failed candidates go instead of being deleted.
+    QUARANTINE = "quarantine"
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
 
     def exists(self) -> bool:
-        """Whether a manifest is present at the store path."""
-        return (self.path / self.MANIFEST).is_file()
+        """Whether this path is a usable store (flat, or root w/ CURRENT)."""
+        if (self.path / self.MANIFEST).is_file():
+            return True
+        current = self.current_version()
+        return current is not None and (current / self.MANIFEST).is_file()
+
+    # ----- versioned-root resolution -----
+
+    def is_versioned_root(self) -> bool:
+        """Whether ``path`` is a versioned root (has a ``CURRENT`` file)."""
+        return (self.path / self.CURRENT).is_file()
+
+    def current_version(self) -> Path | None:
+        """The version directory ``CURRENT`` points at, or ``None``.
+
+        A ``CURRENT`` naming a directory outside the root (path
+        traversal) or a missing one resolves to ``None`` rather than
+        raising -- callers treat both as "no usable store here".
+        """
+        pointer = self.path / self.CURRENT
+        if not pointer.is_file():
+            return None
+        try:
+            name = pointer.read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+        if not name or "/" in name or name in (".", ".."):
+            return None
+        candidate = self.path / name
+        return candidate if candidate.is_dir() else None
+
+    def resolve(self) -> "ModelStore":
+        """The flat store to read: ``self`` or the CURRENT version."""
+        current = self.current_version()
+        if current is not None:
+            return ModelStore(current)
+        return self
+
+    def versions(self) -> list[Path]:
+        """Activated version directories, oldest first."""
+        return sorted(
+            p for p in self.path.glob(_VERSION_GLOB)
+            if p.is_dir() and (p / self.MANIFEST).is_file()
+        )
 
     # ----- writing -----
 
@@ -116,11 +197,141 @@ class ModelStore:
                 stale.unlink()
         return manifest
 
+    # ----- versioned export -----
+
+    def stage_version(
+        self,
+        entries: list[dict],
+        *,
+        extra_files: dict[str, object] | None = None,
+    ) -> Path:
+        """Write a complete candidate version under a temp name.
+
+        The candidate is a full flat store in a dot-prefixed directory
+        (``.candidate-v-XXXXXXXX``) that no reader resolves to.  Callers
+        may drop additional files into the returned directory (e.g. a
+        :data:`TRACE_FILE` snapshot) before verifying it and then either
+        :meth:`activate_version` or :meth:`quarantine_version` it.
+        ``extra_files`` values are written as raw bytes or, for dicts,
+        as indented JSON.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        name = self._next_version_name()
+        staged = self.path / f".candidate-{name}"
+        if staged.exists():
+            shutil.rmtree(staged)
+        ModelStore(staged).save(entries)
+        for fname, payload in (extra_files or {}).items():
+            target = staged / fname
+            if isinstance(payload, bytes):
+                target.write_bytes(payload)
+            else:
+                target.write_text(
+                    json.dumps(payload, indent=2), encoding="utf-8"
+                )
+        return staged
+
+    def activate_version(self, staged: str | Path) -> Path:
+        """Rename a verified candidate into place and repoint CURRENT.
+
+        Both steps are single ``rename``/``replace`` calls, so a
+        concurrent reader sees either the previous version or the new
+        one -- never a partial directory.
+        """
+        staged = Path(staged)
+        if not (staged / self.MANIFEST).is_file():
+            raise StateError(
+                f"staged store {staged} has no manifest; refusing to activate"
+            )
+        name = staged.name
+        if name.startswith(".candidate-"):
+            name = name[len(".candidate-"):]
+        final = self.path / name
+        if final.exists():
+            raise StateError(f"store version {final} already exists")
+        os.replace(staged, final)
+        self.set_current(final.name)
+        return final
+
+    def quarantine_version(self, staged: str | Path, reason: str) -> Path:
+        """Move a failed candidate under ``quarantine/`` for post-mortem.
+
+        The candidate is preserved verbatim (plus a ``QUARANTINE.json``
+        note) rather than deleted, and CURRENT is left untouched, so a
+        bad refresh can be inspected without ever having been loadable
+        by a replica.
+        """
+        staged = Path(staged)
+        qdir = self.path / self.QUARANTINE
+        qdir.mkdir(parents=True, exist_ok=True)
+        base = staged.name.removeprefix(".")
+        dest = qdir / base
+        n = 1
+        while dest.exists():
+            n += 1
+            dest = qdir / f"{base}-{n}"
+        os.replace(staged, dest)
+        (dest / "QUARANTINE.json").write_text(
+            json.dumps({
+                "reason": reason,
+                "quarantined_at": time.time(),
+                "staged_as": staged.name,
+            }, indent=2),
+            encoding="utf-8",
+        )
+        return dest
+
+    def set_current(self, name: str) -> None:
+        """Atomically point CURRENT at an existing version directory."""
+        if not (self.path / name / self.MANIFEST).is_file():
+            raise StateError(
+                f"cannot point CURRENT at {name!r}: no manifest there"
+            )
+        tmp = self.path / f".{self.CURRENT}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(name + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path / self.CURRENT)
+
+    def prune(self, keep_last: int) -> list[Path]:
+        """Delete all but the newest ``keep_last`` version directories.
+
+        The version CURRENT points at is always kept, even if it is
+        older than the retention window -- continuous refresh must
+        never delete the store a live replica is serving from.
+        Returns the removed paths (oldest first).
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        versions = self.versions()
+        keep = set(versions[-keep_last:])
+        current = self.current_version()
+        if current is not None:
+            keep.add(current)
+        removed: list[Path] = []
+        for version in versions:
+            if version in keep:
+                continue
+            shutil.rmtree(version)
+            removed.append(version)
+        return removed
+
+    def _next_version_name(self) -> str:
+        highest = 0
+        for pattern in (_VERSION_GLOB, f".candidate-{_VERSION_GLOB}"):
+            for p in self.path.glob(pattern):
+                try:
+                    highest = max(highest, int(p.name.rsplit("-", 1)[1]))
+                except (IndexError, ValueError):
+                    continue
+        return f"v-{highest + 1:0{_VERSION_WIDTH}d}"
+
     # ----- reading -----
 
     def manifest(self) -> dict:
-        """Read and validate the manifest header."""
-        manifest_path = self.path / self.MANIFEST
+        """Read and validate the manifest header (through CURRENT)."""
+        manifest_path = self.resolve().path / self.MANIFEST
         if not manifest_path.is_file():
             raise StateError(f"no model store at {self.path} (missing manifest)")
         try:
@@ -133,34 +344,50 @@ class ModelStore:
         """Small provenance dict for health/monitoring endpoints.
 
         Identifies the store *version* a process is serving from --
-        ``saved_at`` changes on every (re-)export even when the path
+        ``created_at`` changes on every (re-)export even when the path
         does not, which is what a rolling reload watches -- without
         shipping the full manifest index over every ``/healthz`` poll.
+        ``n_attacks`` is the record count the newest lineage was fitted
+        on, so two stores with identical fingerprints built at
+        different times (or depths) stay distinguishable.
         """
-        manifest = self.manifest()
+        resolved = self.resolve()
+        manifest = resolved.manifest()
         entries = manifest.get("entries", [])
-        return {
+        info = {
             "path": str(self.path),
             "saved_at": manifest.get("saved_at"),
+            "created_at": manifest.get("saved_at"),
             "entries": len(entries),
+            "n_attacks": max(
+                (int(e.get("n_attacks") or 0) for e in entries), default=0),
             "max_version": max(
                 (int(e.get("version", 0)) for e in entries), default=0),
         }
+        if resolved.path != self.path:
+            info["version"] = resolved.path.name
+        return info
 
     def load(self, fingerprint: str | None = None) -> list[StoredModel]:
         """Load stored entries, optionally filtered by trace fingerprint."""
+        base = self.resolve().path
         manifest = self.manifest()
         out: list[StoredModel] = []
         for meta in manifest["entries"]:
             if fingerprint is not None and meta.get("fingerprint") != fingerprint:
                 continue
-            entry_path = self.path / meta["file"]
+            entry_path = base / meta["file"]
             if not entry_path.is_file():
                 raise StateError(
                     f"store entry {meta['file']} listed in the manifest is missing"
                 )
-            with gzip.open(entry_path, "rt", encoding="utf-8") as fh:
-                payload = json.load(fh)
+            try:
+                with gzip.open(entry_path, "rt", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, EOFError, ValueError) as exc:
+                raise StateError(
+                    f"corrupt store entry {entry_path}: {exc}"
+                ) from exc
             out.append(StoredModel(meta=meta, payload=payload))
         return out
 

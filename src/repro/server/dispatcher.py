@@ -29,12 +29,14 @@ from __future__ import annotations
 import asyncio
 import time
 
+from repro.errors import JournalError
 from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, error_payload
 from repro.serving.engine import EngineClosedError, Forecast, ForecastEngine, ForecastRequest
 from repro.server.protocol import (
     ProtocolError,
     parse_batch_request,
     parse_forecast_request,
+    parse_records_request,
     parse_timeout,
 )
 from repro.telemetry import TraceContext, to_prometheus
@@ -67,6 +69,11 @@ class Dispatcher:
         #: came back serving the *new* store version.  None when the
         #: replica fitted from scratch.
         self.store_info = store_info
+        #: Optional ingest sink the CLI installs when ``--journal`` is
+        #: given: ``callable(list[dict]) -> (first_offset, next_offset)``
+        #: (the journal's ``append_many``).  None means this replica
+        #: does not accept records and ``POST /v1/records`` answers 503.
+        self.record_sink = None
         self._inflight = 0  # event-loop confined; no lock needed
         self._draining = False
         #: Optional callable the transport installs so ``/metrics`` can
@@ -130,6 +137,8 @@ class Dispatcher:
                 return 200, self.metrics_payload(stats), None
             if op == "healthz":
                 return self.health()
+            if op == "ingest_records":
+                return self._ingest_records(payload, ctx)
             return 404, error_payload("unknown_op", f"unknown operation {op!r}",
                                       trace_id=trace_id), None
         except ProtocolError as exc:
@@ -202,6 +211,50 @@ class Dispatcher:
             "forecasts": [by_key[request.work_key].to_dict()
                           for request in requests],
         }
+        return 200, body, None
+
+    def _ingest_records(self, payload: dict,
+                        ctx: TraceContext | None
+                        ) -> tuple[int, dict, float | None]:
+        """``POST /v1/records``: durably journal a batch of records.
+
+        Synchronous on the event loop on purpose: the journal append is
+        a bounded local write + one fsync, and acknowledging *before*
+        the fsync would turn "accepted" into a lie on crash.  Draining
+        replicas refuse (the journal's writer is going away); replicas
+        without a journal answer 503 ``ingest_disabled``.
+        """
+        trace_id = ctx.trace_id if ctx is not None else None
+        records = parse_records_request(payload)
+        if self._draining:
+            return self._drained_response(ctx)
+        if self.record_sink is None:
+            self.metrics.incr("server.ingest_refused")
+            return 503, error_payload(
+                "ingest_disabled",
+                "this replica has no record journal attached "
+                "(start it with --journal)",
+                trace_id=trace_id,
+            ), None
+        try:
+            first, next_offset = self.record_sink(records)
+        except JournalError as exc:  # journal fault, not the client's
+            self.metrics.incr("server.ingest_errors")
+            return 500, error_payload(exc.code, str(exc),
+                                      trace_id=trace_id), None
+        except ValueError as exc:
+            self.metrics.incr("server.bad_requests")
+            return 400, error_payload("bad_record", str(exc),
+                                      trace_id=trace_id), None
+        self.metrics.incr("server.ingested_records", len(records))
+        body = {
+            "schema_version": FORECAST_SCHEMA_VERSION,
+            "appended": len(records),
+            "first_offset": first,
+            "next_offset": next_offset,
+        }
+        if trace_id is not None:
+            body["trace_id"] = trace_id
         return 200, body, None
 
     def metrics_payload(self, transport_stats: dict | None = None) -> dict:

@@ -48,6 +48,7 @@ _REASONS = {
 ROUTES = {
     ("POST", "/v1/forecast"): "forecast",
     ("POST", "/v1/forecast/batch"): "forecast_batch",
+    ("POST", "/v1/records"): "ingest_records",
     ("GET", "/metrics"): "metrics",
     ("GET", "/healthz"): "healthz",
 }

@@ -32,6 +32,7 @@ __all__ = [
     "ProtocolError",
     "parse_forecast_request",
     "parse_batch_request",
+    "parse_records_request",
     "parse_timeout",
     "encode_frame",
     "read_frame",
@@ -44,6 +45,11 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: Largest batch one request may carry; bigger fan-outs should be
 #: split client-side so backpressure stays per-request-sized.
 MAX_BATCH_REQUESTS = 1024
+
+#: Largest record batch one ``POST /v1/records`` may carry; the same
+#: split-client-side rule as forecasts, sized so one journal fsync
+#: stays bounded.
+MAX_RECORDS_PER_POST = 1024
 
 _LENGTH = struct.Struct(">I")
 
@@ -92,6 +98,34 @@ def parse_batch_request(payload: object) -> list[ForecastRequest]:
             status=413, code="batch_too_large",
         )
     return [parse_forecast_request(item) for item in requests]
+
+
+def parse_records_request(payload: object) -> list[dict]:
+    """Validate an ingest body: ``{"records": [<tagged record>...]}``.
+
+    Shape-only validation (a non-empty, bounded list of JSON objects);
+    per-record schema validation is the journal's job through the
+    shared :func:`repro.dataset.loader.record_from_dict` gate, so the
+    wire layer cannot grow a second record schema.
+    """
+    payload = _require_mapping(payload, "records request")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ProtocolError("'records' must be a non-empty list")
+    if len(records) > MAX_RECORDS_PER_POST:
+        raise ProtocolError(
+            f"batch of {len(records)} exceeds the {MAX_RECORDS_PER_POST}-record "
+            "limit; split it client-side",
+            status=413, code="batch_too_large",
+        )
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ProtocolError(
+                f"records[{i}] must be a JSON object, "
+                f"got {type(record).__name__}",
+                code="bad_record",
+            )
+    return records
 
 
 def parse_timeout(payload: dict, max_timeout_s: float) -> float | None:

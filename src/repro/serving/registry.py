@@ -174,12 +174,15 @@ class ModelRegistry:
                         config=_config_key(config))
 
     def get(self, trace: AttackTrace, env: SimulationEnvironment,
-            config: SpatiotemporalConfig | None = None) -> RegisteredModel:
+            config: SpatiotemporalConfig | None = None, *,
+            warm_from: AttackPredictor | None = None) -> RegisteredModel:
         """Fetch the fitted model for this trace, fitting on first use.
 
         Concurrent callers missing on the same key share one fit.  A
         factory failure propagates to every waiter (the engine turns it
-        into a degraded baseline answer).
+        into a degraded baseline answer).  An explicit ``warm_from``
+        predictor seeds the fit in preference to the lineage's own
+        previous model (ignored when the factory cannot take it).
         """
         key = self.key_for(trace, config)
 
@@ -187,16 +190,16 @@ class ModelRegistry:
             self.metrics.incr("serving.registry.fits")
             # Incremental refresh (ROADMAP): seed the optimizers from the
             # lineage's previous fit -- same config, refreshed trace.
-            warm_from = None
-            if self._factory_warm:
+            seed = warm_from if self._factory_warm else None
+            if seed is None and self._factory_warm:
                 with self._lock:
                     previous = self._latest.get(key.lineage)
                 if previous is not None:
-                    warm_from = previous.predictor
+                    seed = previous.predictor
             t0 = time.perf_counter()
-            if warm_from is not None:
+            if seed is not None:
                 self.metrics.incr("serving.registry.warm_starts")
-                predictor = self.factory(trace, env, config, warm_from=warm_from)
+                predictor = self.factory(trace, env, config, warm_from=seed)
             else:
                 predictor = self.factory(trace, env, config)
             fit_seconds = time.perf_counter() - t0
@@ -222,7 +225,8 @@ class ModelRegistry:
         return model
 
     def refresh(self, trace: AttackTrace, env: SimulationEnvironment,
-                config: SpatiotemporalConfig | None = None) -> RegisteredModel:
+                config: SpatiotemporalConfig | None = None, *,
+                warm_from: AttackPredictor | None = None) -> RegisteredModel:
         """Force a refit (even for a known trace) and bump the version.
 
         The operational entry point for "new verified attacks arrived":
@@ -231,7 +235,7 @@ class ModelRegistry:
         key = self.key_for(trace, config)
         self.cache.invalidate(key)
         self.metrics.incr("serving.registry.refreshes")
-        return self.get(trace, env, config)
+        return self.get(trace, env, config, warm_from=warm_from)
 
     def roll(self, trace: AttackTrace, env: SimulationEnvironment,
              origin_day: float,
@@ -285,6 +289,37 @@ class ModelRegistry:
         )
         self.metrics.incr("serving.registry.saves")
         return manifest
+
+    def save_version(self, path: str | Path, *,
+                     keep_last: int | None = None,
+                     trace: AttackTrace | None = None,
+                     extra_files: dict[str, object] | None = None) -> Path:
+        """Export the latest models as a new version under a store root.
+
+        Stages a complete candidate directory, optionally embeds the
+        trace the models were fitted on (``ModelStore.TRACE_FILE``, so
+        a replica handed only ``--store`` can rebind the state), then
+        activates it atomically and prunes versions beyond
+        ``keep_last``.  Returns the activated version directory.  For
+        a verify-before-activate flow use the store's
+        ``stage_version``/``activate_version`` directly (that is what
+        :class:`repro.ingest.RefreshPipeline` does).
+        """
+        with self._lock:
+            models = list(self._latest.values())
+        store = ModelStore(path)
+        staged = store.stage_version(
+            [model.to_dict(with_state=True) for model in models],
+            extra_files=extra_files,
+        )
+        if trace is not None:
+            from repro.dataset.loader import save_trace
+            save_trace(trace, staged / ModelStore.TRACE_FILE)
+        active = store.activate_version(staged)
+        if keep_last is not None:
+            store.prune(keep_last=keep_last)
+        self.metrics.incr("serving.registry.saves")
+        return active
 
     def load(self, path: str | Path, trace: AttackTrace,
              env: SimulationEnvironment) -> list[RegisteredModel]:

@@ -6,7 +6,13 @@ import json
 import numpy as np
 import pytest
 
-from repro.dataset.loader import load_trace, save_trace, train_test_split
+from repro.dataset.loader import (
+    iter_records,
+    load_trace,
+    record_from_dict,
+    save_trace,
+    train_test_split,
+)
 
 
 class TestPersistence:
@@ -52,6 +58,87 @@ class TestPersistence:
         with gzip.open(path, "wt") as fh:
             fh.write("\n" + raw + "\n\n")
         assert len(load_trace(path)) == len(small_trace)
+
+
+class TestRecordFromDict:
+    """The shared validation gate the loader and the journal both use."""
+
+    def test_roundtrips_every_kind(self, small_trace):
+        kind, attack = record_from_dict(
+            {"type": "attack", **small_trace.attacks[0].to_dict()})
+        assert kind == "attack"
+        assert attack.ddos_id == small_trace.attacks[0].ddos_id
+        kind, snapshot = record_from_dict(
+            {"type": "snapshot", **small_trace.snapshots[0].to_dict()})
+        assert kind == "snapshot"
+        assert snapshot.hour_index == small_trace.snapshots[0].hour_index
+        kind, metadata = record_from_dict(
+            {"type": "metadata", **small_trace.metadata.to_dict()})
+        assert kind == "metadata"
+        assert metadata == small_trace.metadata
+
+    def test_input_dict_is_not_mutated(self, small_trace):
+        data = {"type": "attack", **small_trace.attacks[0].to_dict()}
+        before = dict(data)
+        record_from_dict(data)
+        assert data == before
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            record_from_dict(["type", "attack"])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown record type 'mystery'"):
+            record_from_dict({"type": "mystery"})
+        with pytest.raises(ValueError, match="unknown record type None"):
+            record_from_dict({"ddos_id": 1})
+
+    def test_malformed_record_names_its_kind(self):
+        with pytest.raises(ValueError, match="malformed attack record"):
+            record_from_dict({"type": "attack", "ddos_id": 1})
+        with pytest.raises(ValueError, match="malformed snapshot record"):
+            record_from_dict({"type": "snapshot"})
+
+
+class TestIterRecords:
+    def test_full_stream_matches_load_trace(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        records = list(iter_records(path))
+        assert records[0][0] == "metadata"
+        kinds = [kind for kind, _ in records]
+        assert kinds.count("attack") == len(small_trace.attacks)
+        assert kinds.count("snapshot") == len(small_trace.snapshots)
+
+    def test_since_filters_by_timestamp(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        times = sorted(a.start_time for a in small_trace.attacks)
+        since = times[len(times) // 2]
+        records = list(iter_records(path, since=since))
+        assert all(kind != "metadata" for kind, _ in records)
+        for kind, record in records:
+            if kind == "attack":
+                assert record.start_time >= since
+            else:
+                assert record.hour_index * 3600.0 >= since
+        n_expected = sum(1 for t in times if t >= since)
+        assert sum(1 for kind, _ in records if kind == "attack") == n_expected
+
+    def test_since_zero_keeps_all_records_but_metadata(self, small_trace,
+                                                       tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(small_trace, path)
+        records = list(iter_records(path, since=0.0))
+        assert len(records) == len(small_trace.attacks) + len(
+            small_trace.snapshots)
+
+    def test_bad_json_line_names_the_file(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(ValueError, match="bad JSON line"):
+            list(iter_records(path))
 
 
 class TestTrainTestSplit:

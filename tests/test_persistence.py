@@ -273,6 +273,137 @@ class TestModelStore:
         with pytest.raises(StateError, match="state"):
             ModelStore(tmp_path / "store").save([bad])
 
+    def test_corrupt_entry_is_a_state_error(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.save([self.entry()])
+        victim = next((tmp_path / "store").glob("model-*.json.gz"))
+        victim.write_bytes(b"definitely not gzip")
+        with pytest.raises(StateError, match="corrupt store entry"):
+            store.load()
+
+
+# ----- versioned store roots (continuous refresh) -----
+
+
+class TestVersionedStore:
+    def entry(self, version=1, n_attacks=10):
+        return {
+            "schema_version": STATE_SCHEMA_VERSION,
+            "fingerprint": "fp-1",
+            "config": "cfg",
+            "version": version,
+            "n_attacks": n_attacks,
+            "fitted_at": 1.0,
+            "fit_seconds": 0.5,
+            "state": pack_state("test.kind", {"x": version}),
+        }
+
+    def activate(self, store, **entry_kw):
+        return store.activate_version(
+            store.stage_version([self.entry(**entry_kw)]))
+
+    def test_stage_activate_resolve_roundtrip(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        staged = store.stage_version(
+            [self.entry()],
+            extra_files={"ingest.json": {"journal_offset": 3},
+                         "blob.bin": b"\x00\x01"},
+        )
+        # Candidates are invisible: no CURRENT yet, store unusable.
+        assert staged.name.startswith(".candidate-v-")
+        assert not store.exists()
+        assert store.versions() == []
+        assert json.loads((staged / "ingest.json").read_text()) == {
+            "journal_offset": 3}
+        assert (staged / "blob.bin").read_bytes() == b"\x00\x01"
+
+        active = store.activate_version(staged)
+        assert active.name == "v-00000001"
+        assert store.is_versioned_root()
+        assert store.exists()
+        assert store.current_version() == active
+        assert store.resolve().path == active
+        # Read APIs work through the root transparently.
+        (loaded,) = store.load()
+        assert loaded.payload["state"]["x"] == 1
+
+    def test_activation_refuses_incomplete_or_duplicate(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        empty = tmp_path / "root" / ".candidate-v-00000009"
+        empty.mkdir(parents=True)
+        with pytest.raises(StateError, match="no manifest"):
+            store.activate_version(empty)
+        empty.rmdir()
+        self.activate(store)
+        clone = store.stage_version([self.entry()])
+        (tmp_path / "root" / "v-00000002").mkdir()
+        with pytest.raises(StateError, match="already exists"):
+            store.activate_version(clone)
+
+    def test_version_names_increment_past_candidates(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        self.activate(store)
+        staged = store.stage_version([self.entry(version=2)])
+        assert staged.name == ".candidate-v-00000002"
+        # A second stage while one candidate is pending skips its name.
+        assert store.stage_version([self.entry()]).name \
+            == ".candidate-v-00000003"
+
+    def test_quarantine_preserves_candidate_and_current(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        self.activate(store)
+        staged = store.stage_version([self.entry(version=2)])
+        dest = store.quarantine_version(staged, "canary mismatch")
+        assert dest.parent.name == ModelStore.QUARANTINE
+        note = json.loads((dest / "QUARANTINE.json").read_text())
+        assert note["reason"] == "canary mismatch"
+        assert not staged.exists()
+        # CURRENT and the version list are untouched.
+        assert store.current_version().name == "v-00000001"
+        assert [p.name for p in store.versions()] == ["v-00000001"]
+
+    def test_set_current_rejects_unknown_version(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        self.activate(store)
+        with pytest.raises(StateError, match="no manifest"):
+            store.set_current("v-99999999")
+
+    def test_current_pointer_rejects_traversal(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        self.activate(store)
+        for hostile in ("../elsewhere", ".", "..", ""):
+            (tmp_path / "root" / ModelStore.CURRENT).write_text(hostile)
+            assert store.current_version() is None
+
+    def test_prune_keeps_newest_and_current(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        for version in range(1, 5):
+            self.activate(store, version=version)
+        # Pin CURRENT at the oldest version, then prune hard.
+        store.set_current("v-00000001")
+        removed = store.prune(keep_last=1)
+        assert [p.name for p in removed] == ["v-00000002", "v-00000003"]
+        # The newest survives the window; CURRENT survives unconditionally.
+        assert [p.name for p in store.versions()] \
+            == ["v-00000001", "v-00000004"]
+        with pytest.raises(ValueError, match="keep_last"):
+            store.prune(keep_last=0)
+
+    def test_describe_reports_version_and_created_at(self, tmp_path):
+        store = ModelStore(tmp_path / "root")
+        self.activate(store, version=3, n_attacks=77)
+        info = store.describe()
+        assert info["path"] == str(tmp_path / "root")  # as constructed
+        assert info["version"] == "v-00000001"
+        assert info["created_at"] == info["saved_at"] is not None
+        assert info["n_attacks"] == 77
+        assert info["max_version"] == 3
+        # Flat stores keep the old shape (no "version" key).
+        flat = ModelStore(tmp_path / "flat")
+        flat.save([self.entry()])
+        assert "version" not in flat.describe()
+        assert flat.describe()["created_at"] is not None
+
 
 # ----- wire schema (forecast payloads) -----
 

@@ -75,6 +75,44 @@ class TestVersioning:
         assert registry.version_of() == 1
         assert registry.version_of(tuned) == 1
 
+    def test_concurrent_gets_during_refresh_see_monotonic_versions(
+            self, small_trace, small_env):
+        """Readers racing a refresh loop never observe a version rollback.
+
+        The continuous-refresh daemon calls ``refresh()`` while serving
+        threads call ``get()`` on the same lineage; each reader's
+        observed version sequence must be non-decreasing and the
+        registry must never expose torn state (``latest`` behind
+        ``version_of``'s counter at rest).
+        """
+        def factory(trace, env, config, warm_from=None):
+            time.sleep(0.002)  # widen the race window
+            return object()
+
+        registry = ModelRegistry(factory=factory)
+        registry.get(small_trace, small_env)
+        stop = threading.Event()
+        observed = [[] for _ in range(4)]
+
+        def reader(log):
+            while not stop.is_set():
+                log.append(registry.get(small_trace, small_env).version)
+
+        threads = [threading.Thread(target=reader, args=(log,))
+                   for log in observed]
+        for t in threads:
+            t.start()
+        for _ in range(5):
+            registry.refresh(small_trace, small_env)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert registry.version_of() == 6
+        assert registry.latest().version == 6
+        assert any(observed)  # the race actually ran
+        for log in observed:
+            assert log == sorted(log)  # never goes backwards
+
     def test_concurrent_gets_share_one_fit(self, small_trace, small_env):
         fits = []
 
