@@ -1,0 +1,83 @@
+"""Deterministic fault injection and cross-stack invariant checking.
+
+The package splits along its import-weight line:
+
+* :mod:`repro.chaos.hooks` + :mod:`repro.chaos.faults` are the light
+  half: the process-global ``chaos_point`` hook sites the serving and
+  ingest modules call, plus the seeded :class:`FaultPlan` schedule and
+  its :class:`FaultInjector`.  Eagerly exported -- importing
+  ``repro.chaos`` from a hot path costs nothing but these two modules.
+* :mod:`repro.chaos.scenarios` + :mod:`repro.chaos.invariants` are the
+  heavy half: they import the very modules that host the hook points
+  (journal, store, sharded engine, supervisor), so they load lazily
+  via ``__getattr__`` to keep the hook import cycle-free.
+
+Quickstart::
+
+    repro chaos list
+    repro chaos run --scenario journal-io --seed 7
+    repro chaos plan --scenario journal-io --seed 7   # the schedule
+
+Same seed, same scenario => byte-identical canonical schedule JSON.
+"""
+
+from repro.chaos.faults import (
+    FAULT_ACTIONS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedBrokenPipeError,
+    InjectedEOFError,
+    InjectedOSError,
+    InjectedStateError,
+    InjectedTimeoutError,
+    apply_byte_flip,
+)
+from repro.chaos.hooks import arm, chaos_armed, chaos_point, disarm, injected
+
+__all__ = [
+    # hooks
+    "chaos_point",
+    "chaos_armed",
+    "arm",
+    "disarm",
+    "injected",
+    # faults
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_ACTIONS",
+    "InjectedOSError",
+    "InjectedBrokenPipeError",
+    "InjectedEOFError",
+    "InjectedStateError",
+    "InjectedTimeoutError",
+    "apply_byte_flip",
+    # lazy (scenarios / invariants)
+    "InvariantSuite",
+    "Violation",
+    "Scenario",
+    "ScenarioResult",
+    "SCENARIOS",
+    "run_scenario",
+    "scenario_names",
+]
+
+_LAZY = {
+    "InvariantSuite": "repro.chaos.invariants",
+    "Violation": "repro.chaos.invariants",
+    "Scenario": "repro.chaos.scenarios",
+    "ScenarioResult": "repro.chaos.scenarios",
+    "SCENARIOS": "repro.chaos.scenarios",
+    "run_scenario": "repro.chaos.scenarios",
+    "scenario_names": "repro.chaos.scenarios",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.chaos' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,84 @@
+"""Process-global fault-injection hook points.
+
+The stack's failure handling is proven by *injecting* faults at the
+exact sites where the real world injects them: the journal's write and
+fsync calls, the store's pointer swaps, the sharded engine's worker
+pipes, the supervisor's health probes, the dispatcher's deadlines.
+Each of those call sites invokes :func:`chaos_point` with a stable
+site name; production runs pay one module-global ``None`` check and
+nothing else -- no monkeypatching, no wrappers, no config lookups.
+
+Arming is explicit and scoped::
+
+    plan = FaultPlan.generate(seed=7, name="demo", quotas=[...])
+    with injected(FaultInjector(plan)):
+        ...   # chaos_point sites now fire the plan's faults
+
+Exactly one injector may be armed per process at a time (scenarios own
+the process; composing plans is done in the plan, not by stacking
+injectors).  Hook sites are free to pass keyword context (offsets,
+replica indices, ...); the injector records it in the fired-fault log
+so a scenario's report can say *which* operation was hit.
+
+This module is imported by the hot serving/ingest paths, so it must
+stay dependency-free: stdlib only, and no imports from the rest of
+``repro`` (the injector object is duck-typed -- anything with a
+``visit(site, context)`` method works).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["chaos_point", "chaos_armed", "arm", "disarm", "injected"]
+
+_lock = threading.Lock()
+_injector = None
+
+
+def chaos_point(site: str, **context):
+    """One named fault-injection site.
+
+    Returns ``None`` (fast path, nothing armed), returns a *value
+    fault* the call site interprets (e.g. a shrunken deadline), or
+    raises the exception the armed plan schedules for this visit.
+    """
+    injector = _injector
+    if injector is None:
+        return None
+    return injector.visit(site, context)
+
+
+def chaos_armed() -> bool:
+    """Whether any injector is currently armed in this process."""
+    return _injector is not None
+
+
+def arm(injector) -> None:
+    """Arm an injector process-wide (one at a time; see :func:`injected`)."""
+    global _injector
+    with _lock:
+        if _injector is not None:
+            raise RuntimeError(
+                "a fault injector is already armed; disarm it first "
+                "(plans compose inside one FaultPlan, not by stacking)"
+            )
+        _injector = injector
+
+
+def disarm() -> None:
+    """Disarm whatever injector is armed (idempotent)."""
+    global _injector
+    with _lock:
+        _injector = None
+
+
+@contextmanager
+def injected(injector):
+    """Scope an armed injector: ``with injected(FaultInjector(plan)): ...``"""
+    arm(injector)
+    try:
+        yield injector
+    finally:
+        disarm()

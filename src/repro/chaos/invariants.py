@@ -1,0 +1,228 @@
+"""Cross-stack invariants checked while a chaos scenario runs.
+
+These are the operational guarantees the earlier PRs each proved in
+isolation, folded into one suite a scenario checks *continuously*
+while composed faults fire:
+
+* **answers** -- every client-visible forecast request produces an
+  answer: a model forecast, or the §VII-A baseline marked
+  ``degraded``.  Load and faults cost accuracy, never availability.
+* **version-monotonic** -- ``model_version`` observed from any one
+  replica/engine never decreases within a process incarnation.
+* **current-resolves** -- a versioned store root's ``CURRENT`` pointer
+  always resolves to a complete, loadable version directory (a reader
+  sees the old version or the new one, never a torn or quarantined
+  candidate).
+* **ready-floor** -- during rolling operations the replica set keeps
+  at least ``N-1`` members ready.
+* **journal-dense** -- after any crash/recovery the journal's offsets
+  are dense from 0 (acked records are never lost or duplicated under
+  one offset).
+
+The suite is observation-based: the scenario runner feeds it answers,
+version samples, and ready counts as they happen, plus point-in-time
+store/journal checks; :meth:`InvariantSuite.report` returns the
+JSON-safe verdict the CLI and CI smoke gate on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import JournalError, StateError
+
+__all__ = ["Violation", "InvariantSuite"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+
+class InvariantSuite:
+    """Collects observations and verdicts for one scenario run.
+
+    Thread-safe: sampler threads (ready-count, healthz pollers) feed
+    it concurrently with the main scenario loop.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.violations: list[Violation] = []
+        self.answers = 0
+        self.degraded = 0
+        self.explained_errors = 0
+        self.checks = 0
+        self.ready_samples = 0
+        self.min_ready: int | None = None
+        self._versions: dict[str, int] = {}
+
+    # ----- bookkeeping -----
+
+    def violation(self, invariant: str, detail: str) -> None:
+        """Record one breach (scenarios may also call this directly)."""
+        with self._lock:
+            self.violations.append(Violation(invariant, detail))
+
+    def _count(self, attr: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + by)
+
+    # ----- answers (availability) -----
+
+    def record_forecast(self, forecast, where: str = "") -> None:
+        """One engine/client answer: must carry a prediction.
+
+        ``forecast`` is a :class:`~repro.serving.engine.Forecast` (or
+        anything with ``ok``/``degraded``); degraded baseline answers
+        satisfy the invariant -- that is the §VII-A contract.
+        """
+        self._count("answers")
+        if forecast is None or not getattr(forecast, "ok", False):
+            self.violation(
+                "answers",
+                f"no prediction in answer {where or '(unlabeled)'}: "
+                f"{forecast!r}")
+        elif getattr(forecast, "degraded", False):
+            self._count("degraded")
+
+    def record_response(self, status: int, body: dict, where: str = "",
+                        allowed: tuple[int, ...] = (200, 429)) -> None:
+        """One wire response: allowed statuses must carry forecasts.
+
+        429 is the shed-with-an-answer path, so its body must still be
+        forecast-shaped; anything outside ``allowed`` is an unexplained
+        client-visible error.
+        """
+        self._count("answers")
+        if status not in allowed:
+            self.violation(
+                "answers",
+                f"unexplained status {status} {where}: {body!r}")
+            return
+        has_forecast = isinstance(body, dict) and (
+            "forecast" in body or "forecasts" in body)
+        if not has_forecast:
+            self.violation(
+                "answers",
+                f"status {status} {where} carried no forecast body: "
+                f"{body!r}")
+        elif status != 200:
+            self._count("degraded")
+
+    def record_explained_error(self, where: str = "") -> None:
+        """An error the scenario expected (e.g. an injected append
+        failure surfacing as a typed JournalError to the submitter)."""
+        self._count("explained_errors")
+
+    # ----- model_version monotonicity -----
+
+    def record_model_version(self, key: str, version) -> None:
+        """One ``model_version`` sample for a replica/engine incarnation.
+
+        ``key`` should include the process incarnation (pid) so a
+        legitimate rollback across a restart is keyed separately from
+        in-place time travel, which is never legitimate.
+        """
+        if version is None:
+            return
+        version = int(version)
+        with self._lock:
+            previous = self._versions.get(key)
+            self._versions[key] = version
+        if previous is not None and version < previous:
+            self.violation(
+                "version-monotonic",
+                f"{key}: model_version went {previous} -> {version}")
+
+    # ----- ready floor -----
+
+    def record_ready(self, ready: int, total: int, floor: int) -> None:
+        """One ready-count sample against the scenario's floor."""
+        with self._lock:
+            self.ready_samples += 1
+            self.min_ready = (ready if self.min_ready is None
+                              else min(self.min_ready, ready))
+        if ready < floor:
+            self.violation(
+                "ready-floor",
+                f"{ready}/{total} replicas ready (floor {floor})")
+
+    # ----- point-in-time checks -----
+
+    def check_store_current(self, store, where: str = "") -> None:
+        """``CURRENT`` must resolve to a complete, loadable version."""
+        self._count("checks")
+        try:
+            if not store.is_versioned_root():
+                self.violation(
+                    "current-resolves",
+                    f"{store.path} is not a versioned root {where}")
+                return
+            current = store.current_version()
+            if current is None:
+                self.violation(
+                    "current-resolves",
+                    f"CURRENT does not resolve under {store.path} {where}")
+                return
+            manifest = store.manifest()
+            if not manifest.get("entries"):
+                self.violation(
+                    "current-resolves",
+                    f"CURRENT version {current.name} has an empty "
+                    f"manifest {where}")
+        except (StateError, OSError) as exc:
+            self.violation(
+                "current-resolves",
+                f"CURRENT version unusable {where}: {exc}")
+
+    def check_journal_dense(self, journal, where: str = "") -> None:
+        """Offsets on disk must be exactly ``0..n-1`` with no holes."""
+        self._count("checks")
+        try:
+            offsets = [entry.offset for entry in journal.tail(0)]
+        except JournalError as exc:
+            self.violation("journal-dense",
+                           f"journal unreadable {where}: {exc}")
+            return
+        if offsets != list(range(len(offsets))):
+            self.violation(
+                "journal-dense",
+                f"offsets not dense {where}: "
+                f"{_summarize_offsets(offsets)}")
+
+    # ----- verdict -----
+
+    @property
+    def ok(self) -> bool:
+        with self._lock:
+            return not self.violations
+
+    def report(self) -> dict:
+        """JSON-safe verdict for the CLI / CI smoke gate."""
+        with self._lock:
+            return {
+                "ok": not self.violations,
+                "violations": [v.to_dict() for v in self.violations],
+                "answers": self.answers,
+                "degraded": self.degraded,
+                "explained_errors": self.explained_errors,
+                "checks": self.checks,
+                "ready_samples": self.ready_samples,
+                "min_ready": self.min_ready,
+                "versions": dict(self._versions),
+            }
+
+
+def _summarize_offsets(offsets: list[int]) -> str:
+    if len(offsets) <= 12:
+        return repr(offsets)
+    return (f"{len(offsets)} offsets, first={offsets[:4]}, "
+            f"last={offsets[-4:]}")

@@ -341,6 +341,25 @@ def build_parser() -> argparse.ArgumentParser:
     ingest_daemon.add_argument("--staleness", type=float, default=3600.0,
                                help="seconds without a refresh before one "
                                     "fires regardless of drift")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection: run named scenarios against live "
+             "topologies and check the cross-stack invariant suite",
+    )
+    chaos.add_argument("action", nargs="?",
+                       choices=("run", "plan", "list"), default="run",
+                       help="run a scenario, print its fault schedule, "
+                            "or list the catalog")
+    chaos.add_argument("--scenario", help="scenario name (see `chaos list`)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed; same seed replays the "
+                            "identical schedule")
+    chaos.add_argument("--workdir",
+                       help="scenario scratch directory (default: a "
+                            "throwaway temp dir)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full result as JSON")
     return parser
 
 
@@ -1176,6 +1195,59 @@ def _cmd_ingest_daemon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault injection: run/plan/list chaos scenarios.
+
+    ``plan`` prints the canonical schedule JSON -- running it twice
+    with the same seed must emit byte-identical output (the replay
+    contract CI diffs).  ``run`` exits 0 when the invariant suite is
+    clean and 1 when any invariant was violated, so the scenario run
+    itself is the pass/fail signal.
+    """
+    import json
+
+    from repro.chaos import SCENARIOS, run_scenario
+
+    if args.action == "list":
+        for name, scenario in sorted(SCENARIOS.items()):
+            slow = " [slow]" if scenario.slow else ""
+            print(f"{name}{slow}: {scenario.description}")
+        return 0
+
+    if not args.scenario:
+        print("error: --scenario is required for "
+              f"'chaos {args.action}' (see `repro chaos list`)",
+              file=sys.stderr)
+        return 2
+    scenario = SCENARIOS.get(args.scenario)
+    if scenario is None:
+        print(f"error: unknown scenario {args.scenario!r}; known: "
+              f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+
+    if args.action == "plan":
+        plan = scenario.build_plan(args.seed)
+        print(plan.to_json())
+        print(f"digest: {plan.digest()}", file=sys.stderr)
+        return 0
+
+    result = run_scenario(args.scenario, args.seed, workdir=args.workdir)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        report = result.invariants
+        print(f"scenario {result.name} seed {result.seed}: "
+              f"{'PASS' if result.ok else 'FAIL'} in "
+              f"{result.duration_s:.2f}s (schedule {result.digest}, "
+              f"{len(result.fired)} fault(s) fired, "
+              f"{report['answers']} answer(s), "
+              f"{report['explained_errors']} explained error(s))")
+        for violation in report["violations"]:
+            print(f"  VIOLATION [{violation['invariant']}] "
+                  f"{violation['detail']}")
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "table1": _cmd_table1,
@@ -1188,6 +1260,7 @@ _COMMANDS = {
     "export-models": _cmd_export_models,
     "ingest": _cmd_ingest,
     "ingest-daemon": _cmd_ingest_daemon,
+    "chaos": _cmd_chaos,
 }
 
 

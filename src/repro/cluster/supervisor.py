@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.chaos.hooks import chaos_point
 from repro.cluster.config import ClusterConfig, ClusterConfigError, ReplicaEndpoint
 from repro.telemetry import merge_snapshots
 
@@ -71,9 +72,18 @@ def _probe_json(host: str, port: int, path: str,
                 timeout_s: float) -> tuple[int, dict]:
     conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
     try:
-        conn.request("GET", path)
-        response = conn.getresponse()
-        body = response.read()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = response.read()
+        except http.client.HTTPException as exc:
+            # A child dying mid-response surfaces as IncompleteRead or
+            # BadStatusLine -- HTTPException, not OSError.  Fold it into
+            # the documented OSError contract so probe callers see one
+            # failure mode instead of an uncaught lifecycle-thread crash.
+            raise ConnectionError(
+                f"torn response from {host}:{port}{path}: {exc!r}"
+            ) from exc
         try:
             decoded = json.loads(body.decode("utf-8")) if body else {}
         except (ValueError, UnicodeDecodeError):
@@ -101,6 +111,16 @@ class ReplicaStatus:
     #: the lifecycle thread relaunches immediately instead of backing
     #: off as it would for a crash.
     reloading: bool = False
+    #: Serializes restart decisions for this replica: the lifecycle
+    #: thread's read-and-clear of ``reloading`` and a reload request's
+    #: write both happen under it, so a reload that races a crash (or a
+    #: probe failure racing a child exit) is honored exactly once.
+    decision_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Wakes the lifecycle thread out of its crash-backoff sleep when a
+    #: reload request lands mid-penalty, so the relaunch happens now,
+    #: against the new store, instead of after the backoff with a
+    #: permanently stale ``reloading`` flag.
+    wake: threading.Event = field(default_factory=threading.Event)
 
     def describe(self) -> dict:
         """JSON-safe status row (CLI output, tests, CI smoke)."""
@@ -310,46 +330,67 @@ class ReplicaSupervisor:
                 floor = min(floor, self.ready_count())
                 time.sleep(0.05)
             step_t0 = time.monotonic()
-            replica.store_path = new_store
-            replica.reloading = True
-            process = replica.process
+            with replica.decision_lock:
+                replica.store_path = new_store
+                replica.reloading = True
+                process = replica.process
+                replica.wake.set()
             if process is not None and process.poll() is None:
                 process.send_signal(signal.SIGTERM)
-            floor = min(floor, self._await_reloaded(
-                replica, new_store, deadline))
+            step_floor, reloaded = self._await_reloaded(
+                replica, new_store, deadline)
+            floor = min(floor, step_floor)
             report["steps"].append({
                 "index": replica.index,
                 "port": replica.port,
                 "ready": replica.ready,
+                "reloaded": reloaded,
                 "store": replica.health.get("store"),
                 "duration_s": round(time.monotonic() - step_t0, 3),
             })
         report["min_ready"] = floor
         report["duration_s"] = round(time.monotonic() - t0, 3)
-        report["ok"] = all(step["ready"] for step in report["steps"])
+        # Gate on observed convergence (ready *on the new store*), not
+        # on the ready flag alone: a replica whose relaunch never
+        # happened can still carry a stale ready=True from before the
+        # drain, and that must not count as a successful reload.
+        report["ok"] = all(step["reloaded"] for step in report["steps"])
         self._log(f"rolling reload to {new_store}: "
                   f"{'ok' if report['ok'] else 'FAILED'} in "
                   f"{report['duration_s']}s (ready floor {floor})")
         return report
 
     def _await_reloaded(self, replica: ReplicaStatus, new_store: str,
-                        deadline: float) -> int:
+                        deadline: float) -> tuple[int, bool]:
         """Wait for one drained replica to return on the new store.
 
-        Returns the minimum ready count observed while waiting, so the
-        caller can fold it into the reload report's floor.
+        Returns ``(floor, reloaded)``: the minimum ready count observed
+        while waiting (folded into the reload report's floor) and
+        whether the replica actually converged -- ready with the new
+        store's path in its health provenance -- before the deadline.
         """
         floor = self.ready_count()
         while time.monotonic() < deadline:
             floor = min(floor, self.ready_count())
             health_store = (replica.health or {}).get("store") or {}
-            if (replica.ready and not replica.reloading
-                    and health_store.get("path") == new_store):
-                return floor
+            if replica.ready and health_store.get("path") == new_store:
+                # Ready on the new store is the request satisfied.  A
+                # boot that raced the request may have come up on the
+                # new store without consuming the flag; retire it here
+                # so it cannot trigger a second, pointless relaunch.
+                with replica.decision_lock:
+                    replica.reloading = False
+                    replica.wake.clear()
+                return floor, True
             time.sleep(0.05)
-        return floor
+        return floor, False
 
     # ----- per-replica lifecycle thread -----
+
+    def _probe(self, replica: ReplicaStatus) -> tuple[int, dict]:
+        """One health probe of a replica, with its fault-injection site."""
+        chaos_point(f"supervisor.probe[{replica.index}]", port=replica.port)
+        return probe_healthz(self.host, replica.port)
 
     def _replica_loop(self, replica: ReplicaStatus) -> None:
         """Boot, watch, and (with bounded backoff) relaunch one child."""
@@ -364,9 +405,17 @@ class ReplicaSupervisor:
             replica.ready = False
             if self._stopping:
                 break
-            if replica.reloading:
-                # Intentional drain: relaunch immediately, no penalty.
+            # One restart decision at a time: ``reloading`` is
+            # read-and-cleared atomically, so a reload request can
+            # neither be honored twice (double relaunch) nor go stale
+            # (a flag set while we were already past the check used to
+            # outlive the relaunch and wedge _await_reloaded forever).
+            with replica.decision_lock:
+                reloading = replica.reloading
                 replica.reloading = False
+                replica.wake.clear()
+            if reloading:
+                # Intentional drain: relaunch immediately, no penalty.
                 first = False
                 continue
             wait = 0.0 if (first and booted) else backoff
@@ -374,8 +423,16 @@ class ReplicaSupervisor:
                       f"{'died' if booted else 'failed to boot'}; "
                       f"restarting in {wait:g}s")
             if wait:
-                time.sleep(wait)
+                # Interruptible penalty: a reload request that lands
+                # mid-sleep wakes us so the relaunch happens now,
+                # against the new store.
+                woke = replica.wake.wait(wait)
                 backoff = min(backoff * 2, self.max_restart_backoff_s)
+                if woke:
+                    with replica.decision_lock:
+                        replica.reloading = False
+                        replica.wake.clear()
+                    backoff = self.restart_backoff_s
             first = False
         self._reap(replica)
 
@@ -421,7 +478,7 @@ class ReplicaSupervisor:
                           f"(code {process.returncode}) during boot")
                 return False
             try:
-                status, body = probe_healthz(self.host, replica.port)
+                status, body = self._probe(replica)
             except OSError:
                 time.sleep(0.1)
                 continue
@@ -452,7 +509,7 @@ class ReplicaSupervisor:
             if process is None or process.poll() is not None:
                 return
             try:
-                status, body = probe_healthz(self.host, replica.port)
+                status, body = self._probe(replica)
             except OSError:
                 replica.consecutive_probe_failures += 1
                 if (replica.consecutive_probe_failures

@@ -184,7 +184,10 @@ class DriftMonitor:
                 same_mae = sum(window.same_errors) / len(window.same_errors)
                 mean_mae = sum(window.mean_errors) / len(window.mean_errors)
                 baseline_mae = min(same_mae, mean_mae)
-            elapsed = self.clock() - window.refreshed_at
+            # Clamp against clock rollback (a skewed or stepped clock
+            # must never make a fresh model look ancient -- or, worse,
+            # feed a negative age into staleness math).
+            elapsed = max(0.0, self.clock() - window.refreshed_at)
         drifted = (
             n >= cfg.min_observations
             and baseline_mae is not None

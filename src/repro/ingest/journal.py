@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.chaos.hooks import chaos_point
 from repro.dataset.loader import record_from_dict
 from repro.errors import JournalError
 
@@ -134,10 +135,12 @@ class RecordJournal:
                     line = json.dumps(
                         {"offset": self._next_offset, "record": record}
                     )
+                    chaos_point("journal.write", offset=self._next_offset)
                     handle.write(line + "\n")
                     self._next_offset += 1
                     self._segment_records += 1
                 handle.flush()
+                chaos_point("journal.fsync", offset=self._next_offset)
                 if self.fsync:
                     os.fsync(handle.fileno())
             except OSError as exc:
@@ -183,9 +186,13 @@ class RecordJournal:
 
         Re-scans the directory, so appends made by another process
         after this journal object was created are visible.  A torn
-        trailing line in the newest segment is skipped silently; a torn
-        or malformed line anywhere else is corruption and raises
-        :class:`~repro.errors.JournalError`.
+        trailing line in the newest segment is skipped silently; so is
+        a torn final line of an *older* segment when the next segment
+        picks up exactly where the good lines left off -- that is a
+        reader racing a recovering writer's truncation (the reader
+        opened the segment's pre-truncation bytes after the writer had
+        already started a fresh segment), not corruption.  A malformed
+        line anywhere else raises :class:`~repro.errors.JournalError`.
         """
         segments = self.segments()
         for i, segment in enumerate(segments):
@@ -203,6 +210,7 @@ class RecordJournal:
                 raise JournalError(
                     f"cannot read journal segment {segment}: {exc}"
                 ) from exc
+            last_parsed: int | None = None
             for j, line in enumerate(lines):
                 line = line.strip()
                 if not line:
@@ -214,13 +222,40 @@ class RecordJournal:
                 except (ValueError, KeyError, TypeError) as exc:
                     if last_segment and j == len(lines) - 1:
                         return  # torn tail: crash mid-append, ignore
+                    if (not last_segment and j == len(lines) - 1
+                            and self._tail_truncation_race(
+                                segment, segments[i + 1], last_parsed)):
+                        break  # stale torn bytes the writer already cut
                     raise JournalError(
                         f"corrupt journal line in {segment} "
                         f"(line {j + 1}): {exc}"
                     ) from exc
+                last_parsed = offset
                 if offset >= since_offset:
                     yield JournalRecord(offset=offset, kind=kind,
                                         record=record)
+
+    @staticmethod
+    def _tail_truncation_race(segment: Path, next_segment: Path,
+                              last_parsed: int | None) -> bool:
+        """Whether a torn final line in a non-last segment is benign.
+
+        It is exactly when the next segment continues the offset chain
+        from this segment's last *good* line: the recovering writer
+        truncated the torn record and opened a new segment at the next
+        offset, while this reader was still holding the segment's
+        pre-truncation bytes.  No acknowledged record sits in the torn
+        line, so skipping it loses nothing.  Any gap in the chain means
+        real corruption and stays fatal.
+        """
+        next_first = _segment_first_offset(next_segment)
+        if next_first is None:
+            return False
+        if last_parsed is not None:
+            return next_first == last_parsed + 1
+        # Every line of this segment was torn away: the writer's fresh
+        # segment then starts at this segment's own first offset.
+        return next_first == _segment_first_offset(segment)
 
     def status(self) -> dict:
         """JSON-safe summary for ``repro ingest status`` and telemetry."""

@@ -247,7 +247,24 @@ class RefreshPipeline:
                 quarantined=quarantined, error=verify_error,
             )
 
-        active = self.store.activate_version(staged)
+        try:
+            active = self.store.activate_version(staged)
+        except (StateError, OSError) as exc:
+            # Contained: CURRENT still points at the old verified
+            # version, so the set keeps serving it.  The candidate (if
+            # the rename itself never happened) goes to quarantine for
+            # post-mortem rather than being retried blind.
+            self.telemetry.incr("ingest.refresh.activate_failures")
+            error = f"activate failed: {exc}"
+            quarantined = None
+            if staged.exists():
+                quarantined = self.store.quarantine_version(staged, error)
+                self.telemetry.incr("ingest.refresh.quarantined")
+            return RefreshResult(
+                ok=False, reason=reason, offset=offset,
+                model_version=model.version,
+                quarantined=quarantined, error=error,
+            )
         pruned: list[str] = []
         if self.keep_last is not None:
             pruned = [p.name for p in self.store.prune(self.keep_last)]

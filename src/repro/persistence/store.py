@@ -47,6 +47,7 @@ import shutil
 import time
 from pathlib import Path
 
+from repro.chaos.hooks import chaos_point
 from repro.persistence.state import (
     StateError,
     pack_state,
@@ -239,6 +240,7 @@ class ModelStore:
         one -- never a partial directory.
         """
         staged = Path(staged)
+        chaos_point("store.activate", staged=staged.name)
         if not (staged / self.MANIFEST).is_file():
             raise StateError(
                 f"staged store {staged} has no manifest; refusing to activate"
@@ -283,6 +285,7 @@ class ModelStore:
 
     def set_current(self, name: str) -> None:
         """Atomically point CURRENT at an existing version directory."""
+        chaos_point("store.set_current", name=name)
         if not (self.path / name / self.MANIFEST).is_file():
             raise StateError(
                 f"cannot point CURRENT at {name!r}: no manifest there"

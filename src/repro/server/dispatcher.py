@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import time
 
+from repro.chaos.hooks import chaos_point
 from repro.errors import JournalError
 from repro.evaluation.reporting import FORECAST_SCHEMA_VERSION, error_payload
 from repro.serving.engine import EngineClosedError, Forecast, ForecastEngine, ForecastRequest
@@ -311,6 +312,14 @@ class Dispatcher:
                    ctx: TraceContext | None = None) -> Forecast:
         if timeout_s is None:
             timeout_s = self.default_timeout_s
+        # A value fault here is a deadline storm: the scheduled visits
+        # run under a near-zero deadline and must still answer (the
+        # timeout path degrades to the §VII-A baseline, never errors).
+        fault = chaos_point("dispatcher.deadline", asn=request.asn,
+                            family=request.family)
+        if fault is not None:
+            storm = float(fault.payload.get("timeout_s", 0.0))
+            timeout_s = storm if timeout_s is None else min(timeout_s, storm)
         trace_id = ctx.trace_id if ctx is not None else None
         future = self.engine.submit(request, trace_id)
         try:

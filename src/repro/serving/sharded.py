@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.chaos.hooks import chaos_point
 from repro.core.spatiotemporal import SpatiotemporalConfig
 from repro.dataset.generator import SimulationEnvironment
 from repro.dataset.records import AttackTrace
@@ -602,6 +603,7 @@ class ShardedForecastEngine:
                            self._wire_timeout(timeout_s), trace_id)
                 shard.pending[req_id] = (future, op, wire_payload)
             try:
+                chaos_point(f"shard.send[{shard.id}]", op=op)
                 shard.conn.send(message)
             except (BrokenPipeError, OSError):
                 shard.pending.pop(req_id, None)
@@ -707,6 +709,7 @@ class ShardedForecastEngine:
         conn = shard.conn
         while True:
             try:
+                chaos_point(f"shard.pump[{shard.id}]")
                 message = conn.recv()
             except (EOFError, OSError):
                 return

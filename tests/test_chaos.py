@@ -1,0 +1,640 @@
+"""Tests for the fault-injection harness (`repro.chaos`).
+
+Four layers:
+
+* plan/injector/hook unit tests -- pure arithmetic and state, no I/O;
+* per-site injection tests -- arm a plan and drive one real component
+  (journal, supervisor) through its injected failure path;
+* the two race regressions the harness was built to pin down: the
+  supervisor's restart-decision race and the journal's torn-tail
+  re-read race;
+* scenario + CLI tests -- the named scenarios pass their invariant
+  suites at pinned seeds, and ``repro chaos plan`` is byte-identical
+  across same-seed runs (the replay contract CI diffs).
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.chaos import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedBrokenPipeError,
+    InjectedOSError,
+    InjectedStateError,
+    apply_byte_flip,
+    arm,
+    chaos_armed,
+    chaos_point,
+    disarm,
+    injected,
+)
+from repro.chaos import SCENARIOS, InvariantSuite, run_scenario, scenario_names
+from repro.cli import main
+from repro.cluster.config import ClusterConfig, ReplicaEndpoint
+from repro.cluster.supervisor import ReplicaSupervisor
+from repro.errors import JournalError, StateError
+from repro.ingest import RecordJournal
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    """No test may leak an armed injector into the next one."""
+    disarm()
+    yield
+    disarm()
+
+
+def _tagged(trace, kind, n, start=0):
+    records = trace.attacks if kind == "attack" else trace.snapshots
+    return [{"type": kind, **r.to_dict()} for r in records[start:start + n]]
+
+
+# ----- faults and plans (pure) -----
+
+
+class TestFault:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1-based"):
+            Fault(site="x", at_visit=0)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(site="x", at_visit=1, kind="meteor")
+        with pytest.raises(ValueError, match="unknown fault action"):
+            Fault(site="x", at_visit=1, kind="raise", action="shrug")
+
+    def test_exception_is_typed_and_labeled(self):
+        exc = Fault(site="journal.fsync", at_visit=3).exception()
+        assert isinstance(exc, InjectedOSError)
+        assert isinstance(exc, OSError)
+        assert "journal.fsync@3" in str(exc)
+        exc = Fault(site="store.activate", at_visit=1,
+                    action="state_error").exception()
+        assert isinstance(exc, InjectedStateError)
+        assert isinstance(exc, StateError)
+
+    def test_dict_roundtrip(self):
+        fault = Fault(site="shard.send[0]", at_visit=2, action="broken_pipe",
+                      payload={"op": "forecast"})
+        assert Fault.from_dict(fault.to_dict()) == fault
+
+
+class TestFaultPlan:
+    QUOTAS = [
+        {"site": "journal.write", "count": 3, "visits": (1, 40)},
+        {"site": "dispatcher.deadline", "count": 2, "visits": (1, 20),
+         "kind": "value", "payload": {"timeout_s": 0.0}},
+        {"site": "runner", "count": 2, "visits": (1, 10),
+         "kind": "clock_skew", "skew_range": (-100.0, 100.0)},
+        {"site": "codec", "count": 2, "visits": (1, 50),
+         "kind": "byte_flip"},
+    ]
+
+    def test_same_seed_is_byte_identical(self):
+        one = FaultPlan.generate(7, "demo", self.QUOTAS)
+        two = FaultPlan.generate(7, "demo", self.QUOTAS)
+        assert one.to_json() == two.to_json()
+        assert one.digest() == two.digest()
+
+    def test_different_seed_or_name_moves_the_schedule(self):
+        base = FaultPlan.generate(7, "demo", self.QUOTAS)
+        assert FaultPlan.generate(8, "demo", self.QUOTAS).digest() \
+            != base.digest()
+        assert FaultPlan.generate(7, "omed", self.QUOTAS).digest() \
+            != base.digest()
+
+    def test_quotas_respected_and_visits_in_range(self):
+        plan = FaultPlan.generate(3, "demo", self.QUOTAS)
+        writes = plan.for_site("journal.write")
+        assert len(writes) == 3
+        assert all(1 <= f.at_visit <= 40 for f in writes)
+        # sample() is without replacement: distinct, sorted visits.
+        visits = [f.at_visit for f in writes]
+        assert visits == sorted(set(visits))
+
+    def test_overfull_quota_rejected(self):
+        with pytest.raises(ValueError, match="wants 5 faults"):
+            FaultPlan.generate(1, "x", [
+                {"site": "s", "count": 5, "visits": (1, 3)}])
+
+    def test_generated_payloads(self):
+        plan = FaultPlan.generate(11, "demo", self.QUOTAS)
+        for fault in plan.for_site("runner"):
+            assert -100.0 <= fault.payload["skew_s"] <= 100.0
+        for fault in plan.for_site("codec"):
+            assert 0.0 <= fault.payload["pos_frac"] < 1.0
+            assert 1 <= fault.payload["xor"] <= 255
+
+    def test_hook_step_split(self):
+        plan = FaultPlan.generate(5, "demo", self.QUOTAS)
+        hook_sites = {f.site for f in plan.hook_faults()}
+        assert hook_sites == {"journal.write", "dispatcher.deadline"}
+        steps = plan.step_faults()
+        assert [f.at_visit for f in steps] == sorted(f.at_visit for f in steps)
+        for step in steps:
+            assert step in plan.steps_at(step.at_visit)
+
+    def test_dict_roundtrip(self):
+        plan = FaultPlan.generate(9, "demo", self.QUOTAS)
+        assert FaultPlan.from_dict(plan.to_dict()).to_json() == plan.to_json()
+        assert FaultPlan.from_dict(
+            json.loads(plan.to_json())).digest() == plan.digest()
+
+
+class TestFaultInjector:
+    def plan(self):
+        return FaultPlan(name="t", seed=0, faults=(
+            Fault(site="a", at_visit=2),
+            Fault(site="b", at_visit=1, kind="value",
+                  payload={"timeout_s": 0.5}),
+        ))
+
+    def test_counts_visits_per_site(self):
+        injector = FaultInjector(self.plan())
+        assert injector.visits("a") == 0
+        injector.visit("a")
+        injector.visit("b", {"op": "forecast"})
+        assert injector.visits("a") == 1
+        assert injector.visits("b") == 1
+
+    def test_raises_only_at_scheduled_visit(self):
+        injector = FaultInjector(self.plan())
+        assert injector.visit("a") is None  # visit 1: clean
+        with pytest.raises(InjectedOSError):
+            injector.visit("a")  # visit 2: scheduled
+        assert injector.visit("a") is None  # visit 3: clean again
+
+    def test_value_fault_returned_with_payload(self):
+        injector = FaultInjector(self.plan())
+        fault = injector.visit("b")
+        assert fault is not None and fault.payload["timeout_s"] == 0.5
+        assert injector.visit("b") is None
+
+    def test_fired_log_records_site_visit_context(self):
+        injector = FaultInjector(self.plan())
+        injector.visit("a")
+        with pytest.raises(InjectedOSError):
+            injector.visit("a", {"offset": 17})
+        log = injector.fired_log()
+        assert log == [{"site": "a", "visit": 2, "kind": "raise",
+                        "action": "os_error", "context": {"offset": 17}}]
+
+    def test_thread_safe_visit_counting(self):
+        injector = FaultInjector(FaultPlan(name="t", seed=0, faults=()))
+
+        def hammer():
+            for _ in range(500):
+                injector.visit("s")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert injector.visits("s") == 2000
+
+
+class TestApplyByteFlip:
+    def flip(self, pos_frac, xor=0x40):
+        return Fault(site="codec", at_visit=1, kind="byte_flip",
+                     payload={"pos_frac": pos_frac, "xor": xor})
+
+    def test_flips_exactly_one_byte(self):
+        data = bytes(range(10))
+        flipped = apply_byte_flip(data, self.flip(0.5))
+        assert len(flipped) == len(data)
+        diffs = [i for i in range(10) if flipped[i] != data[i]]
+        assert diffs == [5]
+        assert flipped[5] == data[5] ^ 0x40
+
+    def test_edges_and_empty(self):
+        data = b"abcd"
+        assert apply_byte_flip(b"", self.flip(0.5)) == b""
+        assert apply_byte_flip(data, self.flip(0.0))[0] != data[0]
+        # pos_frac ~1.0 clamps to the final byte, never past it.
+        assert apply_byte_flip(data, self.flip(0.999999))[3] != data[3]
+        # an xor of 0 is coerced so the byte always changes
+        assert apply_byte_flip(data, self.flip(0.0, xor=0)) != data
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a byte_flip"):
+            apply_byte_flip(b"x", Fault(site="a", at_visit=1))
+
+
+# ----- hook points -----
+
+
+class TestHooks:
+    def test_disarmed_is_a_noop(self):
+        assert not chaos_armed()
+        assert chaos_point("anything", offset=3) is None
+
+    def test_armed_injector_sees_every_visit(self):
+        injector = FaultInjector(FaultPlan(name="t", seed=0, faults=(
+            Fault(site="s", at_visit=2),)))
+        with injected(injector):
+            assert chaos_armed()
+            assert chaos_point("s") is None
+            with pytest.raises(InjectedOSError):
+                chaos_point("s")
+        assert not chaos_armed()
+        assert chaos_point("s") is None  # context exit disarmed
+
+    def test_double_arm_rejected(self):
+        injector = FaultInjector(FaultPlan(name="t", seed=0, faults=()))
+        arm(injector)
+        try:
+            with pytest.raises(RuntimeError, match="already armed"):
+                arm(injector)
+        finally:
+            disarm()
+        disarm()  # idempotent
+
+    def test_injected_disarms_on_exception(self):
+        injector = FaultInjector(FaultPlan(name="t", seed=0, faults=()))
+        with pytest.raises(RuntimeError, match="boom"):
+            with injected(injector):
+                raise RuntimeError("boom")
+        assert not chaos_armed()
+
+
+# ----- per-site injection: the journal -----
+
+
+class TestJournalInjection:
+    def test_write_fault_is_a_journal_error_and_no_offset_leaks(
+            self, small_trace, tmp_path):
+        plan = FaultPlan.generate(3, "jw", [
+            {"site": "journal.write", "count": 1, "visits": (1, 1)}])
+        journal = RecordJournal(tmp_path / "j", fsync=False)
+        with injected(FaultInjector(plan)) as injector:
+            with pytest.raises(JournalError, match="injected os_error"):
+                journal.append(_tagged(small_trace, "attack", 1)[0])
+            assert journal.next_offset == 0
+            # The fault was one-shot: the retry lands at offset 0.
+            assert journal.append(_tagged(small_trace, "attack", 1)[0]) == 0
+            assert injector.visits("journal.write") == 2
+        assert [e.offset for e in journal.tail()] == [0]
+
+    def test_fsync_fault_leaves_record_durable_but_unacked(
+            self, small_trace, tmp_path):
+        plan = FaultPlan.generate(3, "jf", [
+            {"site": "journal.fsync", "count": 1, "visits": (1, 1)}])
+        journal = RecordJournal(tmp_path / "j", fsync=False)
+        with injected(FaultInjector(plan)):
+            with pytest.raises(JournalError, match="injected os_error"):
+                journal.append(_tagged(small_trace, "attack", 1)[0])
+        journal.close()
+        # The line was written and flushed before the fsync fault: a
+        # recovering journal sees it, and offsets stay dense.
+        recovered = RecordJournal(tmp_path / "j", fsync=False)
+        assert recovered.next_offset == 1
+        assert [e.offset for e in recovered.tail()] == [0]
+
+
+# ----- satellite: the torn-tail re-read race -----
+
+
+class TestTornTailRace:
+    """A reader holding a segment's pre-truncation bytes races a
+    recovering writer that already truncated the torn line and opened
+    the next segment.  The torn final line of a *non-last* segment is
+    benign exactly when the next segment continues the offset chain."""
+
+    def _journal_with_torn_first_segment(self, small_trace, tmp_path):
+        journal = RecordJournal(tmp_path / "j", fsync=False,
+                                segment_max_records=2)
+        journal.append_many(_tagged(small_trace, "attack", 4))
+        journal.close()
+        first = journal.segments()[0]  # holds offsets 0, 1
+        with open(first, "a", encoding="utf-8") as fh:
+            fh.write('{"offset": 2, "rec')  # stale torn bytes
+        return journal
+
+    def test_benign_when_next_segment_continues_the_chain(
+            self, small_trace, tmp_path):
+        journal = self._journal_with_torn_first_segment(small_trace, tmp_path)
+        # next segment starts at 2 == last good offset (1) + 1: skip.
+        assert [e.offset for e in journal.tail()] == [0, 1, 2, 3]
+        assert [e.offset for e in journal.tail(2)] == [2, 3]
+
+    def test_fatal_when_the_chain_has_a_gap(self, small_trace, tmp_path):
+        journal = self._journal_with_torn_first_segment(small_trace, tmp_path)
+        second = journal.segments()[1]
+        # Rewrite the follow-on segment to start at 3: offset 2 is now
+        # missing, so the torn line can no longer be explained away.
+        record = _tagged(small_trace, "attack", 1, 3)[0]
+        gap = second.parent / "segment-000000000003.jsonl"
+        gap.write_text(json.dumps({"offset": 3, "record": record}) + "\n",
+                       encoding="utf-8")
+        second.unlink()
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            list(journal.tail())
+
+    def test_torn_line_mid_segment_stays_fatal(self, small_trace, tmp_path):
+        journal = RecordJournal(tmp_path / "j", fsync=False,
+                                segment_max_records=3)
+        journal.append_many(_tagged(small_trace, "attack", 5))
+        journal.close()
+        first = journal.segments()[0]
+        lines = first.read_text(encoding="utf-8").splitlines()
+        lines[1] = '{"offset": 1, "rec'  # not the final line
+        first.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            list(journal.tail())
+
+
+# ----- satellite: supervisor restart-decision races -----
+
+
+# A stand-in replica child: answers /healthz like serve-http does but
+# boots in milliseconds, so the race tests below stay in tier 1.
+_STUB_REPLICA = r"""
+import json, sys
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+port = int(sys.argv[1])
+store = sys.argv[2] if len(sys.argv) > 2 else ""
+
+class Handler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        body = json.dumps({"status": "ok", "model_version": 1,
+                           "store": {"path": store}}).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+    def log_message(self, *args):
+        pass
+
+HTTPServer(("127.0.0.1", port), Handler).serve_forever()
+"""
+
+
+class StubSupervisor(ReplicaSupervisor):
+    def _spawn(self, replica):
+        argv = [sys.executable, "-c", _STUB_REPLICA, str(replica.port),
+                replica.store_path or ""]
+        try:
+            return subprocess.Popen(argv, stdout=subprocess.DEVNULL,
+                                    stderr=subprocess.DEVNULL)
+        except OSError:
+            return None
+
+
+def _stub_supervisor(store_path, **kwargs):
+    config = ClusterConfig(endpoints=(ReplicaEndpoint("x", 1),),
+                           probe_interval_s=0.05, failure_threshold=2)
+    defaults = dict(replicas=1, store_path=store_path, config=config,
+                    boot_timeout_s=15.0, restart_backoff_s=0.1,
+                    max_restart_backoff_s=0.5, drain_timeout_s=5.0,
+                    log=lambda message: None)
+    return StubSupervisor(**(defaults | kwargs))
+
+
+def _wait(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+class TestSupervisorRestartRaces:
+    def test_probe_failure_racing_child_exit_restarts_exactly_once(
+            self, tmp_path):
+        """The satellite regression: probe faults firing while the
+        child is SIGKILLed must produce one relaunch, not two."""
+        plan = FaultPlan.generate(2, "probe-vs-exit", [
+            {"site": "supervisor.probe[0]", "count": 6, "visits": (2, 60)}])
+        supervisor = _stub_supervisor(str(tmp_path / "store-a"))
+        with injected(FaultInjector(plan)):
+            with supervisor:
+                assert supervisor.wait_ready(1, timeout_s=15.0)
+                replica = supervisor.replicas[0]
+                first_pid = replica.pid
+                # Kill mid-probe-storm: the watch loop is seeing
+                # injected probe failures at the same time the child
+                # exit lands.
+                replica.process.send_signal(signal.SIGKILL)
+                assert _wait(lambda: replica.ready
+                             and replica.pid != first_pid)
+                # Settle: a second, spurious restart decision would
+                # land (and bump the counter) in this window.
+                time.sleep(0.6)
+                assert replica.restarts == 1
+                assert replica.ready
+
+    def test_reload_during_crash_backoff_wakes_and_converges(self, tmp_path):
+        """A rolling reload landing while the lifecycle thread sits in
+        its crash-backoff sleep must interrupt the penalty and relaunch
+        against the new store now -- the stale-``reloading``-flag race
+        used to wedge ``_await_reloaded`` until its timeout."""
+        old_store, new_store = str(tmp_path / "store-a"), str(tmp_path / "b")
+        supervisor = _stub_supervisor(old_store, restart_backoff_s=4.0,
+                                      max_restart_backoff_s=8.0)
+        with supervisor:
+            assert supervisor.wait_ready(1, timeout_s=15.0)
+            replica = supervisor.replicas[0]
+            # First death relaunches with no penalty; the second earns
+            # the full backoff, which the reload below must interrupt.
+            replica.process.send_signal(signal.SIGKILL)
+            assert _wait(lambda: replica.ready and replica.restarts == 1)
+            replica.process.send_signal(signal.SIGKILL)
+            report = supervisor.rolling_reload(new_store,
+                                              per_replica_timeout_s=20.0)
+            assert report["ok"], report
+            # Well under the 4s backoff: the wake fired.
+            assert report["duration_s"] < 3.0
+            assert replica.health.get("store", {}).get("path") == new_store
+            assert _wait(lambda: not replica.reloading)
+
+    def test_reload_of_a_healthy_replica_still_works(self, tmp_path):
+        """The non-racy baseline: drain, relaunch, new store."""
+        supervisor = _stub_supervisor(str(tmp_path / "store-a"))
+        new_store = str(tmp_path / "store-b")
+        with supervisor:
+            assert supervisor.wait_ready(1, timeout_s=15.0)
+            report = supervisor.rolling_reload(new_store,
+                                              per_replica_timeout_s=20.0)
+            assert report["ok"], report
+            replica = supervisor.replicas[0]
+            assert replica.health.get("store", {}).get("path") == new_store
+            assert replica.restarts == 1
+
+    def test_torn_probe_response_raises_oserror_not_httpexception(self):
+        """A child dying mid-response makes http.client raise
+        IncompleteRead (an HTTPException, not an OSError).  The probe
+        layer must fold that into its documented OSError contract --
+        leaking it killed the lifecycle thread, so a replica whose
+        death raced an in-flight probe was never relaunched."""
+        import socket as socket_mod
+
+        from repro.cluster.supervisor import probe_healthz
+
+        listener = socket_mod.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def torn_server():
+            conn, _ = listener.accept()
+            conn.recv(1024)
+            # Advertise a body, send none of it, slam the connection.
+            conn.sendall(b"HTTP/1.1 200 OK\r\nContent-Length: 83\r\n\r\n")
+            conn.close()
+
+        server = threading.Thread(target=torn_server, daemon=True)
+        server.start()
+        try:
+            with pytest.raises(OSError):
+                probe_healthz("127.0.0.1", port, timeout_s=5.0)
+        finally:
+            server.join(timeout=5.0)
+            listener.close()
+
+
+# ----- invariant suite -----
+
+
+class TestInvariantSuite:
+    def test_clean_suite_is_ok(self):
+        suite = InvariantSuite()
+        suite.record_response(200, {"forecast": {}}, where="t")
+        suite.record_model_version("r", 1)
+        suite.record_model_version("r", 2)
+        suite.record_ready(2, 2, floor=1)
+        report = suite.report()
+        assert report["ok"] and suite.ok
+        assert report["answers"] == 1
+        assert report["violations"] == []
+
+    def test_server_error_and_forecastless_body_violate_answers(self):
+        suite = InvariantSuite()
+        suite.record_response(500, {"error": "boom"}, where="t")
+        suite.record_response(200, {"nope": 1}, where="t")
+        report = suite.report()
+        assert not report["ok"]
+        assert len(report["violations"]) == 2
+        assert all(v["invariant"] == "answers"
+                   for v in report["violations"])
+
+    def test_model_version_regression_violates_monotonic(self):
+        suite = InvariantSuite()
+        suite.record_model_version("replica0", 3)
+        suite.record_model_version("replica0", 2)
+        report = suite.report()
+        assert not report["ok"]
+        assert report["violations"][0]["invariant"] == "version-monotonic"
+
+    def test_ready_floor_breach_recorded(self):
+        suite = InvariantSuite()
+        suite.record_ready(2, 2, floor=1)
+        suite.record_ready(0, 2, floor=1)
+        report = suite.report()
+        assert not report["ok"]
+        assert report["min_ready"] == 0
+        assert report["violations"][0]["invariant"] == "ready-floor"
+
+
+# ----- scenarios -----
+
+
+class TestScenarios:
+    def test_catalog(self):
+        names = scenario_names()
+        assert set(names) == {"journal-io", "drift-skew", "shard-pipes",
+                              "store-rollback", "replica-chaos"}
+        fast = scenario_names(include_slow=False)
+        assert "replica-chaos" not in fast and "journal-io" in fast
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+
+    def test_journal_io_passes_and_matches_its_plan(self, tmp_path):
+        result = run_scenario("journal-io", seed=7, workdir=tmp_path)
+        assert result.ok, result.invariants
+        assert result.digest == SCENARIOS["journal-io"].build_plan(7).digest()
+        assert result.fired  # the schedule actually hit the journal
+        assert result.invariants["explained_errors"] > 0
+        json.dumps(result.to_dict())  # fully JSON-safe
+
+    def test_drift_skew_passes(self, tmp_path):
+        result = run_scenario("drift-skew", seed=3, workdir=tmp_path)
+        assert result.ok, result.invariants
+        assert result.details["clock_skews"] > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("volcano", seed=0)
+
+
+@pytest.mark.slow
+class TestSlowScenarios:
+    def test_shard_pipes_passes(self, tmp_path):
+        result = run_scenario("shard-pipes", seed=1, workdir=tmp_path)
+        assert result.ok, result.invariants
+        assert result.invariants["answers"] > 0
+
+    def test_store_rollback_passes(self, tmp_path):
+        result = run_scenario("store-rollback", seed=0, workdir=tmp_path)
+        assert result.ok, result.invariants
+        assert result.details["quarantined"]
+
+    @pytest.mark.net
+    def test_replica_chaos_passes(self, tmp_path):
+        result = run_scenario("replica-chaos", seed=2, workdir=tmp_path)
+        assert result.ok, result.invariants
+        assert result.invariants["min_ready"] >= 1
+
+
+# ----- CLI -----
+
+
+class TestChaosCLI:
+    def test_list(self, capsys):
+        assert main(["chaos", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "journal-io" in out and "[slow]" in out
+
+    def test_plan_output_is_byte_identical_across_runs(self, capsys):
+        assert main(["chaos", "plan", "--scenario", "journal-io",
+                     "--seed", "7"]) == 0
+        first = capsys.readouterr()
+        assert main(["chaos", "plan", "--scenario", "journal-io",
+                     "--seed", "7"]) == 0
+        second = capsys.readouterr()
+        assert first.out == second.out
+        assert "digest:" in first.err
+        plan = json.loads(first.out)
+        assert plan["name"] == "journal-io" and plan["faults"]
+
+    def test_run_passing_scenario_exits_zero(self, capsys, tmp_path):
+        code = main(["chaos", "run", "--scenario", "drift-skew",
+                     "--seed", "3", "--workdir", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        result = json.loads(out)
+        assert result["ok"] and result["name"] == "drift-skew"
+
+    def test_run_summary_line(self, capsys, tmp_path):
+        code = main(["chaos", "run", "--scenario", "journal-io",
+                     "--seed", "7", "--workdir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out and "fault(s) fired" in out
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        assert main(["chaos", "run", "--scenario", "volcano"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_scenario_is_a_usage_error(self, capsys):
+        assert main(["chaos", "plan"]) == 2
+        assert "--scenario is required" in capsys.readouterr().err

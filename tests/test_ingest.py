@@ -263,6 +263,68 @@ class TestDriftMonitor:
         assert set(status) == {"a", "b"}
         assert status["a"]["reason"] == "healthy"
 
+    def test_exactly_min_observations_is_enough_to_fire(self):
+        # The gate is inclusive: n == min_observations may fire; one
+        # fewer may not, no matter how bad the model looks.
+        monitor, _clock = self.monitor(min_observations=4)
+        for _ in range(3):
+            monitor.observe("lin", 50.0, predicted=150.0)
+        decision = monitor.check("lin")
+        assert decision.n_observations == 3 and not decision.fire
+        monitor.observe("lin", 50.0, predicted=150.0)
+        decision = monitor.check("lin")
+        assert decision.n_observations == 4
+        assert decision.drifted and decision.fire
+
+    def test_window_exactly_min_observations_wide(self):
+        # window == min_observations: the deque can never hold more
+        # than the gate requires, so drift stays decidable.
+        monitor, _clock = self.monitor(window=4, min_observations=4)
+        for _ in range(10):
+            monitor.observe("lin", 50.0, predicted=150.0)
+        decision = monitor.check("lin")
+        assert decision.n_observations == 4
+        assert decision.drifted and decision.fire
+
+    def test_all_zero_actuals_with_perfect_model_stay_healthy(self):
+        # Baselines and model all predict 0 exactly: every MAE is 0,
+        # and 0 > ratio * 0 must be false (no drift, no div-by-zero).
+        monitor, _clock = self.monitor()
+        for _ in range(8):
+            monitor.observe("lin", 0.0, predicted=0.0)
+        decision = monitor.check("lin")
+        assert decision.model_mae == 0.0
+        assert decision.baseline_mae == 0.0
+        assert not decision.drifted
+        assert decision.reason == "healthy"
+
+    def test_all_zero_actuals_with_wrong_model_drift(self):
+        # Same zero actuals, model constantly wrong: baseline MAE is 0,
+        # so any positive model MAE exceeds ratio * 0 and fires.
+        monitor, _clock = self.monitor()
+        for _ in range(8):
+            monitor.observe("lin", 0.0, predicted=5.0)
+        decision = monitor.check("lin")
+        assert decision.model_mae == pytest.approx(5.0)
+        assert decision.baseline_mae == 0.0
+        assert decision.drifted and decision.fire
+
+    def test_staleness_survives_clock_rollback(self):
+        # A clock stepping backwards past the refresh mark must clamp
+        # elapsed time at zero, not go negative or fire staleness.
+        monitor, clock = self.monitor(staleness_s=100.0)
+        clock.advance(50.0)
+        monitor.observe("lin", 1.0, predicted=1.0)  # refreshed_at = 50
+        clock.advance(-40.0)  # now = 10, before the refresh mark
+        decision = monitor.check("lin")
+        assert decision.seconds_since_refresh == 0.0
+        assert not decision.stale and not decision.fire
+        # Once the clock passes the mark again, staleness resumes.
+        clock.advance(141.0)  # now = 151, elapsed = 101
+        decision = monitor.check("lin")
+        assert decision.seconds_since_refresh == pytest.approx(101.0)
+        assert decision.stale and decision.fire
+
 
 # ----- trace reconstruction (pure) -----
 
@@ -493,6 +555,41 @@ class TestRefreshPipeline:
         store = ModelStore(pipeline.store.path)
         assert store.current_version().name == "v-00000001"
         assert pipeline.telemetry.counter("ingest.refresh.rollbacks") == 1
+
+    def test_injected_activate_fault_quarantines_then_retry_succeeds(
+            self, seeded, tmp_path):
+        """An activate-time fault is contained (CURRENT never moves,
+        the candidate is quarantined) and the *next* drift trigger
+        refits and activates cleanly -- the failure does not poison
+        the pipeline."""
+        from repro.chaos import FaultInjector, FaultPlan, injected
+
+        pipeline, journal = make_pipeline(seeded, tmp_path)
+        pipeline.load_current()
+        feed = SimulatedFeed(seeded["trace"], horizon_days=1, batch_days=0.5)
+        journal.append_many(feed.next_batch())
+        plan = FaultPlan.generate(0, "activate-fault", [
+            {"site": "store.activate", "count": 1, "visits": (1, 1),
+             "action": "state_error"}])
+        with injected(FaultInjector(plan)):
+            blocked = pipeline.refresh(reason="drift")
+        assert not blocked.ok
+        assert "activate failed" in blocked.error
+        assert blocked.quarantined is not None
+        assert (blocked.quarantined / "QUARANTINE.json").is_file()
+        store = ModelStore(pipeline.store.path)
+        assert store.current_version().name == "v-00000001"
+        assert pipeline.telemetry.counter(
+            "ingest.refresh.activate_failures") == 1
+
+        # Next drift trigger: more records arrive, the retry succeeds,
+        # and CURRENT lands on the newly verified version.
+        journal.append_many(feed.next_batch())
+        retried = pipeline.refresh(reason="drift")
+        assert retried.ok, retried.error
+        store = ModelStore(pipeline.store.path)
+        assert store.current_version().name == retried.version_path.name
+        assert retried.offset == journal.next_offset
 
     def test_failed_reload_with_no_previous_raises(self, seeded, tmp_path):
         class DeadSupervisor:

@@ -180,6 +180,7 @@ class TestArimaProperties:
 
 import asyncio
 import copy
+import json
 import random
 import struct
 
@@ -413,3 +414,76 @@ class TestStateErrorsBoundary:
         state["schema_version"] = 999
         with pytest.raises(StateSchemaError):
             require_state(state, "test.kind")
+
+
+# ----- byte-flip fuzzing through the chaos schedule format ----------------
+#
+# The ad-hoc byte-flip fuzzers above draw corruption positions straight
+# from random.Random.  These re-run the same trust boundaries through a
+# seeded FaultPlan of ``byte_flip`` faults -- the exact schedule format
+# ``repro chaos`` replays -- so a failing trial is pinned by the plan's
+# canonical JSON (site, visit, position, mask) instead of an opaque RNG
+# state, and the codec fuzzers and fault-injection scenarios share one
+# corruption vocabulary.
+
+
+class TestChaosByteFlipPlans:
+    N_FRAMES = 60
+    N_STATES = 60
+
+    def _plan(self, test_seed):
+        from repro.chaos import FaultPlan
+
+        return FaultPlan.generate(test_seed % 2**32, "codec-byte-flips", [
+            {"site": "codec.frame", "kind": "byte_flip",
+             "count": self.N_FRAMES, "visits": (1, self.N_FRAMES)},
+            {"site": "state.bytes", "kind": "byte_flip",
+             "count": self.N_STATES, "visits": (1, self.N_STATES)},
+        ])
+
+    def test_plan_replays_byte_identically(self, test_seed):
+        one, two = self._plan(test_seed), self._plan(test_seed)
+        assert one.to_json() == two.to_json()
+        for fault in one.faults:
+            assert 0.0 <= fault.payload["pos_frac"] < 1.0
+            assert 1 <= fault.payload["xor"] <= 255
+
+    def test_planned_frame_flips_cannot_escape(self, test_seed):
+        """Scheduled bit rot in a frame: a dict, clean EOF, or a typed
+        ProtocolError -- same contract as the ad-hoc flip fuzzer."""
+        from repro.chaos import apply_byte_flip
+
+        rnd = random.Random(test_seed)
+        for fault in self._plan(test_seed).for_site("codec.frame"):
+            frame = encode_frame({"payload": _random_json(rnd)})
+            corrupted = apply_byte_flip(frame, fault)
+            assert corrupted != frame and len(corrupted) == len(frame)
+            try:
+                result = _read_frame_bytes(corrupted)
+            except ProtocolError:
+                continue
+            assert result is None or isinstance(result, dict)
+
+    def test_planned_state_flips_are_typed_or_survivable(self, test_seed):
+        """Scheduled bit rot in serialized model state: the JSON layer
+        rejects it, or the state loader returns a value / StateError."""
+        from repro.chaos import apply_byte_flip
+        from repro.timeseries.arima import ARIMA
+
+        rng = np.random.default_rng(test_seed % 2**32)
+        series = rng.normal(0, 1, 120).cumsum() * 0.05
+        pristine = ARIMA((1, 0, 0)).fit(series).get_state()
+        blob = json.dumps(pristine).encode("utf-8")
+        for fault in self._plan(test_seed).for_site("state.bytes"):
+            corrupted = apply_byte_flip(blob, fault)
+            try:
+                mutated = json.loads(corrupted.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # the serialization layer caught it
+            try:
+                ARIMA.from_state(mutated)
+            except StateError:
+                continue  # the only sanctioned loader failure
+            except Exception as exc:  # pragma: no cover - the bug itself
+                pytest.fail(f"{type(exc).__name__} leaked for planned "
+                            f"flip {fault.to_dict()}: {exc!r}")
