@@ -201,6 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--slow-ms", type=float, default=None,
                             help="requests slower than this always log, "
                                  "flagged slow")
+    serve_http.add_argument("--group-commit-ms", type=float, default=None,
+                            metavar="MS",
+                            help="journal group commit: concurrent record "
+                                 "appends share one fsync, lingering up to "
+                                 "MS for peers (0 = batch only what piles "
+                                 "up during the previous fsync; absent = "
+                                 "one fsync per append, today's behavior)")
+    serve_http.add_argument("--microbatch-ms", type=float, default=None,
+                            metavar="MS",
+                            help="fold concurrent untraced single forecasts "
+                                 "arriving within MS into one engine batch "
+                                 "(also batches shard pipe traffic when "
+                                 "--workers > 1); absent = off")
+    serve_http.add_argument("--encode-cache", type=int, nargs="?",
+                            const=256, default=None, metavar="ENTRIES",
+                            help="LRU of serialized repeat-forecast JSON "
+                                 "bodies (default 256 entries when given "
+                                 "without a value); absent = off")
 
     serve_cluster = sub.add_parser(
         "serve-cluster",
@@ -800,6 +818,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         engine = ShardedForecastEngine(
             trace, env, n_shards=args.workers, store_path=args.store,
             max_workers_per_shard=args.worker_threads, metrics=metrics,
+            microbatch=getattr(args, "microbatch_ms", None) is not None,
         )
         print(f"booting {args.workers} shard(s) ...", file=sys.stderr)
         engine.start()
@@ -816,16 +835,25 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         from repro.persistence import ModelStore
 
         store_info = ModelStore(args.store).describe()
+    microbatch_ms = getattr(args, "microbatch_ms", None)
     dispatcher = Dispatcher(
         engine,
         max_inflight=args.max_inflight,
         default_timeout_s=args.timeout if args.timeout > 0 else None,
+        microbatch_window_s=(microbatch_ms / 1000.0
+                             if microbatch_ms is not None else None),
         store_info=store_info,
     )
     if getattr(args, "journal", None):
         from repro.ingest import RecordJournal
 
-        journal = RecordJournal(args.journal)
+        group_commit_ms = getattr(args, "group_commit_ms", None)
+        journal = RecordJournal(
+            args.journal,
+            group_window_s=(group_commit_ms / 1000.0
+                            if group_commit_ms is not None else None),
+            metrics=metrics,
+        )
         dispatcher.record_sink = journal.append_many
         print(f"accepting records into journal {args.journal} "
               f"(next offset {journal.next_offset})", file=sys.stderr)
@@ -838,6 +866,11 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             sample_every=max(1, args.access_log_sample),
             slow_s=args.slow_ms / 1000.0 if args.slow_ms else None,
         )
+    encode_cache = None
+    if getattr(args, "encode_cache", None) is not None:
+        from repro.server.http import ResponseEncodeCache
+
+        encode_cache = ResponseEncodeCache(max_entries=args.encode_cache)
     server = ForecastServer(
         dispatcher,
         host=args.host,
@@ -846,6 +879,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         drain_timeout_s=args.drain_timeout,
         access_log=access_log,
+        encode_cache=encode_cache,
     )
 
     async def run() -> None:

@@ -22,6 +22,8 @@ from repro.telemetry import TRACE_HEADER
 
 __all__ = [
     "HttpRequest",
+    "ResponseEncodeCache",
+    "encode_json_body",
     "read_http_request",
     "render_response",
     "route_to_op",
@@ -175,31 +177,119 @@ def wants_prometheus(headers: dict[str, str]) -> bool:
     return "text/plain" in accept or "openmetrics-text" in accept
 
 
-def render_response(status: int, body: dict | str, *, keep_alive: bool = True,
+#: Invariant header fragments, computed once per (status, content-type)
+#: pair instead of re-formatted per response.  The assembled bytes are
+#: exactly what ``"\r\n".join(header_lines) + "\r\n\r\n"`` produced
+#: before -- the unit tests assert byte identity.
+_HEAD_PREFIXES: dict[tuple[int, str], bytes] = {}
+_TAIL_KEEP_ALIVE = b"\r\nConnection: keep-alive\r\n\r\n"
+_TAIL_CLOSE = b"\r\nConnection: close\r\n\r\n"
+
+
+def _head_prefix(status: int, content_type: str) -> bytes:
+    prefix = _HEAD_PREFIXES.get((status, content_type))
+    if prefix is None:
+        prefix = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: "
+        ).encode("latin-1")
+        _HEAD_PREFIXES[(status, content_type)] = prefix
+    return prefix
+
+
+def encode_json_body(body: dict) -> bytes:
+    """Serialize a JSON response body exactly as ``render_response`` does."""
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+def render_response(status: int, body: dict | str | bytes, *,
+                    keep_alive: bool = True,
                     retry_after_s: float | None = None,
                     trace_id: str | None = None) -> bytes:
     """Serialize one response, headers included.
 
     A ``dict`` body goes out as JSON; a ``str`` body goes out verbatim
     as Prometheus text exposition (the only non-JSON shape on this wire
-    surface).  ``trace_id`` echoes the request's ``X-Repro-Trace``
-    header back so clients can correlate responses without parsing the
-    body.
+    surface); a ``bytes`` body is pre-encoded JSON (the encode cache's
+    fast path) and is framed without re-serializing.  ``trace_id``
+    echoes the request's ``X-Repro-Trace`` header back so clients can
+    correlate responses without parsing the body.
     """
-    if isinstance(body, str):
+    if isinstance(body, (bytes, bytearray)):
+        payload = bytes(body)
+        content_type = "application/json"
+    elif isinstance(body, str):
         payload = body.encode("utf-8")
         content_type = PROMETHEUS_CONTENT_TYPE
     else:
-        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        payload = encode_json_body(body)
         content_type = "application/json"
-    headers = [
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        f"Content-Type: {content_type}",
-        f"Content-Length: {len(payload)}",
-        f"Connection: {'keep-alive' if keep_alive else 'close'}",
-    ]
+    head = _head_prefix(status, content_type) + str(len(payload)).encode("latin-1")
+    if retry_after_s is None and trace_id is None:
+        return head + (_TAIL_KEEP_ALIVE if keep_alive else _TAIL_CLOSE) + payload
+    extra = f"\r\nConnection: {'keep-alive' if keep_alive else 'close'}"
     if retry_after_s is not None:
-        headers.append(f"Retry-After: {max(1, round(retry_after_s))}")
+        extra += f"\r\nRetry-After: {max(1, round(retry_after_s))}"
     if trace_id is not None:
-        headers.append(f"{TRACE_HEADER}: {trace_id}")
-    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload
+        extra += f"\r\n{TRACE_HEADER}: {trace_id}"
+    return head + extra.encode("latin-1") + b"\r\n\r\n" + payload
+
+
+class ResponseEncodeCache:
+    """Small LRU of serialized 200-forecast JSON payloads.
+
+    Keyed ``(work_key, model_version, traced)``.  Only answers that are
+    provably repeat content are cacheable: untraced, undegraded,
+    error-free **model** answers the engine itself served from its
+    prediction cache (``cached: true``) -- those are byte-identical
+    apart from ``latency_s``, so a hit replays the first encoding's
+    latency stamp (timing provenance, not answer content; documented in
+    DESIGN.md §16).  A model refresh changes ``model_version`` and so
+    misses naturally; no invalidation hooks needed.
+
+    Event-loop confined, like the dispatcher's admission state.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, bytes] = {}
+
+    @staticmethod
+    def key_for(op: str | None, status: int, traced: bool,
+                body: object) -> tuple | None:
+        """The cache key for a response, or None when not cacheable."""
+        if op != "forecast" or status != 200 or traced:
+            return None
+        if not isinstance(body, dict) or body.get("source") != "model":
+            return None
+        if (not body.get("cached") or body.get("degraded")
+                or "error" in body or "trace_id" in body):
+            return None
+        return ((body.get("asn"), body.get("family"), body.get("now")),
+                body.get("model_version"), traced)
+
+    def get(self, key: tuple) -> bytes | None:
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        # dicts preserve insertion order: re-insert = mark recently used.
+        del self._entries[key]
+        self._entries[key] = payload
+        self.hits += 1
+        return payload
+
+    def put(self, key: tuple, payload: bytes) -> None:
+        self._entries.pop(key, None)
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = payload
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries),
+                "hits": self.hits, "misses": self.misses}

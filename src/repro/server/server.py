@@ -36,6 +36,8 @@ import time
 from repro.evaluation.reporting import error_payload
 from repro.server.dispatcher import Dispatcher
 from repro.server.http import (
+    ResponseEncodeCache,
+    encode_json_body,
     read_http_request,
     render_response,
     route_to_op,
@@ -76,8 +78,12 @@ class ForecastServer:
                  drain_timeout_s: float = 10.0,
                  close_engine: bool = True,
                  access_log: AccessLog | None = None,
+                 encode_cache: ResponseEncodeCache | None = None,
                  log=None) -> None:
         self.dispatcher = dispatcher
+        #: Opt-in response-encode cache (``--encode-cache``): untraced
+        #: repeat 200-forecast bodies skip ``json.dumps`` entirely.
+        self.encode_cache = encode_cache
         #: Structured request logging (None = off).  One JSON line per
         #: served request, subject to the log's own sampling policy.
         self.access_log = access_log
@@ -97,6 +103,21 @@ class ForecastServer:
         self._shutting_down = False
         self.http_address: tuple[str, int] | None = None
         self.framed_address: tuple[str, int] | None = None
+        # The connection-refusal answers never vary for a server's
+        # lifetime (limit and retry hint are fixed at construction), so
+        # serialize them once instead of per refused connection.
+        refusal_body = error_payload(
+            "too_many_connections",
+            f"connection limit {max_connections} reached",
+            retry_after_s=dispatcher.retry_after_s)
+        self._http_refusal = render_response(
+            503, refusal_body, keep_alive=False,
+            retry_after_s=dispatcher.retry_after_s)
+        self._framed_refusal = encode_frame({
+            "status": 503,
+            "body": refusal_body,
+            "retry_after_s": dispatcher.retry_after_s,
+        })
         dispatcher.transport_stats = self._transport_stats
 
     # ----- lifecycle -----
@@ -180,10 +201,16 @@ class ForecastServer:
     # ----- connection handling -----
 
     def _transport_stats(self) -> dict:
-        return {
+        stats = {
             "connections": len(self._connections),
             "max_connections": self.max_connections,
         }
+        if self.encode_cache is not None:
+            cache = self.encode_cache.stats()
+            stats["encode_cache_entries"] = cache["entries"]
+            stats["encode_cache_hits"] = cache["hits"]
+            stats["encode_cache_misses"] = cache["misses"]
+        return stats
 
     def _admit_connection(self) -> bool:
         if len(self._connections) >= self.max_connections:
@@ -196,14 +223,7 @@ class ForecastServer:
     async def _handle_http(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
         if not self._admit_connection():
-            await self._finish(writer, render_response(
-                503,
-                error_payload("too_many_connections",
-                              f"connection limit {self.max_connections} reached",
-                              retry_after_s=self.dispatcher.retry_after_s),
-                keep_alive=False,
-                retry_after_s=self.dispatcher.retry_after_s,
-            ))
+            await self._finish(writer, self._http_refusal)
             return
         try:
             while True:
@@ -244,8 +264,18 @@ class ForecastServer:
                 self._access("http", op, status, elapsed_s, ctx,
                              path=request.path)
                 keep = request.keep_alive and not self._shutting_down
+                wire_body = body
+                if self.encode_cache is not None:
+                    key = ResponseEncodeCache.key_for(
+                        op, status, ctx is not None, body)
+                    if key is not None:
+                        cached = self.encode_cache.get(key)
+                        if cached is None:
+                            cached = encode_json_body(body)
+                            self.encode_cache.put(key, cached)
+                        wire_body = cached
                 writer.write(render_response(
-                    status, body, keep_alive=keep, retry_after_s=retry,
+                    status, wire_body, keep_alive=keep, retry_after_s=retry,
                     trace_id=ctx.trace_id if ctx else None))
                 await writer.drain()
                 if not keep:
@@ -259,14 +289,7 @@ class ForecastServer:
     async def _handle_framed(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         if not self._admit_connection():
-            await self._finish(writer, encode_frame({
-                "status": 503,
-                "body": error_payload(
-                    "too_many_connections",
-                    f"connection limit {self.max_connections} reached",
-                    retry_after_s=self.dispatcher.retry_after_s),
-                "retry_after_s": self.dispatcher.retry_after_s,
-            }))
+            await self._finish(writer, self._framed_refusal)
             return
         try:
             while True:

@@ -213,6 +213,40 @@ def _shard_main(conn, boot: ShardBoot) -> None:
                     "schema_version": FORECAST_SCHEMA_VERSION,
                     "forecasts": [f.to_dict() for f in forecasts],
                 }))
+            elif op == "query_group":
+                # Parent-side micro-batch: many independent singles in
+                # one frame, each with its own deadline and trace.  Runs
+                # one ``query_batch`` per (timeout, trace) group so the
+                # engine's duplicate coalescing fires across the group
+                # while per-request semantics survive; one batched
+                # ``forecast_group`` frame answers the lot, with
+                # per-item error entries so a poisoned member can never
+                # strand its siblings' futures.
+                groups: dict[tuple, list] = {}
+                for item_id, wire_req, wire_t, item_trace in message[2]:
+                    groups.setdefault((wire_t, item_trace), []).append(
+                        (item_id, wire_req))
+                replies = []
+                for (wire_t, item_trace), members in groups.items():
+                    try:
+                        requests = [_request_from_wire(w) for _, w in members]
+                        start_s = time.time()
+                        t0 = time.perf_counter()
+                        forecasts = engine.query_batch(
+                            requests, timeout_s=resolve_timeout(wire_t),
+                            trace_id=item_trace)
+                        stamp_shard_span(forecasts, item_trace, start_s,
+                                         time.perf_counter() - t0)
+                        for (item_id, _), forecast in zip(members, forecasts):
+                            replies.append((
+                                item_id, "forecast",
+                                {"schema_version": FORECAST_SCHEMA_VERSION}
+                                | forecast.to_dict()))
+                    except Exception as exc:
+                        for item_id, _ in members:
+                            replies.append((item_id, "error", {
+                                "error": f"{type(exc).__name__}: {exc}"}))
+                conn.send(("forecast_group", req_id, replies))
             elif op == "metrics":
                 conn.send(("metrics", req_id, engine.metrics_snapshot()))
             else:
@@ -245,6 +279,11 @@ class _Shard:
     lock: threading.Lock = field(default_factory=threading.Lock)
     pending: dict = field(default_factory=dict)  # req_id -> (Future, kind)
     booted: threading.Event = field(default_factory=threading.Event)
+    # micro-batch outbox: (req_id, wire_request, wire_timeout, trace_id)
+    # tuples queued by ``submit`` and drained by the sender thread.
+    outbox: list = field(default_factory=list)
+    outbox_cond: threading.Condition = field(
+        default_factory=threading.Condition)
 
 
 class ShardedForecastEngine:
@@ -272,6 +311,7 @@ class ShardedForecastEngine:
                  boot_timeout_s: float = 120.0,
                  drain_timeout_s: float = 10.0,
                  metrics: ServingMetrics | None = None,
+                 microbatch: bool = False,
                  mp_context: str | None = None) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -279,6 +319,7 @@ class ShardedForecastEngine:
         self.env = env
         self.config = config
         self.n_shards = n_shards
+        self.microbatch = microbatch
         self.metrics = metrics or ServingMetrics()
         self.timeout_s = timeout_s
         self.restart_backoff_s = restart_backoff_s
@@ -372,6 +413,8 @@ class ShardedForecastEngine:
                         shard.conn.send(("stop",))
                     except (BrokenPipeError, OSError):
                         pass
+            with shard.outbox_cond:
+                shard.outbox_cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=self.drain_timeout_s)
         for shard in self._shards:
@@ -588,7 +631,13 @@ class ShardedForecastEngine:
 
     def _send_raw(self, shard: _Shard, op: str, future: Future,
                   payload) -> bool:
-        """Register + transmit; False when the shard cannot take work."""
+        """Register + transmit; False when the shard cannot take work.
+
+        With ``microbatch`` on, single ``query`` ops are queued on the
+        shard's outbox instead of hitting the pipe directly; the sender
+        thread drains everything queued into one ``query_group`` frame,
+        so N concurrent singles cost one pickle+write, not N.
+        """
         with shard.lock:
             if not shard.alive or shard.conn is None:
                 return False
@@ -602,6 +651,18 @@ class ShardedForecastEngine:
                 message = (op, req_id, wire_payload,
                            self._wire_timeout(timeout_s), trace_id)
                 shard.pending[req_id] = (future, op, wire_payload)
+            if self.microbatch and op == "query":
+                try:
+                    chaos_point(f"shard.send[{shard.id}]", op=op)
+                except OSError:
+                    shard.pending.pop(req_id, None)
+                    return False
+                with shard.outbox_cond:
+                    shard.outbox.append(
+                        (req_id, wire_payload,
+                         self._wire_timeout(timeout_s), trace_id))
+                    shard.outbox_cond.notify()
+                return True
             try:
                 chaos_point(f"shard.send[{shard.id}]", op=op)
                 shard.conn.send(message)
@@ -609,6 +670,54 @@ class ShardedForecastEngine:
                 shard.pending.pop(req_id, None)
                 return False
         return True
+
+    def _sender(self, shard: _Shard, conn) -> None:
+        """Drain the shard outbox into batched frames until death.
+
+        One thread per worker boot.  Each flush sends whatever piled up
+        while the previous flush was in flight -- the pipe write is the
+        batching window, so a lone caller still goes out immediately
+        (as a plain ``query`` frame, identical wire cost to today).
+        """
+        while True:
+            with shard.outbox_cond:
+                while (not shard.outbox and shard.alive
+                       and not self._stopping and not self._closed):
+                    shard.outbox_cond.wait(0.05)
+                if not shard.outbox:
+                    if not shard.alive or self._stopping or self._closed:
+                        return
+                    continue
+                items = shard.outbox
+                shard.outbox = []
+            self.metrics.observe("shard.microbatch.size", float(len(items)))
+            try:
+                if len(items) == 1:
+                    req_id, wire_payload, wire_timeout, trace_id = items[0]
+                    conn.send(("query", req_id, wire_payload,
+                               wire_timeout, trace_id))
+                else:
+                    with self._req_lock:
+                        group_id = next(self._req_ids)
+                    conn.send(("query_group", group_id, items))
+            except (BrokenPipeError, OSError):
+                self._fail_sent(shard, items)
+                return
+
+    def _fail_sent(self, shard: _Shard, items: list) -> None:
+        """Resolve outbox entries whose pipe write failed to baseline."""
+        with shard.lock:
+            for req_id, wire_payload, _wire_timeout, _trace_id in items:
+                entry = shard.pending.pop(req_id, None)
+                if entry is None:
+                    continue
+                future, _op, _wire = entry
+                self.metrics.incr("shard.failed_inflight")
+                request = _request_from_wire(wire_payload)
+                _resolve(future, self.fallback(
+                    request,
+                    error=(f"shard {shard.id} pipe failed mid-send; "
+                           "serving the naive baseline")))
 
     def _fail_pending_locked(self, shard: _Shard, reason: str) -> None:
         """Resolve every pending future to a baseline answer (lock held)."""
@@ -646,12 +755,26 @@ class ShardedForecastEngine:
         while not self._stopping and not self._closed:
             booted = self._boot_shard(shard, first_boot=first)
             shard.booted.set()
+            sender = None
             if booted:
                 backoff = self.restart_backoff_s  # healthy boot resets it
+                if self.microbatch:
+                    sender = threading.Thread(
+                        target=self._sender, args=(shard, shard.conn),
+                        name=f"shard-{shard.id}-sender", daemon=True)
+                    sender.start()
                 self._pump(shard)
             with shard.lock:
                 shard.alive = False
                 self._fail_pending_locked(shard, "worker died")
+            with shard.outbox_cond:
+                # Queued-but-unsent work was already failed to baseline
+                # above (it is registered in ``pending``); drop the
+                # stale outbox so a restarted worker never replays it.
+                shard.outbox = []
+                shard.outbox_cond.notify_all()
+            if sender is not None:
+                sender.join(timeout=1.0)
             if self._stopping or self._closed:
                 break
             self.metrics.incr("shard.worker_deaths" if booted
@@ -714,6 +837,26 @@ class ShardedForecastEngine:
             except (EOFError, OSError):
                 return
             kind, req_id, payload = message
+            if kind == "forecast_group":
+                # One batched frame answering many pending singles;
+                # per-item kinds so an error entry degrades only its
+                # own future.
+                for item_id, item_kind, item_payload in payload:
+                    with shard.lock:
+                        entry = shard.pending.pop(item_id, None)
+                    if entry is None:
+                        continue  # caller gave up (parent timeout)
+                    future, _op, wire_payload = entry
+                    if item_kind == "forecast":
+                        _resolve(future, self._forecast_from_wire(
+                            item_payload, wire_payload, shard))
+                    else:
+                        self.metrics.incr("shard.worker_errors")
+                        request = _request_from_wire(wire_payload)
+                        _resolve(future, self.fallback(
+                            request,
+                            error=item_payload.get("error", "worker error")))
+                continue
             with shard.lock:
                 entry = shard.pending.pop(req_id, None)
             if entry is None:

@@ -1,0 +1,559 @@
+"""Hot-path batching: group commit, micro-batching, encode caching.
+
+Four choke points got batched (PR 10) and each one carries an
+invariant that must survive the optimization:
+
+* journal group commit -- durability: offsets are assigned before
+  return and no caller is acknowledged before the fsync covering its
+  records; a failed group acknowledges *nobody*.
+* shard pipe micro-batching -- bit-identical forecasts, per-request
+  deadlines, ``shard.query`` trace spans.
+* dispatcher coalescing -- ``serving.*`` counters stay reconcilable
+  (queries = batches' request totals, coalesced = duplicates folded),
+  and traced requests bypass the shared path.
+* response-encode cache -- only provably-repeat bodies are reused, and
+  the rendered frame is byte-identical to an uncached render.
+
+``render_response`` itself is additionally pinned byte-for-byte
+against the pre-optimization assembly.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.spatiotemporal import AttackPrediction
+from repro.errors import JournalError
+from repro.ingest import RecordJournal
+from repro.serving import (
+    ForecastEngine,
+    ForecastRequest,
+    ModelRegistry,
+    ShardedForecastEngine,
+    shard_index,
+)
+from repro.server import Dispatcher, ForecastServer
+from repro.server.http import (
+    ResponseEncodeCache,
+    encode_json_body,
+    render_response,
+)
+from repro.telemetry import TRACE_HEADER, Telemetry
+
+
+def tagged(trace, n, start=0):
+    """The first ``n`` attack records as tagged journal dicts."""
+    return [{"type": "attack", **r.to_dict()}
+            for r in trace.attacks[start:start + n]]
+
+
+# ----- journal group commit ----------------------------------------------
+
+
+class TestGroupCommit:
+    def test_disabled_by_default_and_single_writer_equivalent(
+            self, tmp_path, small_trace):
+        records = tagged(small_trace, 6)
+        plain = RecordJournal(tmp_path / "plain", fsync=False)
+        grouped = RecordJournal(tmp_path / "grouped", fsync=False,
+                                group_window_s=0.0)
+        assert plain.group_window_s is None
+        for journal in (plain, grouped):
+            assert journal.append(records[0]) == 0
+            first, nxt = journal.append_many(records[1:4])
+            assert (first, nxt) == (1, 4)
+            assert journal.append(records[4]) == 4
+            journal.close()
+        lines = lambda j: [(e.offset, e.raw) for e in j.tail()]  # noqa: E731
+        assert lines(plain) == lines(grouped)
+
+    def test_concurrent_writers_share_fsyncs(self, tmp_path, small_trace,
+                                             monkeypatch):
+        """8 writers, dense unique offsets, fewer fsyncs than appends."""
+        import repro.ingest.journal as journal_module
+
+        fsyncs = []
+        real_fsync = journal_module.os.fsync
+
+        def counting_fsync(fd):
+            fsyncs.append(fd)
+            time.sleep(0.002)  # a visibly slow disk, so groups must form
+            return real_fsync(fd)
+
+        monkeypatch.setattr(journal_module.os, "fsync", counting_fsync)
+        telemetry = Telemetry()
+        journal = RecordJournal(tmp_path / "j", fsync=True,
+                                group_window_s=0.0, metrics=telemetry)
+        records = tagged(small_trace, 8)
+        acked = []
+        lock = threading.Lock()
+
+        def writer(record):
+            for _ in range(10):
+                offset = journal.append(record)
+                with lock:
+                    acked.append(offset)
+
+        threads = [threading.Thread(target=writer, args=(records[i],))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        assert sorted(acked) == list(range(80))
+        assert [e.offset for e in journal.tail()] == list(range(80))
+        assert len(fsyncs) < 80  # the whole point: shared fsyncs
+        group_size = telemetry.snapshot()["latency"][
+            "ingest.journal.group_size"]
+        assert group_size["count"] == len(fsyncs)
+        assert group_size["max_s"] > 1.0  # at least one real group formed
+
+    def test_failed_group_acknowledges_nobody(self, tmp_path, small_trace,
+                                              monkeypatch):
+        import repro.ingest.journal as journal_module
+
+        records = tagged(small_trace, 8)
+        journal = RecordJournal(tmp_path / "j", fsync=True,
+                                group_window_s=0.0)
+        barrier = threading.Barrier(4)
+        real_fsync = journal_module.os.fsync
+        state = {"failed": False}
+
+        def flaky_fsync(fd):
+            if not state["failed"]:
+                state["failed"] = True
+                raise OSError("injected fsync fault")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(journal_module.os, "fsync", flaky_fsync)
+        acked, errors = [], []
+        lock = threading.Lock()
+
+        def writer(record):
+            barrier.wait()
+            try:
+                offset = journal.append(record)
+            except JournalError:
+                with lock:
+                    errors.append(record)
+            else:
+                with lock:
+                    acked.append(offset)
+
+        threads = [threading.Thread(target=writer, args=(records[i],))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The faulted group failed every member it carried; survivors
+        # (if any) were in later groups led by a fresh leader.
+        assert errors
+        assert len(acked) + len(errors) == 4
+        # The journal stays usable and loses no acknowledged offset.
+        post = journal.append(records[4])
+        journal.close()
+        on_disk = {e.offset for e in journal.tail()}
+        assert set(acked) <= on_disk
+        assert post in on_disk
+
+    def test_positive_window_lingers_for_followers(self, tmp_path,
+                                                   small_trace, monkeypatch):
+        import repro.ingest.journal as journal_module
+
+        fsyncs = []
+        real_fsync = journal_module.os.fsync
+        monkeypatch.setattr(
+            journal_module.os, "fsync",
+            lambda fd: (fsyncs.append(fd), real_fsync(fd))[1])
+        journal = RecordJournal(tmp_path / "j", fsync=True,
+                                group_window_s=0.2)
+        records = tagged(small_trace, 2)
+        results = []
+
+        def late_follower():
+            time.sleep(0.02)  # arrives inside the leader's linger
+            results.append(journal.append(records[1]))
+
+        follower = threading.Thread(target=late_follower)
+        follower.start()
+        results.append(journal.append(records[0]))
+        follower.join()
+        journal.close()
+        assert sorted(results) == [0, 1]
+        assert len(fsyncs) == 1  # one linger window, one shared fsync
+
+    def test_validation_failures_consume_no_offset(self, tmp_path,
+                                                   small_trace):
+        journal = RecordJournal(tmp_path / "j", fsync=False,
+                                group_window_s=0.0)
+        with pytest.raises(ValueError):
+            journal.append({"type": "metadata", "nonsense": True})
+        assert journal.next_offset == 0
+        assert journal.append(tagged(small_trace, 1)[0]) == 0
+
+    def test_rejects_negative_window(self, tmp_path):
+        with pytest.raises(ValueError):
+            RecordJournal(tmp_path / "j", group_window_s=-0.1)
+
+
+# ----- shard pipe micro-batching -----------------------------------------
+
+
+class HotPredictor:
+    """Fixed-answer predictor (module-level: picklable under spawn)."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def predict_next_for_network(self, asn, family, now=None):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return AttackPrediction(
+            hour=float(asn % 24), day=12.0, duration=600.0,
+            magnitude=float(asn % 100), temporal_hour=3.0, spatial_hour=4.0,
+            temporal_day=11.0, spatial_day=13.0,
+        )
+
+
+def hot_factory(trace, env, config):
+    return HotPredictor()
+
+
+def hot_slow_factory(trace, env, config):
+    return HotPredictor(delay_s=0.4)
+
+
+def _canonical(forecast):
+    payload = forecast.to_dict()
+    payload.pop("latency_s")
+    payload.pop("cached")
+    return payload
+
+
+def _requests_for(trace, n=6):
+    pairs = sorted({(a.target_asn, a.family) for a in trace.attacks})[:n]
+    return [ForecastRequest(asn=asn, family=family)
+            for asn, family in pairs]
+
+
+@pytest.mark.net
+class TestShardMicrobatch:
+    def test_concurrent_singles_bit_identical(self, small_trace, small_env):
+        """Hammered singles under microbatching == plain engine answers."""
+        requests = _requests_for(small_trace)
+        with ForecastEngine(small_trace, small_env,
+                            registry=ModelRegistry(factory=hot_factory)
+                            ) as reference:
+            expected = {r.work_key: _canonical(reference.query(r))
+                        for r in requests}
+        engine = ShardedForecastEngine(
+            small_trace, small_env, n_shards=2, warm=False,
+            factory=hot_factory, microbatch=True)
+        with engine:
+            collected = []
+            lock = threading.Lock()
+
+            def hammer():
+                futures = [engine.submit(r) for _ in range(5)
+                           for r in requests]
+                with lock:
+                    collected.extend(zip(requests * 5, futures))
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for request, future in collected:
+                forecast = future.result(timeout=30)
+                assert _canonical(forecast) == expected[request.work_key]
+            snapshot = engine.metrics.snapshot()
+            size = snapshot["latency"]["shard.microbatch.size"]
+            assert size["count"] > 0
+            # 240 concurrent singles cannot all have flushed alone.
+            assert size["max_s"] > 1.0
+
+    def test_traced_single_keeps_shard_span(self, small_trace, small_env):
+        engine = ShardedForecastEngine(
+            small_trace, small_env, n_shards=2, warm=False,
+            factory=hot_factory, microbatch=True)
+        with engine:
+            forecast = engine.query(_requests_for(small_trace)[0],
+                                    trace_id="hotpath-trace")
+        assert forecast.trace_id == "hotpath-trace"
+        assert "shard.query" in [s["name"] for s in forecast.spans]
+
+    def test_scrape_latency_is_max_of_shards(self, small_trace, small_env):
+        """metrics_snapshot issues all worker scrapes before collecting.
+
+        Each worker is busy with a deliberately slow (0.4s) forecast
+        when the scrape lands, so a sequential issue-wait-issue scrape
+        would take ~n_shards * 0.4s; issue-all-then-collect takes
+        ~max-of-shards.  Guards the fan-out against regressing to a
+        sequential loop.
+        """
+        n_shards = 4
+        engine = ShardedForecastEngine(
+            small_trace, small_env, n_shards=n_shards, warm=False,
+            factory=hot_slow_factory, timeout_s=5.0)
+        with engine:
+            # One slow in-flight query per shard.
+            futures = []
+            for shard_id in range(n_shards):
+                request = next(
+                    ForecastRequest(asn=asn, family=family)
+                    for asn in sorted({a.target_asn
+                                       for a in small_trace.attacks})
+                    for family in small_trace.families()
+                    if shard_index(asn, family, n_shards) == shard_id)
+                futures.append(engine.submit(request))
+            t0 = time.perf_counter()
+            snapshot = engine.metrics_snapshot(include_workers=True,
+                                               worker_timeout_s=5.0)
+            elapsed = time.perf_counter() - t0
+            for future in futures:
+                future.result(timeout=30)
+        workers = [s.get("worker") for s in snapshot["shards"].values()]
+        assert all(w is not None for w in workers)
+        # Sequential would be >= n_shards * 0.4s = 1.6s.
+        assert elapsed < 1.2
+
+
+# ----- dispatcher coalescing ---------------------------------------------
+
+
+class TestDispatcherCoalescing:
+    def test_window_folds_concurrent_singles(self, small_trace, small_env):
+        engine = ForecastEngine(small_trace, small_env,
+                                registry=ModelRegistry(factory=hot_factory))
+        dispatcher = Dispatcher(engine, microbatch_window_s=0.005)
+        asn, family = small_trace.attacks[0].target_asn, small_trace.families()[0]
+
+        async def scenario():
+            return await asyncio.gather(*(
+                dispatcher.handle("forecast", {"asn": asn, "family": family})
+                for _ in range(16)))
+
+        results = asyncio.run(scenario())
+        engine.close()
+        assert all(status == 200 for status, _, _ in results)
+        bodies = [body for _, body, _ in results]
+        assert len({json.dumps(b["forecast"], sort_keys=True)
+                    for b in bodies}) == 1
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["serving.coalesced"] >= 15
+        size = engine.metrics.snapshot()["latency"]["server.microbatch.size"]
+        assert size["count"] >= 1
+        assert size["max_s"] == 16.0
+
+    def test_traced_requests_bypass_the_window(self, small_trace, small_env):
+        from repro.telemetry import TraceContext
+
+        engine = ForecastEngine(small_trace, small_env,
+                                registry=ModelRegistry(factory=hot_factory))
+        dispatcher = Dispatcher(engine, microbatch_window_s=0.005)
+        asn, family = small_trace.attacks[0].target_asn, small_trace.families()[0]
+
+        async def scenario():
+            ctx = TraceContext.from_wire("trace-bypass")
+            return await dispatcher.handle(
+                "forecast", {"asn": asn, "family": family}, ctx)
+
+        status, body, _ = asyncio.run(scenario())
+        engine.close()
+        assert status == 200
+        assert body["trace_id"] == "trace-bypass"
+        histograms = engine.metrics.snapshot()["latency"]
+        assert "server.microbatch.size" not in histograms
+
+    def test_counters_reconcile_under_threaded_batches(self, small_trace,
+                                                       small_env):
+        """8 threads of overlapping duplicate query_batch calls.
+
+        serving.queries must equal the total requests submitted,
+        serving.batches the number of calls, and serving.coalesced the
+        duplicates folded -- the exact bookkeeping the dispatcher's
+        coalescing path builds on (satellite: guards double-counting).
+        """
+        engine = ForecastEngine(small_trace, small_env,
+                                registry=ModelRegistry(factory=hot_factory))
+        requests = _requests_for(small_trace, n=4)
+        batch = requests + requests + [requests[0]]  # 9 reqs, 4 distinct
+        n_threads, n_calls = 8, 5
+        answers = []
+        lock = threading.Lock()
+
+        def hammer():
+            for _ in range(n_calls):
+                result = engine.query_batch(batch)
+                with lock:
+                    answers.append(result)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        engine.close()
+        assert len(answers) == n_threads * n_calls
+        assert all(len(result) == len(batch) for result in answers)
+        counters = engine.metrics.snapshot()["counters"]
+        total_calls = n_threads * n_calls
+        assert counters["serving.batches"] == total_calls
+        assert counters["serving.queries"] == total_calls * len(batch)
+        assert counters["serving.coalesced"] == total_calls * (len(batch) - 4)
+
+
+# ----- render_response byte identity -------------------------------------
+
+
+def _legacy_render(status, body, keep_alive=True, retry_after_s=None,
+                   trace_id=None):
+    """The pre-optimization assembly, kept verbatim as the oracle."""
+    reasons = {
+        200: "OK", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 408: "Request Timeout",
+        413: "Content Too Large", 429: "Too Many Requests",
+        431: "Request Header Fields Too Large",
+        500: "Internal Server Error", 503: "Service Unavailable",
+    }
+    if isinstance(body, str):
+        payload = body.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        content_type = "application/json"
+    headers = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if retry_after_s is not None:
+        headers.append(f"Retry-After: {max(1, round(retry_after_s))}")
+    if trace_id is not None:
+        headers.append(f"{TRACE_HEADER}: {trace_id}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload
+
+
+class TestRenderResponseBytes:
+    @pytest.mark.parametrize("status", [200, 404, 429, 503, 999])
+    @pytest.mark.parametrize("keep_alive", [True, False])
+    def test_byte_identical_to_legacy(self, status, keep_alive):
+        body = {"schema_version": 1, "asn": 64512, "nested": {"x": [1, 2]}}
+        for retry in (None, 1.0, 2.6):
+            for trace_id in (None, "abc123"):
+                assert render_response(
+                    status, body, keep_alive=keep_alive,
+                    retry_after_s=retry, trace_id=trace_id,
+                ) == _legacy_render(status, body, keep_alive=keep_alive,
+                                    retry_after_s=retry, trace_id=trace_id)
+
+    def test_prometheus_and_precoded_bodies(self):
+        text = "repro_serving_queries_total 3\n"
+        assert render_response(200, text) == _legacy_render(200, text)
+        body = {"asn": 1, "family": "Mirai"}
+        pre = encode_json_body(body)
+        assert render_response(200, pre) == render_response(200, body)
+
+    def test_refusal_frames_match_fresh_render(self, small_trace, small_env):
+        from repro.evaluation.reporting import error_payload
+        from repro.server.protocol import encode_frame
+
+        engine = ForecastEngine(small_trace, small_env,
+                                registry=ModelRegistry(factory=hot_factory))
+        dispatcher = Dispatcher(engine)
+        server = ForecastServer(dispatcher, port=0, max_connections=3,
+                                log=lambda _msg: None)
+        body = error_payload("too_many_connections",
+                             "connection limit 3 reached",
+                             retry_after_s=dispatcher.retry_after_s)
+        assert server._http_refusal == render_response(
+            503, body, keep_alive=False,
+            retry_after_s=dispatcher.retry_after_s)
+        assert server._framed_refusal == encode_frame({
+            "status": 503, "body": body,
+            "retry_after_s": dispatcher.retry_after_s})
+        engine.close()
+
+
+# ----- response-encode cache ---------------------------------------------
+
+
+class TestEncodeCache:
+    def test_key_eligibility(self):
+        eligible = {"source": "model", "cached": True, "degraded": False,
+                    "asn": 1, "family": "Mirai", "now": None,
+                    "model_version": 3}
+        key = ResponseEncodeCache.key_for("forecast", 200, False, eligible)
+        assert key == ((1, "Mirai", None), 3, False)
+        rejects = [
+            ("healthz", 200, False, eligible),
+            ("forecast", 429, False, eligible),
+            ("forecast", 200, True, eligible),  # traced
+            ("forecast", 200, False, {**eligible, "source": "baseline"}),
+            ("forecast", 200, False, {**eligible, "cached": False}),
+            ("forecast", 200, False, {**eligible, "degraded": True}),
+            ("forecast", 200, False, {**eligible, "error": "boom"}),
+            ("forecast", 200, False, {**eligible, "trace_id": "t"}),
+            ("forecast", 200, False, "not-a-dict"),
+        ]
+        for case in rejects:
+            assert ResponseEncodeCache.key_for(*case) is None, case
+
+    def test_lru_eviction_and_stats(self):
+        cache = ResponseEncodeCache(max_entries=2)
+        cache.put(("a",), b"1")
+        cache.put(("b",), b"2")
+        assert cache.get(("a",)) == b"1"  # refreshes 'a'
+        cache.put(("c",), b"3")  # evicts 'b', the least recent
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == b"1"
+        assert cache.get(("c",)) == b"3"
+        assert cache.stats() == {"entries": 2, "hits": 3, "misses": 1}
+        with pytest.raises(ValueError):
+            ResponseEncodeCache(max_entries=0)
+
+    @pytest.mark.net
+    def test_served_bytes_identical_and_hits_counted(self, small_trace,
+                                                     small_env):
+        engine = ForecastEngine(small_trace, small_env,
+                                registry=ModelRegistry(factory=hot_factory))
+        cache = ResponseEncodeCache()
+        asn, family = small_trace.attacks[0].target_asn, small_trace.families()[0]
+        body = json.dumps({"asn": asn, "family": family}).encode()
+
+        async def fetch(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                (f"POST /v1/forecast HTTP/1.1\r\n"
+                 f"Content-Length: {len(body)}\r\n"
+                 f"Connection: close\r\n\r\n").encode() + body)
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        async def scenario():
+            server = ForecastServer(Dispatcher(engine), port=0,
+                                    encode_cache=cache,
+                                    log=lambda _msg: None)
+            async with server:
+                host, port = server.http_address
+                first = await fetch(host, port)   # computes (cached: false)
+                second = await fetch(host, port)  # engine cache hit, encoded
+                third = await fetch(host, port)   # encode-cache hit
+                return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert second == third  # byte-identical reuse, frame included
+        payload = json.loads(second.partition(b"\r\n\r\n")[2])
+        assert payload["source"] == "model" and payload["cached"] is True
+        assert json.loads(first.partition(b"\r\n\r\n")[2])["cached"] is False
+        stats = cache.stats()
+        assert stats == {"entries": 1, "hits": 1, "misses": 1}
